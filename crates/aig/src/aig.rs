@@ -1,0 +1,1088 @@
+//! The central And-Inverter Graph data structure.
+
+use std::collections::HashMap;
+
+use crate::lit::{Lit, NodeId};
+use crate::node::Node;
+
+/// A structural fanout reference: either another AND node or a primary output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fanout {
+    /// The node is a fanin of this AND node.
+    Node(NodeId),
+    /// The node drives the primary output with this index.
+    Output(u32),
+}
+
+/// An And-Inverter Graph (AIG).
+///
+/// The graph contains a constant-false node (id 0), primary inputs, and
+/// two-input AND nodes with optionally complemented fanins.  Primary outputs
+/// are literals pointing into the graph.  Newly created AND nodes are
+/// structurally hashed, so building the same `(a, b)` pair twice returns the
+/// same node.
+///
+/// The structure supports in-place optimization: [`Aig::replace`] redirects
+/// all fanouts of a node to another literal and garbage-collects the cone
+/// that becomes unreferenced, which is the primitive used by refactoring.
+///
+/// # Examples
+///
+/// ```
+/// use elf_aig::Aig;
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input();
+/// let b = aig.add_input();
+/// let f = aig.or(a, b);
+/// aig.add_output(f);
+/// assert_eq!(aig.num_inputs(), 2);
+/// assert_eq!(aig.num_ands(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Aig {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) fanouts: Vec<Vec<Fanout>>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<Lit>,
+    strash: HashMap<(u32, u32), NodeId>,
+    num_ands: usize,
+    travid_counter: u32,
+    levels_valid: bool,
+    name: String,
+}
+
+impl Default for Aig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Aig {
+    /// Creates an empty AIG containing only the constant-false node.
+    pub fn new() -> Self {
+        Aig {
+            nodes: vec![Node::constant()],
+            fanouts: vec![Vec::new()],
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            strash: HashMap::new(),
+            num_ands: 0,
+            travid_counter: 0,
+            levels_valid: true,
+            name: String::new(),
+        }
+    }
+
+    /// Creates an empty AIG with a design name (used in reports and AIGER files).
+    pub fn with_name(name: impl Into<String>) -> Self {
+        let mut aig = Self::new();
+        aig.name = name.into();
+        aig
+    }
+
+    /// Returns the design name (may be empty).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sets the design name.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    // ------------------------------------------------------------------
+    // Basic accessors
+    // ------------------------------------------------------------------
+
+    /// Total number of arena slots (including dead nodes, inputs and the constant).
+    pub fn num_slots(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of live AND nodes.
+    pub fn num_ands(&self) -> usize {
+        self.num_ands
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Returns the primary inputs in creation order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Returns the primary output literals.
+    pub fn outputs(&self) -> &[Lit] {
+        &self.outputs
+    }
+
+    /// Returns a reference to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.as_usize()]
+    }
+
+    /// Returns `true` if the node is a live AND node.
+    #[inline]
+    pub fn is_and(&self, id: NodeId) -> bool {
+        let n = &self.nodes[id.as_usize()];
+        !n.dead && n.is_and()
+    }
+
+    /// Returns `true` if the node is a primary input.
+    #[inline]
+    pub fn is_input(&self, id: NodeId) -> bool {
+        self.nodes[id.as_usize()].is_input()
+    }
+
+    /// Returns `true` if the node slot has been deleted.
+    #[inline]
+    pub fn is_dead(&self, id: NodeId) -> bool {
+        self.nodes[id.as_usize()].dead
+    }
+
+    /// Returns the fanin literals of an AND node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not an AND node.
+    #[inline]
+    pub fn fanins(&self, id: NodeId) -> (Lit, Lit) {
+        let n = &self.nodes[id.as_usize()];
+        assert!(n.is_and(), "fanins requested for non-AND node {id}");
+        (n.fanin0, n.fanin1)
+    }
+
+    /// Returns the structural reference count (fanout count) of a node.
+    #[inline]
+    pub fn refs(&self, id: NodeId) -> u32 {
+        self.nodes[id.as_usize()].refs
+    }
+
+    /// Returns the fanout references of a node.
+    #[inline]
+    pub fn fanouts(&self, id: NodeId) -> &[Fanout] {
+        &self.fanouts[id.as_usize()]
+    }
+
+    /// Returns the logic level of a node.
+    ///
+    /// Levels are maintained incrementally during construction and may become
+    /// stale after [`Aig::replace`]; call [`Aig::recompute_levels`] (or
+    /// [`Aig::depth`], which does so on demand) for exact values.
+    #[inline]
+    pub fn level(&self, id: NodeId) -> u32 {
+        self.nodes[id.as_usize()].level
+    }
+
+    /// Iterates over the ids of all live AND nodes in arena order.
+    pub fn and_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().enumerate().filter_map(|(i, n)| {
+            if !n.dead && n.is_and() {
+                Some(NodeId::new(i as u32))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Iterates over all live node ids (constant, inputs and AND nodes).
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().enumerate().filter_map(|(i, n)| {
+            if !n.dead {
+                Some(NodeId::new(i as u32))
+            } else {
+                None
+            }
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    /// Adds a new primary input and returns its literal.
+    pub fn add_input(&mut self) -> Lit {
+        let id = NodeId::new(self.nodes.len() as u32);
+        self.nodes.push(Node::input(self.inputs.len() as u32));
+        self.fanouts.push(Vec::new());
+        self.inputs.push(id);
+        id.lit()
+    }
+
+    /// Adds `count` primary inputs and returns their literals.
+    pub fn add_inputs(&mut self, count: usize) -> Vec<Lit> {
+        (0..count).map(|_| self.add_input()).collect()
+    }
+
+    /// Registers `lit` as a new primary output and returns its output index.
+    pub fn add_output(&mut self, lit: Lit) -> usize {
+        let index = self.outputs.len();
+        self.outputs.push(lit);
+        self.nodes[lit.node().as_usize()].refs += 1;
+        self.fanouts[lit.node().as_usize()].push(Fanout::Output(index as u32));
+        index
+    }
+
+    /// Replaces the literal driving output `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn set_output(&mut self, index: usize, lit: Lit) {
+        let old = self.outputs[index];
+        if old == lit {
+            return;
+        }
+        let old_node = old.node().as_usize();
+        self.nodes[old_node].refs -= 1;
+        if let Some(pos) = self.fanouts[old_node]
+            .iter()
+            .position(|f| *f == Fanout::Output(index as u32))
+        {
+            self.fanouts[old_node].swap_remove(pos);
+        }
+        self.outputs[index] = lit;
+        self.nodes[lit.node().as_usize()].refs += 1;
+        self.fanouts[lit.node().as_usize()].push(Fanout::Output(index as u32));
+    }
+
+    /// Returns the constant literal with the given value.
+    pub fn constant(&self, value: bool) -> Lit {
+        if value {
+            Lit::TRUE
+        } else {
+            Lit::FALSE
+        }
+    }
+
+    /// Returns the conjunction of two literals, applying structural hashing
+    /// and one-level constant propagation.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        // Constant and trivial cases.
+        if a.is_false() || b.is_false() {
+            return Lit::FALSE;
+        }
+        if a.is_true() {
+            return b;
+        }
+        if b.is_true() {
+            return a;
+        }
+        if a == b {
+            return a;
+        }
+        if a == !b {
+            return Lit::FALSE;
+        }
+        let (f0, f1) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+        let key = (f0.raw(), f1.raw());
+        if let Some(&id) = self.strash.get(&key) {
+            if !self.nodes[id.as_usize()].dead {
+                return id.lit();
+            }
+        }
+        let level = 1 + self.nodes[f0.node().as_usize()]
+            .level
+            .max(self.nodes[f1.node().as_usize()].level);
+        let id = NodeId::new(self.nodes.len() as u32);
+        self.nodes.push(Node::and(f0, f1, level));
+        self.fanouts.push(Vec::new());
+        self.num_ands += 1;
+        self.strash.insert(key, id);
+        self.nodes[f0.node().as_usize()].refs += 1;
+        self.fanouts[f0.node().as_usize()].push(Fanout::Node(id));
+        self.nodes[f1.node().as_usize()].refs += 1;
+        self.fanouts[f1.node().as_usize()].push(Fanout::Node(id));
+        id.lit()
+    }
+
+    /// Looks up the AND of two literals without creating it.
+    ///
+    /// Returns `Some` if the (possibly constant-folded) result already exists.
+    pub fn and_lookup(&self, a: Lit, b: Lit) -> Option<Lit> {
+        if a.is_false() || b.is_false() {
+            return Some(Lit::FALSE);
+        }
+        if a.is_true() {
+            return Some(b);
+        }
+        if b.is_true() {
+            return Some(a);
+        }
+        if a == b {
+            return Some(a);
+        }
+        if a == !b {
+            return Some(Lit::FALSE);
+        }
+        let (f0, f1) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+        self.strash
+            .get(&(f0.raw(), f1.raw()))
+            .filter(|id| !self.nodes[id.as_usize()].dead)
+            .map(|id| id.lit())
+    }
+
+    /// Returns the disjunction of two literals.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and(!a, !b)
+    }
+
+    /// Returns the exclusive-or of two literals (built from three AND nodes).
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let t0 = self.and(a, !b);
+        let t1 = self.and(!a, b);
+        self.or(t0, t1)
+    }
+
+    /// Returns the exclusive-nor (equivalence) of two literals.
+    pub fn xnor(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.xor(a, b)
+    }
+
+    /// Returns the multiplexer `if sel then t else e`.
+    pub fn mux(&mut self, sel: Lit, t: Lit, e: Lit) -> Lit {
+        let a = self.and(sel, t);
+        let b = self.and(!sel, e);
+        self.or(a, b)
+    }
+
+    /// Returns the majority of three literals.
+    pub fn maj(&mut self, a: Lit, b: Lit, c: Lit) -> Lit {
+        let ab = self.and(a, b);
+        let ac = self.and(a, c);
+        let bc = self.and(b, c);
+        let t = self.or(ab, ac);
+        self.or(t, bc)
+    }
+
+    /// Builds a balanced conjunction of all literals in `lits`.
+    ///
+    /// Returns [`Lit::TRUE`] when `lits` is empty.
+    pub fn and_many(&mut self, lits: &[Lit]) -> Lit {
+        self.reduce_balanced(lits, Lit::TRUE, Self::and)
+    }
+
+    /// Builds a balanced disjunction of all literals in `lits`.
+    ///
+    /// Returns [`Lit::FALSE`] when `lits` is empty.
+    pub fn or_many(&mut self, lits: &[Lit]) -> Lit {
+        self.reduce_balanced(lits, Lit::FALSE, Self::or)
+    }
+
+    fn reduce_balanced(
+        &mut self,
+        lits: &[Lit],
+        identity: Lit,
+        mut op: impl FnMut(&mut Self, Lit, Lit) -> Lit + Copy,
+    ) -> Lit {
+        match lits.len() {
+            0 => identity,
+            1 => lits[0],
+            _ => {
+                let mid = lits.len() / 2;
+                let left = self.reduce_balanced(&lits[..mid], identity, op);
+                let right = self.reduce_balanced(&lits[mid..], identity, op);
+                op(self, left, right)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Levels
+    // ------------------------------------------------------------------
+
+    /// Recomputes exact logic levels for all live nodes.
+    pub fn recompute_levels(&mut self) {
+        let order = self.topological_order();
+        for id in self.inputs.clone() {
+            self.nodes[id.as_usize()].level = 0;
+        }
+        self.nodes[0].level = 0;
+        for id in order {
+            let (f0, f1) = {
+                let n = &self.nodes[id.as_usize()];
+                (n.fanin0, n.fanin1)
+            };
+            let level = 1 + self.nodes[f0.node().as_usize()]
+                .level
+                .max(self.nodes[f1.node().as_usize()].level);
+            self.nodes[id.as_usize()].level = level;
+        }
+        self.levels_valid = true;
+    }
+
+    /// Returns the depth (maximum level over all primary outputs), recomputing
+    /// levels if they might be stale.
+    pub fn depth(&mut self) -> u32 {
+        if !self.levels_valid {
+            self.recompute_levels();
+        }
+        self.outputs
+            .iter()
+            .map(|lit| self.nodes[lit.node().as_usize()].level)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Returns `true` if incrementally maintained levels are exact.
+    pub fn levels_are_valid(&self) -> bool {
+        self.levels_valid
+    }
+
+    // ------------------------------------------------------------------
+    // Traversal ids
+    // ------------------------------------------------------------------
+
+    /// Starts a new traversal, invalidating all previous visit marks.
+    pub fn new_traversal(&mut self) -> u32 {
+        self.travid_counter += 1;
+        self.travid_counter
+    }
+
+    /// Marks a node as visited in the current traversal.
+    #[inline]
+    pub fn mark_visited(&mut self, id: NodeId) {
+        self.nodes[id.as_usize()].travid = self.travid_counter;
+    }
+
+    /// Returns `true` if the node was marked in the current traversal.
+    #[inline]
+    pub fn is_visited(&self, id: NodeId) -> bool {
+        self.nodes[id.as_usize()].travid == self.travid_counter
+    }
+
+    // ------------------------------------------------------------------
+    // Topological order
+    // ------------------------------------------------------------------
+
+    /// Returns the ids of all live AND nodes reachable from the primary
+    /// outputs, in topological (fanin-before-fanout) order.
+    pub fn topological_order(&self) -> Vec<NodeId> {
+        let mut visited = vec![false; self.nodes.len()];
+        let mut order = Vec::with_capacity(self.num_ands);
+        let mut stack: Vec<(NodeId, bool)> = Vec::new();
+        for out in &self.outputs {
+            stack.push((out.node(), false));
+        }
+        while let Some((id, expanded)) = stack.pop() {
+            let idx = id.as_usize();
+            if expanded {
+                order.push(id);
+                continue;
+            }
+            if visited[idx] || !self.nodes[idx].is_and() || self.nodes[idx].dead {
+                continue;
+            }
+            visited[idx] = true;
+            stack.push((id, true));
+            let n = &self.nodes[idx];
+            stack.push((n.fanin0.node(), false));
+            stack.push((n.fanin1.node(), false));
+        }
+        order
+    }
+
+    /// Counts the live AND nodes reachable from the primary outputs.
+    ///
+    /// This differs from [`Aig::num_ands`] when dangling (unreferenced) nodes
+    /// are present; it is the node count reported in experiments.
+    pub fn num_reachable_ands(&self) -> usize {
+        self.topological_order().len()
+    }
+
+    // ------------------------------------------------------------------
+    // Reference counting / MFFC
+    // ------------------------------------------------------------------
+
+    /// Dereferences the maximum fanout-free cone (MFFC) rooted at `root`,
+    /// returning the number of AND nodes in the cone.
+    ///
+    /// The reference counts of the cone's fanins are decremented as if the
+    /// cone had been deleted.  Call [`Aig::ref_mffc`] with the same root to
+    /// restore them.  This mirrors ABC's `Abc_NodeDeref_rec` and is used to
+    /// evaluate the gain of a resynthesis candidate without modifying the
+    /// graph.
+    pub fn deref_mffc(&mut self, root: NodeId) -> usize {
+        debug_assert!(self.is_and(root));
+        let mut count = 1;
+        let (f0, f1) = {
+            let n = &self.nodes[root.as_usize()];
+            (n.fanin0.node(), n.fanin1.node())
+        };
+        for fanin in [f0, f1] {
+            let slot = &mut self.nodes[fanin.as_usize()];
+            debug_assert!(slot.refs > 0, "dereferencing node with zero refs");
+            slot.refs -= 1;
+            if slot.refs == 0 && slot.is_and() && !slot.dead {
+                count += self.deref_mffc(fanin);
+            }
+        }
+        count
+    }
+
+    /// Re-references the MFFC rooted at `root`, undoing [`Aig::deref_mffc`].
+    pub fn ref_mffc(&mut self, root: NodeId) -> usize {
+        debug_assert!(self.is_and(root));
+        let mut count = 1;
+        let (f0, f1) = {
+            let n = &self.nodes[root.as_usize()];
+            (n.fanin0.node(), n.fanin1.node())
+        };
+        for fanin in [f0, f1] {
+            let needs_recursion = {
+                let slot = &self.nodes[fanin.as_usize()];
+                slot.refs == 0 && slot.is_and() && !slot.dead
+            };
+            if needs_recursion {
+                count += self.ref_mffc(fanin);
+            }
+            self.nodes[fanin.as_usize()].refs += 1;
+        }
+        count
+    }
+
+    /// Returns the size (number of AND nodes) of the MFFC rooted at `root`
+    /// without modifying the graph observably.
+    pub fn mffc_size(&mut self, root: NodeId) -> usize {
+        let size = self.deref_mffc(root);
+        let restored = self.ref_mffc(root);
+        debug_assert_eq!(size, restored);
+        size
+    }
+
+    /// Like [`Aig::deref_mffc`], but never descends past the `boundary` nodes
+    /// (typically the leaves of a cut).
+    ///
+    /// Boundary nodes have their reference count decremented when an edge
+    /// from the cone reaches them, but they are neither counted nor expanded,
+    /// because a resynthesized cut keeps using its leaves.  The returned
+    /// count is therefore the number of AND nodes a cut replacement is
+    /// guaranteed to free.
+    pub fn deref_mffc_bounded(&mut self, root: NodeId, boundary: &[NodeId]) -> usize {
+        debug_assert!(self.is_and(root));
+        let mut count = 1;
+        let (f0, f1) = {
+            let n = &self.nodes[root.as_usize()];
+            (n.fanin0.node(), n.fanin1.node())
+        };
+        for fanin in [f0, f1] {
+            let slot = &mut self.nodes[fanin.as_usize()];
+            debug_assert!(slot.refs > 0, "dereferencing node with zero refs");
+            slot.refs -= 1;
+            if slot.refs == 0 && slot.is_and() && !slot.dead && !boundary.contains(&fanin) {
+                count += self.deref_mffc_bounded(fanin, boundary);
+            }
+        }
+        count
+    }
+
+    /// Undoes [`Aig::deref_mffc_bounded`] with the same `root` and `boundary`.
+    pub fn ref_mffc_bounded(&mut self, root: NodeId, boundary: &[NodeId]) -> usize {
+        debug_assert!(self.is_and(root));
+        let mut count = 1;
+        let (f0, f1) = {
+            let n = &self.nodes[root.as_usize()];
+            (n.fanin0.node(), n.fanin1.node())
+        };
+        for fanin in [f0, f1] {
+            let needs_recursion = {
+                let slot = &self.nodes[fanin.as_usize()];
+                slot.refs == 0 && slot.is_and() && !slot.dead && !boundary.contains(&fanin)
+            };
+            if needs_recursion {
+                count += self.ref_mffc_bounded(fanin, boundary);
+            }
+            self.nodes[fanin.as_usize()].refs += 1;
+        }
+        count
+    }
+
+    // ------------------------------------------------------------------
+    // Replacement and deletion
+    // ------------------------------------------------------------------
+
+    /// Redirects every fanout of `old` (including primary outputs) to the
+    /// literal `new`, then deletes the cone rooted at `old` that becomes
+    /// unreferenced.
+    ///
+    /// This is the commit primitive of refactoring: after a better
+    /// implementation of `old`'s function has been built (rooted at `new`),
+    /// `replace` swaps it in.  Complement flags on the redirected edges are
+    /// preserved (`f = AND(old', x)` becomes `f = AND(new', x)`).
+    ///
+    /// Levels become stale after a replacement; they are recomputed lazily.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old` is not a live AND node, or if `new`'s transitive fanin
+    /// cone contains `old` (which would create a combinational cycle).
+    pub fn replace(&mut self, old: NodeId, new: Lit) {
+        assert!(self.is_and(old), "replace target must be a live AND node");
+        if new.node() == old {
+            return;
+        }
+        assert!(
+            !self.cone_contains(new.node(), old),
+            "replacement literal depends on the node being replaced"
+        );
+        let moved = std::mem::take(&mut self.fanouts[old.as_usize()]);
+        let moved_count = moved.len() as u32;
+        for fanout in &moved {
+            match *fanout {
+                Fanout::Output(index) => {
+                    let idx = index as usize;
+                    let compl = self.outputs[idx].is_complemented();
+                    self.outputs[idx] = new.complement_if(compl);
+                }
+                Fanout::Node(f) => {
+                    self.rewrite_fanin(f, old, new);
+                }
+            }
+            self.fanouts[new.node().as_usize()].push(*fanout);
+        }
+        self.nodes[new.node().as_usize()].refs += moved_count;
+        self.nodes[old.as_usize()].refs -= moved_count;
+        if self.nodes[old.as_usize()].refs == 0 {
+            self.delete_cone(old);
+        }
+        self.levels_valid = false;
+    }
+
+    /// Rewrites the fanins of `fanout` that point at `old` so they point at
+    /// `new` (with preserved complement), keeping the structural hash table
+    /// consistent.
+    fn rewrite_fanin(&mut self, fanout: NodeId, old: NodeId, new: Lit) {
+        let (old_f0, old_f1) = {
+            let n = &self.nodes[fanout.as_usize()];
+            (n.fanin0, n.fanin1)
+        };
+        let old_key = (old_f0.raw(), old_f1.raw());
+        let mut f0 = old_f0;
+        let mut f1 = old_f1;
+        if f0.node() == old {
+            f0 = new.complement_if(f0.is_complemented());
+        }
+        if f1.node() == old {
+            f1 = new.complement_if(f1.is_complemented());
+        }
+        if f0.raw() > f1.raw() {
+            std::mem::swap(&mut f0, &mut f1);
+        }
+        // Remove the stale hash entry if it maps to this node.
+        if self.strash.get(&old_key) == Some(&fanout) {
+            self.strash.remove(&old_key);
+        }
+        // Re-insert under the new key only if it is free; otherwise the graph
+        // temporarily holds a structural duplicate which a later `cleanup`
+        // or strashing pass can merge.
+        let new_key = (f0.raw(), f1.raw());
+        self.strash.entry(new_key).or_insert(fanout);
+        let n = &mut self.nodes[fanout.as_usize()];
+        n.fanin0 = f0;
+        n.fanin1 = f1;
+    }
+
+    /// Returns `true` if `target` appears in the transitive fanin cone of `root`.
+    pub fn cone_contains(&mut self, root: NodeId, target: NodeId) -> bool {
+        if root == target {
+            return true;
+        }
+        self.new_traversal();
+        self.cone_contains_rec(root, target)
+    }
+
+    fn cone_contains_rec(&mut self, root: NodeId, target: NodeId) -> bool {
+        if root == target {
+            return true;
+        }
+        if self.is_visited(root) || !self.nodes[root.as_usize()].is_and() {
+            return false;
+        }
+        self.mark_visited(root);
+        let (f0, f1) = {
+            let n = &self.nodes[root.as_usize()];
+            (n.fanin0.node(), n.fanin1.node())
+        };
+        self.cone_contains_rec(f0, target) || self.cone_contains_rec(f1, target)
+    }
+
+    /// Deletes the AND node `root` (which must have no remaining fanouts) and
+    /// recursively deletes fanins whose reference count drops to zero.
+    pub fn delete_cone(&mut self, root: NodeId) {
+        debug_assert!(self.is_and(root));
+        debug_assert_eq!(self.nodes[root.as_usize()].refs, 0);
+        let (f0, f1) = {
+            let n = &self.nodes[root.as_usize()];
+            (n.fanin0, n.fanin1)
+        };
+        // Remove from the structural hash table.
+        let key = (f0.raw(), f1.raw());
+        if self.strash.get(&key) == Some(&root) {
+            self.strash.remove(&key);
+        }
+        self.nodes[root.as_usize()].dead = true;
+        self.num_ands -= 1;
+        for fanin in [f0, f1] {
+            let fid = fanin.node();
+            if let Some(pos) = self.fanouts[fid.as_usize()]
+                .iter()
+                .position(|f| *f == Fanout::Node(root))
+            {
+                self.fanouts[fid.as_usize()].swap_remove(pos);
+            }
+            let slot = &mut self.nodes[fid.as_usize()];
+            slot.refs -= 1;
+            if slot.refs == 0 && slot.is_and() && !slot.dead {
+                self.delete_cone(fid);
+            }
+        }
+    }
+
+    /// Deletes unreferenced AND nodes whose arena slot is at or after
+    /// `first_slot`, returning how many were removed.
+    ///
+    /// This is used to discard speculative nodes created while evaluating a
+    /// resynthesis candidate that is ultimately rejected.
+    pub fn sweep_dangling_from(&mut self, first_slot: usize) -> usize {
+        let mut removed = 0;
+        for idx in (first_slot..self.nodes.len()).rev() {
+            let id = NodeId::new(idx as u32);
+            if self.is_and(id) && self.nodes[idx].refs == 0 {
+                self.delete_cone(id);
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Removes dangling AND nodes that are not reachable from any primary
+    /// output and returns how many were deleted.
+    pub fn cleanup(&mut self) -> usize {
+        let mut reachable = vec![false; self.nodes.len()];
+        for id in self.topological_order() {
+            reachable[id.as_usize()] = true;
+        }
+        let mut removed = 0;
+        // Delete in reverse arena order so fanouts go before fanins.
+        for idx in (1..self.nodes.len()).rev() {
+            let id = NodeId::new(idx as u32);
+            if self.is_and(id) && !reachable[idx] && self.nodes[idx].refs == 0 {
+                self.delete_cone(id);
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Rebuilds the AIG from scratch, re-strashing every node reachable from
+    /// the outputs.  Returns the compacted copy.
+    ///
+    /// This merges structural duplicates that [`Aig::replace`] may have left
+    /// behind and drops dead arena slots.
+    pub fn restrash(&self) -> Aig {
+        let mut fresh = Aig::with_name(self.name.clone());
+        let mut map: Vec<Lit> = vec![Lit::FALSE; self.nodes.len()];
+        for &input in &self.inputs {
+            map[input.as_usize()] = fresh.add_input();
+        }
+        for id in self.topological_order() {
+            let n = &self.nodes[id.as_usize()];
+            let a = map[n.fanin0.node().as_usize()].complement_if(n.fanin0.is_complemented());
+            let b = map[n.fanin1.node().as_usize()].complement_if(n.fanin1.is_complemented());
+            map[id.as_usize()] = fresh.and(a, b);
+        }
+        for out in &self.outputs {
+            let lit = map[out.node().as_usize()].complement_if(out.is_complemented());
+            fresh.add_output(lit);
+        }
+        fresh
+    }
+
+    /// Verifies internal invariants (reference counts, fanout lists, hash
+    /// table consistency, acyclicity).  Intended for tests and debugging.
+    ///
+    /// Returns a list of human-readable violations; an empty list means the
+    /// graph is consistent.
+    pub fn check_invariants(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let mut expected_refs = vec![0u32; self.nodes.len()];
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if node.dead {
+                continue;
+            }
+            if node.is_and() {
+                for fanin in [node.fanin0, node.fanin1] {
+                    expected_refs[fanin.node().as_usize()] += 1;
+                    if self.nodes[fanin.node().as_usize()].dead {
+                        problems.push(format!("node n{idx} has dead fanin {}", fanin.node()));
+                    }
+                    if !self.fanouts[fanin.node().as_usize()]
+                        .contains(&Fanout::Node(NodeId::new(idx as u32)))
+                    {
+                        problems.push(format!(
+                            "fanout list of {} is missing consumer n{idx}",
+                            fanin.node()
+                        ));
+                    }
+                }
+                if node.fanin0.raw() > node.fanin1.raw() {
+                    problems.push(format!("node n{idx} has unordered fanins"));
+                }
+            }
+        }
+        for (index, out) in self.outputs.iter().enumerate() {
+            expected_refs[out.node().as_usize()] += 1;
+            if self.nodes[out.node().as_usize()].dead {
+                problems.push(format!("output {index} drives dead node {}", out.node()));
+            }
+        }
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if node.dead {
+                continue;
+            }
+            if node.refs != expected_refs[idx] {
+                problems.push(format!(
+                    "node n{idx} has refs {} but {} structural fanouts",
+                    node.refs, expected_refs[idx]
+                ));
+            }
+        }
+        for (&(k0, k1), &id) in &self.strash {
+            let node = &self.nodes[id.as_usize()];
+            if node.dead {
+                problems.push(format!("hash table entry points at dead node {id}"));
+                continue;
+            }
+            if node.fanin0.raw() != k0 || node.fanin1.raw() != k1 {
+                problems.push(format!("hash table key mismatch for node {id}"));
+            }
+        }
+        let live_ands = self
+            .nodes
+            .iter()
+            .filter(|n| !n.dead && n.is_and())
+            .count();
+        if live_ands != self.num_ands {
+            problems.push(format!(
+                "num_ands counter is {} but {} live AND nodes exist",
+                self.num_ands, live_ands
+            ));
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_input_aig() -> (Aig, Lit, Lit) {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        (aig, a, b)
+    }
+
+    #[test]
+    fn constant_folding_rules() {
+        let (mut aig, a, _) = two_input_aig();
+        assert_eq!(aig.and(a, Lit::FALSE), Lit::FALSE);
+        assert_eq!(aig.and(Lit::FALSE, a), Lit::FALSE);
+        assert_eq!(aig.and(a, Lit::TRUE), a);
+        assert_eq!(aig.and(Lit::TRUE, a), a);
+        assert_eq!(aig.and(a, a), a);
+        assert_eq!(aig.and(a, !a), Lit::FALSE);
+        assert_eq!(aig.num_ands(), 0);
+    }
+
+    #[test]
+    fn structural_hashing_deduplicates() {
+        let (mut aig, a, b) = two_input_aig();
+        let x = aig.and(a, b);
+        let y = aig.and(b, a);
+        assert_eq!(x, y);
+        assert_eq!(aig.num_ands(), 1);
+        let z = aig.and(!a, b);
+        assert_ne!(x, z);
+        assert_eq!(aig.num_ands(), 2);
+    }
+
+    #[test]
+    fn or_xor_mux_construction() {
+        let (mut aig, a, b) = two_input_aig();
+        let o = aig.or(a, b);
+        assert!(o.is_complemented());
+        let x = aig.xor(a, b);
+        aig.add_output(o);
+        aig.add_output(x);
+        assert_eq!(aig.num_outputs(), 2);
+        assert!(aig.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn levels_track_depth() {
+        let (mut aig, a, b) = two_input_aig();
+        let c = aig.add_input();
+        let t = aig.and(a, b);
+        let f = aig.and(t, c);
+        aig.add_output(f);
+        assert_eq!(aig.level(t.node()), 1);
+        assert_eq!(aig.level(f.node()), 2);
+        assert_eq!(aig.depth(), 2);
+    }
+
+    #[test]
+    fn refs_and_mffc() {
+        let (mut aig, a, b) = two_input_aig();
+        let c = aig.add_input();
+        let t = aig.and(a, b);
+        let f = aig.and(t, c);
+        let g = aig.and(t, a);
+        aig.add_output(f);
+        aig.add_output(g);
+        // t has two fanouts, so it is not in f's MFFC.
+        assert_eq!(aig.mffc_size(f.node()), 1);
+        // g's MFFC is also just itself.
+        assert_eq!(aig.mffc_size(g.node()), 1);
+        assert!(aig.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn mffc_includes_single_fanout_cone() {
+        let (mut aig, a, b) = two_input_aig();
+        let c = aig.add_input();
+        let d = aig.add_input();
+        let t0 = aig.and(a, b);
+        let t1 = aig.and(c, d);
+        let f = aig.and(t0, t1);
+        aig.add_output(f);
+        assert_eq!(aig.mffc_size(f.node()), 3);
+        assert!(aig.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn replace_redirects_outputs_and_nodes() {
+        let (mut aig, a, b) = two_input_aig();
+        let c = aig.add_input();
+        let old = aig.and(a, b);
+        let consumer = aig.and(old, c);
+        aig.add_output(!old);
+        aig.add_output(consumer);
+        // Replace `old` with just `a`.
+        aig.replace(old.node(), a);
+        assert_eq!(aig.outputs()[0], !a);
+        let (f0, f1) = aig.fanins(consumer.node());
+        assert!(f0 == a || f1 == a);
+        assert!(aig.is_dead(old.node()));
+        assert_eq!(aig.num_ands(), 1);
+        assert!(aig.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn replace_with_complemented_literal() {
+        let (mut aig, a, b) = two_input_aig();
+        let old = aig.and(a, b);
+        aig.add_output(old);
+        aig.replace(old.node(), !a);
+        assert_eq!(aig.outputs()[0], !a);
+        assert_eq!(aig.num_ands(), 0);
+        assert!(aig.check_invariants().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "depends on the node being replaced")]
+    fn replace_rejects_cyclic_substitution() {
+        let (mut aig, a, b) = two_input_aig();
+        let old = aig.and(a, b);
+        let above = aig.and(old, a);
+        aig.add_output(above);
+        aig.add_output(old);
+        aig.replace(old.node(), above);
+    }
+
+    #[test]
+    fn cleanup_removes_dangling_nodes() {
+        let (mut aig, a, b) = two_input_aig();
+        let dangling = aig.and(a, b);
+        let keep = aig.and(!a, !b);
+        aig.add_output(keep);
+        assert_eq!(aig.num_ands(), 2);
+        let removed = aig.cleanup();
+        assert_eq!(removed, 1);
+        assert!(aig.is_dead(dangling.node()));
+        assert_eq!(aig.num_ands(), 1);
+        assert!(aig.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn restrash_merges_duplicates_after_replace() {
+        let (mut aig, a, b) = two_input_aig();
+        let c = aig.add_input();
+        let x = aig.and(a, b);
+        let y = aig.and(a, c);
+        let f = aig.and(x, c);
+        aig.add_output(f);
+        aig.add_output(y);
+        // Redirect x -> a; now f = AND(a, c) duplicates y structurally.
+        aig.replace(x.node(), a);
+        let fresh = aig.restrash();
+        assert_eq!(fresh.num_ands(), 1);
+        assert!(fresh.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn topological_order_is_consistent() {
+        let (mut aig, a, b) = two_input_aig();
+        let c = aig.add_input();
+        let t = aig.and(a, b);
+        let u = aig.and(t, c);
+        let v = aig.and(u, a);
+        aig.add_output(v);
+        let order = aig.topological_order();
+        let pos = |id: NodeId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(t.node()) < pos(u.node()));
+        assert!(pos(u.node()) < pos(v.node()));
+        assert_eq!(order.len(), 3);
+        assert_eq!(aig.num_reachable_ands(), 3);
+    }
+
+    #[test]
+    fn and_many_and_or_many() {
+        let mut aig = Aig::new();
+        let inputs = aig.add_inputs(5);
+        let conj = aig.and_many(&inputs);
+        let disj = aig.or_many(&inputs);
+        aig.add_output(conj);
+        aig.add_output(disj);
+        assert_eq!(aig.and_many(&[]), Lit::TRUE);
+        assert_eq!(aig.or_many(&[]), Lit::FALSE);
+        assert_eq!(aig.and_many(&inputs[..1]), inputs[0]);
+        assert!(aig.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn set_output_updates_refs() {
+        let (mut aig, a, b) = two_input_aig();
+        let x = aig.and(a, b);
+        let index = aig.add_output(x);
+        assert_eq!(aig.refs(x.node()), 1);
+        aig.set_output(index, a);
+        assert_eq!(aig.refs(x.node()), 0);
+        assert_eq!(aig.refs(a.node()), 2); // fanin of x plus the output
+        assert!(aig.check_invariants().is_empty());
+    }
+}

@@ -1,0 +1,334 @@
+//! Reading and writing the ASCII AIGER (`.aag`) format.
+//!
+//! Only the combinational subset (no latches) is supported, which is all the
+//! refactoring flow needs.  The writer emits nodes in topological order so
+//! the output satisfies the AIGER ordering requirement.
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use crate::aig::Aig;
+use crate::lit::{Lit, NodeId};
+
+/// Error produced when parsing an AIGER file fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAigerError {
+    message: String,
+    line: usize,
+}
+
+impl ParseAigerError {
+    fn new(message: impl Into<String>, line: usize) -> Self {
+        ParseAigerError {
+            message: message.into(),
+            line,
+        }
+    }
+
+    /// The 1-based line on which the error occurred (0 for header-level errors).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseAigerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid AIGER input at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseAigerError {}
+
+/// Serializes the AIG to the ASCII AIGER format.
+///
+/// The graph is compacted (re-strashed) first so that node indices are dense
+/// and topologically ordered, as the format requires.
+pub fn to_ascii(aig: &Aig) -> String {
+    let compact = aig.restrash();
+    let order = compact.topological_order();
+    let num_ands = order.len();
+    // AIGER variable indices: inputs first, then AND nodes in topological order.
+    let mut var_of_node = vec![0u32; compact.num_slots()];
+    for (i, input) in compact.inputs().iter().enumerate() {
+        var_of_node[input.as_usize()] = (i + 1) as u32;
+    }
+    for (i, id) in order.iter().enumerate() {
+        var_of_node[id.as_usize()] = (compact.num_inputs() + i + 1) as u32;
+    }
+    let lit_of = |lit: Lit| -> u32 {
+        if lit.node().is_const0() {
+            lit.is_complemented() as u32
+        } else {
+            2 * var_of_node[lit.node().as_usize()] + lit.is_complemented() as u32
+        }
+    };
+    let max_var = compact.num_inputs() + num_ands;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "aag {} {} 0 {} {}\n",
+        max_var,
+        compact.num_inputs(),
+        compact.num_outputs(),
+        num_ands
+    ));
+    for i in 0..compact.num_inputs() {
+        out.push_str(&format!("{}\n", 2 * (i + 1)));
+    }
+    for output in compact.outputs() {
+        out.push_str(&format!("{}\n", lit_of(*output)));
+    }
+    for id in &order {
+        let (f0, f1) = compact.fanins(*id);
+        let lhs = 2 * var_of_node[id.as_usize()];
+        // AIGER requires rhs0 >= rhs1.
+        let (a, b) = (lit_of(f0), lit_of(f1));
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        out.push_str(&format!("{lhs} {hi} {lo}\n"));
+    }
+    if !compact.name().is_empty() {
+        out.push_str(&format!("c\n{}\n", compact.name()));
+    }
+    out
+}
+
+/// Parses an ASCII AIGER (`aag`) description into an [`Aig`].
+///
+/// # Errors
+///
+/// Returns [`ParseAigerError`] if the header is malformed, the file contains
+/// latches, literals are out of range, or an AND definition references an
+/// undefined literal.
+pub fn from_ascii(text: &str) -> Result<Aig, ParseAigerError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseAigerError::new("empty input", 0))?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() != 6 || fields[0] != "aag" {
+        return Err(ParseAigerError::new(
+            "header must be `aag M I L O A`",
+            1,
+        ));
+    }
+    let parse = |s: &str, line: usize| {
+        s.parse::<u32>()
+            .map_err(|_| ParseAigerError::new(format!("invalid number `{s}`"), line))
+    };
+    let max_var = parse(fields[1], 1)?;
+    let num_inputs = parse(fields[2], 1)?;
+    let num_latches = parse(fields[3], 1)?;
+    let num_outputs = parse(fields[4], 1)?;
+    let num_ands = parse(fields[5], 1)?;
+    if num_latches != 0 {
+        return Err(ParseAigerError::new(
+            "sequential AIGER files (latches) are not supported",
+            1,
+        ));
+    }
+    if max_var < num_inputs + num_ands {
+        return Err(ParseAigerError::new("maximum variable index too small", 1));
+    }
+
+    let mut aig = Aig::new();
+    // Map from AIGER variable index to literal in our graph.
+    let mut lit_of_var: Vec<Option<Lit>> = vec![None; (max_var + 1) as usize];
+    lit_of_var[0] = Some(Lit::FALSE);
+
+    let take_line = |lines: &mut std::iter::Enumerate<std::str::Lines<'_>>| {
+        for (idx, line) in lines.by_ref() {
+            let trimmed = line.trim();
+            if !trimmed.is_empty() {
+                return Ok((idx + 1, trimmed.to_string()));
+            }
+        }
+        Err(ParseAigerError::new("unexpected end of file", 0))
+    };
+
+    // Inputs.
+    for _ in 0..num_inputs {
+        let (line_no, line) = take_line(&mut lines)?;
+        let raw = parse(&line, line_no)?;
+        if raw % 2 != 0 || raw == 0 {
+            return Err(ParseAigerError::new("input literal must be even and nonzero", line_no));
+        }
+        let lit = aig.add_input();
+        let var = (raw / 2) as usize;
+        if var >= lit_of_var.len() || lit_of_var[var].is_some() {
+            return Err(ParseAigerError::new("duplicate or out-of-range input", line_no));
+        }
+        lit_of_var[var] = Some(lit);
+    }
+
+    // Outputs are recorded and resolved after the AND section.
+    let mut output_raws = Vec::with_capacity(num_outputs as usize);
+    for _ in 0..num_outputs {
+        let (line_no, line) = take_line(&mut lines)?;
+        output_raws.push((line_no, parse(&line, line_no)?));
+    }
+
+    // AND definitions.
+    for _ in 0..num_ands {
+        let (line_no, line) = take_line(&mut lines)?;
+        let nums: Vec<&str> = line.split_whitespace().collect();
+        if nums.len() != 3 {
+            return Err(ParseAigerError::new("AND line must have three literals", line_no));
+        }
+        let lhs = parse(nums[0], line_no)?;
+        let rhs0 = parse(nums[1], line_no)?;
+        let rhs1 = parse(nums[2], line_no)?;
+        if lhs % 2 != 0 {
+            return Err(ParseAigerError::new("AND output literal must be even", line_no));
+        }
+        let resolve = |raw: u32| -> Result<Lit, ParseAigerError> {
+            let var = (raw / 2) as usize;
+            lit_of_var
+                .get(var)
+                .copied()
+                .flatten()
+                .map(|lit| lit.complement_if(raw % 2 == 1))
+                .ok_or_else(|| {
+                    ParseAigerError::new(format!("literal {raw} used before definition"), line_no)
+                })
+        };
+        let a = resolve(rhs0)?;
+        let b = resolve(rhs1)?;
+        let lit = aig.and(a, b);
+        let var = (lhs / 2) as usize;
+        if var >= lit_of_var.len() || lit_of_var[var].is_some() {
+            return Err(ParseAigerError::new("duplicate or out-of-range AND definition", line_no));
+        }
+        lit_of_var[var] = Some(lit);
+    }
+
+    for (line_no, raw) in output_raws {
+        let var = (raw / 2) as usize;
+        let lit = lit_of_var
+            .get(var)
+            .copied()
+            .flatten()
+            .map(|lit| lit.complement_if(raw % 2 == 1))
+            .ok_or_else(|| ParseAigerError::new(format!("undefined output literal {raw}"), line_no))?;
+        aig.add_output(lit);
+    }
+
+    // Optional comment section carries the design name.
+    let rest: Vec<&str> = lines.map(|(_, l)| l).collect();
+    if let Some(pos) = rest.iter().position(|l| l.trim() == "c") {
+        if let Some(name) = rest.get(pos + 1) {
+            aig.set_name(name.trim());
+        }
+    }
+    Ok(aig)
+}
+
+/// Writes the AIG to `path` in ASCII AIGER format.
+///
+/// # Errors
+///
+/// Returns any I/O error from the filesystem.
+pub fn write_ascii_file(aig: &Aig, path: impl AsRef<Path>) -> std::io::Result<()> {
+    fs::write(path, to_ascii(aig))
+}
+
+/// Reads an ASCII AIGER file from `path`.
+///
+/// # Errors
+///
+/// Returns an I/O error if the file cannot be read, or a boxed
+/// [`ParseAigerError`] if its contents are not valid AIGER.
+pub fn read_ascii_file(path: impl AsRef<Path>) -> Result<Aig, Box<dyn Error + Send + Sync>> {
+    let text = fs::read_to_string(path)?;
+    Ok(from_ascii(&text)?)
+}
+
+/// Identifier helper re-exported for documentation completeness.
+#[doc(hidden)]
+pub fn _node_for_docs() -> NodeId {
+    NodeId::CONST0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{check_equivalence, EquivalenceResult};
+
+    fn sample_aig() -> Aig {
+        let mut aig = Aig::with_name("sample");
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let t = aig.xor(a, b);
+        let f = aig.mux(c, t, a);
+        aig.add_output(f);
+        aig.add_output(!t);
+        aig
+    }
+
+    #[test]
+    fn round_trip_preserves_function() {
+        let aig = sample_aig();
+        let text = to_ascii(&aig);
+        let parsed = from_ascii(&text).expect("round trip parse");
+        assert_eq!(parsed.num_inputs(), aig.num_inputs());
+        assert_eq!(parsed.num_outputs(), aig.num_outputs());
+        assert_eq!(
+            check_equivalence(&aig, &parsed, 4, 3),
+            EquivalenceResult::Equivalent
+        );
+        assert_eq!(parsed.name(), "sample");
+    }
+
+    #[test]
+    fn parses_minimal_and_gate() {
+        let text = "aag 3 2 0 1 1\n2\n4\n6\n6 4 2\n";
+        let aig = from_ascii(text).expect("parse");
+        assert_eq!(aig.num_inputs(), 2);
+        assert_eq!(aig.num_ands(), 1);
+        assert_eq!(aig.evaluate(&[true, true]), vec![true]);
+        assert_eq!(aig.evaluate(&[true, false]), vec![false]);
+    }
+
+    #[test]
+    fn parses_constant_outputs() {
+        let text = "aag 1 1 0 2 0\n2\n0\n1\n";
+        let aig = from_ascii(text).expect("parse");
+        assert_eq!(aig.evaluate(&[false]), vec![false, true]);
+    }
+
+    #[test]
+    fn rejects_latches() {
+        let text = "aag 3 1 1 1 0\n2\n4 2\n4\n";
+        let err = from_ascii(text).unwrap_err();
+        assert!(err.to_string().contains("latches"));
+    }
+
+    #[test]
+    fn rejects_malformed_header() {
+        assert!(from_ascii("aig 1 1 0 1 0\n").is_err());
+        assert!(from_ascii("").is_err());
+        assert!(from_ascii("aag 0 0 0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_use_before_definition() {
+        // AND node references variable 3 which is never defined.
+        let text = "aag 3 1 0 1 1\n2\n4\n4 6 2\n";
+        assert!(from_ascii(text).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let aig = sample_aig();
+        let dir = std::env::temp_dir().join("elf_aig_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.aag");
+        write_ascii_file(&aig, &path).unwrap();
+        let parsed = read_ascii_file(&path).unwrap();
+        assert_eq!(
+            check_equivalence(&aig, &parsed, 4, 3),
+            EquivalenceResult::Equivalent
+        );
+    }
+}

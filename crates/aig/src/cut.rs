@@ -1,0 +1,436 @@
+//! Reconvergence-driven cuts and the structural cut features used by ELF.
+//!
+//! The refactor operator forms one large cut per node using the
+//! reconvergence-driven expansion of Mishchenko et al. (mirroring ABC's
+//! `abcReconv.c`): starting from the fanins of the root, the leaf whose
+//! expansion adds the fewest new leaves is repeatedly replaced by its fanins,
+//! preferring expansions that close reconvergent paths.
+//!
+//! ELF represents every cut with six lightweight structural features (paper
+//! Section III-C, Figure 2): root fanout, root level, total cut fanout, cut
+//! size, number of reconvergent nodes and number of leaves.
+
+use crate::aig::{Aig, Fanout};
+use crate::lit::NodeId;
+
+/// A reconvergence-driven cut rooted at a single AND node.
+///
+/// `leaves` are the boundary nodes (inputs of the cut), `cone` contains the
+/// internal nodes including the root (fanout-ordered from root downwards is
+/// not guaranteed; use [`Cut::cone_topological`] for evaluation order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cut {
+    /// The root node of the cut.
+    pub root: NodeId,
+    /// The cut boundary: every path from a primary input to the root passes
+    /// through exactly one leaf.
+    pub leaves: Vec<NodeId>,
+    /// The internal nodes of the cut, including the root, excluding leaves.
+    pub cone: Vec<NodeId>,
+}
+
+impl Cut {
+    /// Number of leaves of the cut.
+    pub fn num_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Number of nodes spanned by the cut (internal nodes plus leaves).
+    pub fn size(&self) -> usize {
+        self.cone.len() + self.leaves.len()
+    }
+
+    /// Returns the internal cone nodes in topological (fanin-before-fanout)
+    /// order, ending with the root.
+    pub fn cone_topological(&self, aig: &Aig) -> Vec<NodeId> {
+        let in_cone = |id: NodeId| self.cone.contains(&id);
+        let mut order = Vec::with_capacity(self.cone.len());
+        let mut visited: Vec<NodeId> = Vec::with_capacity(self.cone.len());
+        let mut stack = vec![(self.root, false)];
+        while let Some((id, expanded)) = stack.pop() {
+            if expanded {
+                order.push(id);
+                continue;
+            }
+            if visited.contains(&id) || !in_cone(id) {
+                continue;
+            }
+            visited.push(id);
+            stack.push((id, true));
+            let (f0, f1) = aig.fanins(id);
+            stack.push((f0.node(), false));
+            stack.push((f1.node(), false));
+        }
+        order
+    }
+}
+
+/// Parameters of reconvergence-driven cut computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CutParams {
+    /// Maximum number of leaves (ABC's `nNodeSizeMax`, default 10 for refactor).
+    pub max_leaves: usize,
+    /// Maximum fanin cost of a leaf that may still be expanded.
+    pub max_expansion_cost: usize,
+}
+
+impl Default for CutParams {
+    fn default() -> Self {
+        CutParams {
+            max_leaves: 10,
+            max_expansion_cost: 2,
+        }
+    }
+}
+
+impl CutParams {
+    /// Creates parameters with the given leaf bound.
+    pub fn with_max_leaves(max_leaves: usize) -> Self {
+        CutParams {
+            max_leaves,
+            ..Self::default()
+        }
+    }
+}
+
+/// The six structural cut features used by the ELF classifier (paper Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CutFeatures {
+    /// Fanout count of the root node.
+    pub root_fanout: f32,
+    /// Logic level of the root node.
+    pub root_level: f32,
+    /// Total number of edges leaving the cut's internal nodes (root included).
+    pub cut_fanout: f32,
+    /// Number of nodes spanned by the cut (internal nodes plus leaves).
+    pub cut_size: f32,
+    /// Number of internal nodes with two or more fanouts inside the cut,
+    /// i.e. sources of locally reconvergent paths.
+    pub reconvergent: f32,
+    /// Number of leaves.
+    pub leaves: f32,
+}
+
+/// Number of features in [`CutFeatures`].
+pub const NUM_FEATURES: usize = 6;
+
+/// Human-readable names of the six features, in the order produced by
+/// [`CutFeatures::to_array`].
+pub const FEATURE_NAMES: [&str; NUM_FEATURES] = [
+    "root_fanout",
+    "root_level",
+    "cut_fanout",
+    "cut_size",
+    "reconvergent_nodes",
+    "leaves",
+];
+
+impl CutFeatures {
+    /// Returns the features as a fixed-size array, in [`FEATURE_NAMES`] order.
+    pub fn to_array(&self) -> [f32; NUM_FEATURES] {
+        [
+            self.root_fanout,
+            self.root_level,
+            self.cut_fanout,
+            self.cut_size,
+            self.reconvergent,
+            self.leaves,
+        ]
+    }
+
+    /// Builds features from an array in [`FEATURE_NAMES`] order.
+    pub fn from_array(values: [f32; NUM_FEATURES]) -> Self {
+        CutFeatures {
+            root_fanout: values[0],
+            root_level: values[1],
+            cut_fanout: values[2],
+            cut_size: values[3],
+            reconvergent: values[4],
+            leaves: values[5],
+        }
+    }
+}
+
+impl Aig {
+    /// Computes a reconvergence-driven cut rooted at `root`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is not a live AND node or if `params.max_leaves < 2`.
+    pub fn reconvergence_cut(&mut self, root: NodeId, params: &CutParams) -> Cut {
+        assert!(self.is_and(root), "cut root must be a live AND node");
+        assert!(params.max_leaves >= 2, "a cut needs at least two leaves");
+        self.new_traversal();
+        self.mark_visited(root);
+        let (f0, f1) = self.fanins(root);
+        let mut leaves: Vec<NodeId> = Vec::with_capacity(params.max_leaves);
+        for fanin in [f0.node(), f1.node()] {
+            if !self.is_visited(fanin) {
+                self.mark_visited(fanin);
+                leaves.push(fanin);
+            }
+        }
+        loop {
+            let mut best: Option<(usize, usize)> = None; // (cost, index into leaves)
+            for (index, &leaf) in leaves.iter().enumerate() {
+                let cost = self.leaf_expansion_cost(leaf);
+                let Some(cost) = cost else { continue };
+                if cost > params.max_expansion_cost {
+                    continue;
+                }
+                // Expanding replaces one leaf by `cost` new leaves.
+                if leaves.len() - 1 + cost > params.max_leaves {
+                    continue;
+                }
+                match best {
+                    Some((best_cost, _)) if best_cost <= cost => {}
+                    _ => best = Some((cost, index)),
+                }
+                if cost == 0 {
+                    break;
+                }
+            }
+            let Some((_, index)) = best else { break };
+            let leaf = leaves.swap_remove(index);
+            let (f0, f1) = self.fanins(leaf);
+            for fanin in [f0.node(), f1.node()] {
+                if !self.is_visited(fanin) {
+                    self.mark_visited(fanin);
+                    leaves.push(fanin);
+                }
+            }
+        }
+        let cone = self.collect_cone(root, &leaves);
+        Cut { root, leaves, cone }
+    }
+
+    /// Cost of expanding `leaf`: the number of its fanins that are not yet in
+    /// the cut.  Returns `None` for leaves that cannot be expanded (inputs and
+    /// the constant node).
+    fn leaf_expansion_cost(&self, leaf: NodeId) -> Option<usize> {
+        if !self.node(leaf).is_and() {
+            return None;
+        }
+        let (f0, f1) = self.fanins(leaf);
+        let mut cost = 0;
+        if !self.is_visited(f0.node()) {
+            cost += 1;
+        }
+        if !self.is_visited(f1.node()) && f0.node() != f1.node() {
+            cost += 1;
+        }
+        Some(cost)
+    }
+
+    /// Collects the internal nodes (root included) of the cone rooted at
+    /// `root` bounded by `leaves`.
+    fn collect_cone(&mut self, root: NodeId, leaves: &[NodeId]) -> Vec<NodeId> {
+        self.new_traversal();
+        for &leaf in leaves {
+            self.mark_visited(leaf);
+        }
+        let mut cone = Vec::new();
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if self.is_visited(id) {
+                continue;
+            }
+            self.mark_visited(id);
+            cone.push(id);
+            let (f0, f1) = self.fanins(id);
+            for fanin in [f0.node(), f1.node()] {
+                if !self.is_visited(fanin) {
+                    stack.push(fanin);
+                }
+            }
+        }
+        cone
+    }
+
+    /// Computes the six ELF cut features for an already-computed cut.
+    ///
+    /// Features are cheap accumulations over the cut's nodes, mirroring the
+    /// paper's claim that they can be gathered during cut construction at
+    /// negligible cost.
+    pub fn cut_features(&self, cut: &Cut) -> CutFeatures {
+        let root_fanout = self.refs(cut.root) as f32;
+        let root_level = self.level(cut.root) as f32;
+        let leaves = cut.num_leaves() as f32;
+        let cut_size = cut.size() as f32;
+
+        // Edges leaving the internal cone: for every internal node (root
+        // included), count fanout edges whose consumer is outside the
+        // internal cone (primary outputs always count).
+        let in_cone = |id: NodeId| cut.cone.contains(&id);
+        let mut cut_fanout = 0usize;
+        let mut reconvergent = 0usize;
+        for &node in &cut.cone {
+            let mut internal_consumers = 0usize;
+            for fanout in self.fanouts(node) {
+                match *fanout {
+                    Fanout::Output(_) => cut_fanout += 1,
+                    Fanout::Node(consumer) => {
+                        if in_cone(consumer) {
+                            internal_consumers += 1;
+                        } else {
+                            cut_fanout += 1;
+                        }
+                    }
+                }
+            }
+            if node != cut.root && internal_consumers >= 2 {
+                reconvergent += 1;
+            }
+        }
+        // Leaves that feed two or more internal nodes also start reconvergent
+        // paths that merge before the root.
+        for &leaf in &cut.leaves {
+            let internal_consumers = self
+                .fanouts(leaf)
+                .iter()
+                .filter(|f| matches!(f, Fanout::Node(c) if in_cone(*c)))
+                .count();
+            if internal_consumers >= 2 {
+                reconvergent += 1;
+            }
+        }
+
+        CutFeatures {
+            root_fanout,
+            root_level,
+            cut_fanout: cut_fanout as f32,
+            cut_size,
+            reconvergent: reconvergent as f32,
+            leaves,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Lit;
+
+    /// Builds a small AIG with known reconvergence: f = (a & b) | (a & c).
+    fn reconvergent_aig() -> (Aig, Lit) {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let t0 = aig.and(a, b);
+        let t1 = aig.and(a, c);
+        let f = aig.or(t0, t1);
+        aig.add_output(f);
+        (aig, f)
+    }
+
+    #[test]
+    fn cut_covers_whole_cone_of_small_circuit() {
+        let (mut aig, f) = reconvergent_aig();
+        let cut = aig.reconvergence_cut(f.node(), &CutParams::default());
+        assert_eq!(cut.root, f.node());
+        // The cut should expand down to the primary inputs.
+        assert_eq!(cut.num_leaves(), 3);
+        assert_eq!(cut.cone.len(), 3);
+        assert_eq!(cut.size(), 6);
+        for &leaf in &cut.leaves {
+            assert!(aig.is_input(leaf));
+        }
+    }
+
+    #[test]
+    fn cut_respects_leaf_limit() {
+        let mut aig = Aig::new();
+        let inputs = aig.add_inputs(16);
+        let f = aig.and_many(&inputs);
+        aig.add_output(f);
+        let params = CutParams::with_max_leaves(6);
+        let cut = aig.reconvergence_cut(f.node(), &params);
+        assert!(cut.num_leaves() <= 6);
+        assert!(cut.cone.contains(&f.node()));
+    }
+
+    #[test]
+    fn cone_topological_ends_with_root() {
+        let (mut aig, f) = reconvergent_aig();
+        let cut = aig.reconvergence_cut(f.node(), &CutParams::default());
+        let order = cut.cone_topological(&aig);
+        assert_eq!(order.len(), cut.cone.len());
+        assert_eq!(*order.last().unwrap(), f.node());
+        // Fanins must appear before fanouts.
+        for (i, &id) in order.iter().enumerate() {
+            let (f0, f1) = aig.fanins(id);
+            for fanin in [f0.node(), f1.node()] {
+                if let Some(pos) = order.iter().position(|&x| x == fanin) {
+                    assert!(pos < i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn features_reflect_reconvergence_and_sharing() {
+        let (mut aig, f) = reconvergent_aig();
+        let cut = aig.reconvergence_cut(f.node(), &CutParams::default());
+        let features = aig.cut_features(&cut);
+        assert_eq!(features.leaves, 3.0);
+        assert_eq!(features.cut_size, 6.0);
+        assert_eq!(features.root_fanout, 1.0);
+        assert_eq!(features.root_level as u32, aig.level(f.node()));
+        // Input `a` feeds both internal AND nodes: one reconvergent source.
+        assert_eq!(features.reconvergent, 1.0);
+        // Only the root leaves the cone (it drives the single output).
+        assert_eq!(features.cut_fanout, 1.0);
+    }
+
+    /// The worked example from Figure 2 of the paper: a cut with 4 leaves,
+    /// 9 nodes, root fanout 3, cut fanout 10 and 2 reconvergent nodes.  We
+    /// build an analogous structure and check the feature extraction counts
+    /// the same way.
+    #[test]
+    fn cut_features_figure2_analogue() {
+        let mut aig = Aig::new();
+        let l: Vec<Lit> = aig.add_inputs(4);
+        // Internal structure with sharing between two sub-branches.
+        let m0 = aig.and(l[0], l[1]);
+        let m1 = aig.and(l[1], l[2]);
+        let m2 = aig.and(l[2], l[3]);
+        let n0 = aig.and(m0, m1);
+        let n1 = aig.and(m1, m2);
+        let root = aig.and(n0, n1);
+        // External consumers create root fanout 3 and extra outward edges.
+        let e0 = aig.and(root, l[0]);
+        let e1 = aig.and(root, l[3]);
+        aig.add_output(root);
+        aig.add_output(e0);
+        aig.add_output(e1);
+        let e2 = aig.and(m0, l[3]);
+        aig.add_output(e2);
+
+        let params = CutParams::with_max_leaves(4);
+        let mut aig = aig;
+        let cut = aig.reconvergence_cut(root.node(), &params);
+        let features = aig.cut_features(&cut);
+        assert_eq!(features.leaves, 4.0);
+        assert_eq!(features.root_fanout, 3.0);
+        // m1 feeds both n0 and n1; l[1] and l[2] also feed two internal nodes
+        // each, so at least two reconvergent sources exist.
+        assert!(features.reconvergent >= 2.0);
+        assert!(features.cut_fanout >= features.root_fanout);
+        assert_eq!(features.cut_size, (cut.cone.len() + 4) as f32);
+    }
+
+    #[test]
+    fn feature_array_round_trip() {
+        let features = CutFeatures {
+            root_fanout: 3.0,
+            root_level: 9.0,
+            cut_fanout: 10.0,
+            cut_size: 9.0,
+            reconvergent: 2.0,
+            leaves: 4.0,
+        };
+        assert_eq!(CutFeatures::from_array(features.to_array()), features);
+        assert_eq!(FEATURE_NAMES.len(), NUM_FEATURES);
+    }
+}

@@ -1,0 +1,221 @@
+//! Literals and node identifiers.
+//!
+//! An AIG literal encodes a node id together with a complement flag in a
+//! single `u32`, following the AIGER convention: `lit = 2 * id + complement`.
+//! Literal `0` is constant false and literal `1` is constant true.
+
+use std::fmt;
+
+/// Identifier of a node inside an [`Aig`](crate::Aig).
+///
+/// Node `0` is always the constant-false node.
+///
+/// # Examples
+///
+/// ```
+/// use elf_aig::NodeId;
+/// let n = NodeId::new(3);
+/// assert_eq!(n.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The constant-false node, present in every AIG.
+    pub const CONST0: NodeId = NodeId(0);
+
+    /// Creates a node id from a raw index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the raw index of this node.
+    #[inline]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the raw index as a `usize`, convenient for slice indexing.
+    #[inline]
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the positive (non-complemented) literal of this node.
+    #[inline]
+    pub const fn lit(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// Returns `true` if this is the constant-false node.
+    #[inline]
+    pub const fn is_const0(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A possibly-complemented reference to an AIG node.
+///
+/// Literals follow the AIGER encoding `2 * id + complement`.  The two
+/// constant literals are [`Lit::FALSE`] (`0`) and [`Lit::TRUE`] (`1`).
+///
+/// # Examples
+///
+/// ```
+/// use elf_aig::{Lit, NodeId};
+/// let a = NodeId::new(5).lit();
+/// assert_eq!(a.node(), NodeId::new(5));
+/// assert!(!a.is_complemented());
+/// assert!((!a).is_complemented());
+/// assert_eq!(!!a, a);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The constant-false literal.
+    pub const FALSE: Lit = Lit(0);
+    /// The constant-true literal.
+    pub const TRUE: Lit = Lit(1);
+
+    /// Creates a literal from its raw AIGER encoding (`2 * id + complement`).
+    #[inline]
+    pub const fn from_raw(raw: u32) -> Self {
+        Lit(raw)
+    }
+
+    /// Creates a literal from a node id and a complement flag.
+    #[inline]
+    pub const fn new(node: NodeId, complement: bool) -> Self {
+        Lit((node.index() << 1) | complement as u32)
+    }
+
+    /// Returns the raw AIGER encoding of this literal.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the node this literal refers to.
+    #[inline]
+    pub const fn node(self) -> NodeId {
+        NodeId(self.0 >> 1)
+    }
+
+    /// Returns `true` if the literal is complemented.
+    #[inline]
+    pub const fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Returns this literal with the complement flag set to `complement`.
+    #[inline]
+    pub const fn with_complement(self, complement: bool) -> Self {
+        Lit((self.0 & !1) | complement as u32)
+    }
+
+    /// Complements this literal if `condition` is true.
+    #[inline]
+    pub const fn complement_if(self, condition: bool) -> Self {
+        Lit(self.0 ^ condition as u32)
+    }
+
+    /// Returns `true` if this literal is one of the two constants.
+    #[inline]
+    pub const fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// Returns `true` if this literal is constant false.
+    #[inline]
+    pub const fn is_false(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `true` if this literal is constant true.
+    #[inline]
+    pub const fn is_true(self) -> bool {
+        self.0 == 1
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_complemented() {
+            write!(f, "!n{}", self.node().index())
+        } else {
+            write!(f, "n{}", self.node().index())
+        }
+    }
+}
+
+impl From<NodeId> for Lit {
+    fn from(node: NodeId) -> Lit {
+        node.lit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_node_zero() {
+        assert_eq!(Lit::FALSE.node(), NodeId::CONST0);
+        assert_eq!(Lit::TRUE.node(), NodeId::CONST0);
+        assert!(Lit::FALSE.is_false());
+        assert!(Lit::TRUE.is_true());
+        assert!(Lit::FALSE.is_const());
+        assert!(Lit::TRUE.is_const());
+        assert_eq!(!Lit::FALSE, Lit::TRUE);
+    }
+
+    #[test]
+    fn literal_round_trip() {
+        let node = NodeId::new(42);
+        let lit = Lit::new(node, true);
+        assert_eq!(lit.node(), node);
+        assert!(lit.is_complemented());
+        assert_eq!(lit.raw(), 85);
+        assert_eq!(Lit::from_raw(85), lit);
+        assert_eq!(lit.with_complement(false), node.lit());
+    }
+
+    #[test]
+    fn complement_involution() {
+        let lit = Lit::new(NodeId::new(7), false);
+        assert_eq!(!!lit, lit);
+        assert_ne!(!lit, lit);
+        assert_eq!((!lit).node(), lit.node());
+    }
+
+    #[test]
+    fn complement_if_behaviour() {
+        let lit = NodeId::new(3).lit();
+        assert_eq!(lit.complement_if(false), lit);
+        assert_eq!(lit.complement_if(true), !lit);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(NodeId::new(4).to_string(), "n4");
+        assert_eq!(NodeId::new(4).lit().to_string(), "n4");
+        assert_eq!((!NodeId::new(4).lit()).to_string(), "!n4");
+    }
+}

@@ -1,0 +1,149 @@
+//! Node storage for the AIG.
+
+use crate::lit::Lit;
+
+/// The kind of an AIG node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// The constant-false node (node id 0).
+    Const0,
+    /// A primary input; the payload is the input index.
+    Input(u32),
+    /// A two-input AND gate.
+    And,
+}
+
+/// A single node of an [`Aig`](crate::Aig).
+///
+/// Nodes are stored in a flat arena indexed by [`NodeId`](crate::NodeId).
+/// Only AND nodes have meaningful fanins; inputs and the constant use
+/// [`Lit::FALSE`] as a placeholder.
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub(crate) kind: NodeKind,
+    pub(crate) fanin0: Lit,
+    pub(crate) fanin1: Lit,
+    /// Structural reference count: number of AND fanins plus primary outputs
+    /// that point at this node.  Temporarily manipulated during MFFC
+    /// evaluation.
+    pub(crate) refs: u32,
+    /// Logic level: 0 for inputs/constant, `1 + max(level(fanins))` for ANDs.
+    pub(crate) level: u32,
+    /// Whether the node has been deleted (dangling arena slot).
+    pub(crate) dead: bool,
+    /// Traversal id used by graph walks to mark visited nodes.
+    pub(crate) travid: u32,
+}
+
+impl Node {
+    pub(crate) fn constant() -> Self {
+        Node {
+            kind: NodeKind::Const0,
+            fanin0: Lit::FALSE,
+            fanin1: Lit::FALSE,
+            refs: 0,
+            level: 0,
+            dead: false,
+            travid: 0,
+        }
+    }
+
+    pub(crate) fn input(index: u32) -> Self {
+        Node {
+            kind: NodeKind::Input(index),
+            fanin0: Lit::FALSE,
+            fanin1: Lit::FALSE,
+            refs: 0,
+            level: 0,
+            dead: false,
+            travid: 0,
+        }
+    }
+
+    pub(crate) fn and(fanin0: Lit, fanin1: Lit, level: u32) -> Self {
+        Node {
+            kind: NodeKind::And,
+            fanin0,
+            fanin1,
+            refs: 0,
+            level,
+            dead: false,
+            travid: 0,
+        }
+    }
+
+    /// Returns the kind of the node.
+    #[inline]
+    pub fn kind(&self) -> NodeKind {
+        self.kind
+    }
+
+    /// Returns `true` if this node is a two-input AND gate.
+    #[inline]
+    pub fn is_and(&self) -> bool {
+        matches!(self.kind, NodeKind::And)
+    }
+
+    /// Returns `true` if this node is a primary input.
+    #[inline]
+    pub fn is_input(&self) -> bool {
+        matches!(self.kind, NodeKind::Input(_))
+    }
+
+    /// Returns `true` if this node is the constant-false node.
+    #[inline]
+    pub fn is_const0(&self) -> bool {
+        matches!(self.kind, NodeKind::Const0)
+    }
+
+    /// Returns the first fanin literal (meaningful only for AND nodes).
+    #[inline]
+    pub fn fanin0(&self) -> Lit {
+        self.fanin0
+    }
+
+    /// Returns the second fanin literal (meaningful only for AND nodes).
+    #[inline]
+    pub fn fanin1(&self) -> Lit {
+        self.fanin1
+    }
+
+    /// Returns the structural reference count (number of fanouts).
+    #[inline]
+    pub fn refs(&self) -> u32 {
+        self.refs
+    }
+
+    /// Returns the logic level of this node.
+    #[inline]
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Returns `true` if the node has been removed from the graph.
+    #[inline]
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::NodeId;
+
+    #[test]
+    fn constructors_set_kind() {
+        assert!(Node::constant().is_const0());
+        assert!(Node::input(3).is_input());
+        let a = NodeId::new(1).lit();
+        let b = NodeId::new(2).lit();
+        let n = Node::and(a, b, 1);
+        assert!(n.is_and());
+        assert_eq!(n.fanin0(), a);
+        assert_eq!(n.fanin1(), b);
+        assert_eq!(n.level(), 1);
+        assert!(!n.is_dead());
+        assert_eq!(n.refs(), 0);
+    }
+}

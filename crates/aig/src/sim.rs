@@ -1,0 +1,281 @@
+//! Bit-parallel simulation and functional equivalence checking.
+//!
+//! Simulation assigns a 64-bit pattern word to every primary input and
+//! evaluates all AND nodes in topological order, 64 input vectors at a time.
+//! For circuits with at most [`MAX_EXHAUSTIVE_INPUTS`] inputs the full truth
+//! table of every output can be computed, which yields an exact equivalence
+//! check; larger circuits are compared with random simulation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::aig::Aig;
+use crate::lit::Lit;
+
+/// Maximum number of primary inputs for which exhaustive simulation is used.
+pub const MAX_EXHAUSTIVE_INPUTS: usize = 16;
+
+impl Aig {
+    /// Simulates the AIG for one 64-pattern word per input.
+    ///
+    /// `input_words[i]` supplies 64 input vectors for the `i`-th primary
+    /// input (bit `k` of every word forms the `k`-th input vector).  The
+    /// returned vector contains one word per primary output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words.len()` differs from the number of inputs.
+    pub fn simulate_word(&self, input_words: &[u64]) -> Vec<u64> {
+        assert_eq!(
+            input_words.len(),
+            self.num_inputs(),
+            "one simulation word per primary input is required"
+        );
+        let mut values = vec![0u64; self.num_slots()];
+        for (input, &word) in self.inputs().iter().zip(input_words) {
+            values[input.as_usize()] = word;
+        }
+        for id in self.topological_order() {
+            let (f0, f1) = self.fanins(id);
+            let v0 = eval_lit(&values, f0);
+            let v1 = eval_lit(&values, f1);
+            values[id.as_usize()] = v0 & v1;
+        }
+        self.outputs()
+            .iter()
+            .map(|out| eval_lit(&values, *out))
+            .collect()
+    }
+
+    /// Simulates the AIG on explicit boolean input vectors.
+    ///
+    /// Convenience wrapper around [`Aig::simulate_word`] for tests and small
+    /// examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of primary inputs.
+    pub fn evaluate(&self, inputs: &[bool]) -> Vec<bool> {
+        let words: Vec<u64> = inputs.iter().map(|&b| if b { !0u64 } else { 0u64 }).collect();
+        self.simulate_word(&words)
+            .into_iter()
+            .map(|w| w & 1 == 1)
+            .collect()
+    }
+
+    /// Computes the complete truth table of every primary output.
+    ///
+    /// The table of output `o` is returned as `2^n / 64` words (at least one),
+    /// where `n` is the number of primary inputs; bit `k` of the table is the
+    /// output value under the input assignment encoded by `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the AIG has more than [`MAX_EXHAUSTIVE_INPUTS`] inputs.
+    pub fn output_truth_tables(&self) -> Vec<Vec<u64>> {
+        let n = self.num_inputs();
+        assert!(
+            n <= MAX_EXHAUSTIVE_INPUTS,
+            "exhaustive simulation supports at most {MAX_EXHAUSTIVE_INPUTS} inputs"
+        );
+        let num_words = if n <= 6 { 1 } else { 1 << (n - 6) };
+        let mut tables = vec![Vec::with_capacity(num_words); self.num_outputs()];
+        let mut input_words = vec![0u64; n];
+        for word_index in 0..num_words {
+            for (i, word) in input_words.iter_mut().enumerate() {
+                *word = elementary_word(i, word_index);
+            }
+            let outs = self.simulate_word(&input_words);
+            for (table, word) in tables.iter_mut().zip(outs) {
+                table.push(word);
+            }
+        }
+        if n < 6 {
+            let mask = (1u64 << (1 << n)) - 1;
+            for table in &mut tables {
+                table[0] &= mask;
+            }
+        }
+        tables
+    }
+}
+
+/// Returns the `word_index`-th 64-bit word of the elementary truth table of
+/// variable `var` (the function that equals input bit `var`).
+pub fn elementary_word(var: usize, word_index: usize) -> u64 {
+    if var < 6 {
+        const PATTERNS: [u64; 6] = [
+            0xAAAA_AAAA_AAAA_AAAA,
+            0xCCCC_CCCC_CCCC_CCCC,
+            0xF0F0_F0F0_F0F0_F0F0,
+            0xFF00_FF00_FF00_FF00,
+            0xFFFF_0000_FFFF_0000,
+            0xFFFF_FFFF_0000_0000,
+        ];
+        PATTERNS[var]
+    } else if word_index >> (var - 6) & 1 == 1 {
+        !0u64
+    } else {
+        0u64
+    }
+}
+
+#[inline]
+fn eval_lit(values: &[u64], lit: Lit) -> u64 {
+    let v = if lit.node().is_const0() {
+        0
+    } else {
+        values[lit.node().as_usize()]
+    };
+    if lit.is_complemented() {
+        !v
+    } else {
+        v
+    }
+}
+
+/// Result of a functional comparison between two AIGs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EquivalenceResult {
+    /// The circuits were proven equivalent by exhaustive simulation.
+    Equivalent,
+    /// No difference was found by random simulation (not a proof).
+    ProbablyEquivalent,
+    /// A distinguishing input pattern exists.
+    NotEquivalent,
+}
+
+impl EquivalenceResult {
+    /// Returns `true` unless a counterexample was found.
+    pub fn holds(self) -> bool {
+        self != EquivalenceResult::NotEquivalent
+    }
+}
+
+/// Checks whether two AIGs with identical interfaces compute the same
+/// functions.
+///
+/// Circuits with at most [`MAX_EXHAUSTIVE_INPUTS`] inputs are compared
+/// exhaustively; larger circuits are compared with `rounds` words of random
+/// patterns (a probabilistic check).
+///
+/// # Panics
+///
+/// Panics if the two AIGs differ in input or output count.
+pub fn check_equivalence(a: &Aig, b: &Aig, rounds: usize, seed: u64) -> EquivalenceResult {
+    assert_eq!(a.num_inputs(), b.num_inputs(), "input counts differ");
+    assert_eq!(a.num_outputs(), b.num_outputs(), "output counts differ");
+    if a.num_inputs() <= MAX_EXHAUSTIVE_INPUTS {
+        let ta = a.output_truth_tables();
+        let tb = b.output_truth_tables();
+        if ta == tb {
+            EquivalenceResult::Equivalent
+        } else {
+            EquivalenceResult::NotEquivalent
+        }
+    } else {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..rounds {
+            let words: Vec<u64> = (0..a.num_inputs()).map(|_| rng.gen()).collect();
+            if a.simulate_word(&words) != b.simulate_word(&words) {
+                return EquivalenceResult::NotEquivalent;
+            }
+        }
+        EquivalenceResult::ProbablyEquivalent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluate_simple_gates() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let and = aig.and(a, b);
+        let or = aig.or(a, b);
+        let xor = aig.xor(a, b);
+        aig.add_output(and);
+        aig.add_output(or);
+        aig.add_output(xor);
+        assert_eq!(aig.evaluate(&[false, false]), vec![false, false, false]);
+        assert_eq!(aig.evaluate(&[true, false]), vec![false, true, true]);
+        assert_eq!(aig.evaluate(&[false, true]), vec![false, true, true]);
+        assert_eq!(aig.evaluate(&[true, true]), vec![true, true, false]);
+    }
+
+    #[test]
+    fn truth_tables_of_basic_functions() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let and = aig.and(a, b);
+        aig.add_output(and);
+        aig.add_output(!and);
+        let tables = aig.output_truth_tables();
+        assert_eq!(tables[0][0], 0b1000);
+        assert_eq!(tables[1][0], 0b0111);
+    }
+
+    #[test]
+    fn elementary_words_match_definition() {
+        // Variable 0 toggles every bit, variable 6 toggles every other word.
+        assert_eq!(elementary_word(0, 0) & 0b11, 0b10);
+        assert_eq!(elementary_word(6, 0), 0);
+        assert_eq!(elementary_word(6, 1), !0);
+        assert_eq!(elementary_word(7, 1), 0);
+        assert_eq!(elementary_word(7, 2), !0);
+    }
+
+    #[test]
+    fn equivalence_check_detects_difference() {
+        let mut a = Aig::new();
+        let x = a.add_input();
+        let y = a.add_input();
+        let f = a.and(x, y);
+        a.add_output(f);
+
+        let mut b = Aig::new();
+        let x = b.add_input();
+        let y = b.add_input();
+        let f = b.or(x, y);
+        b.add_output(f);
+
+        assert_eq!(
+            check_equivalence(&a, &a.clone(), 4, 1),
+            EquivalenceResult::Equivalent
+        );
+        assert_eq!(
+            check_equivalence(&a, &b, 4, 1),
+            EquivalenceResult::NotEquivalent
+        );
+    }
+
+    #[test]
+    fn seven_input_truth_tables_have_two_words() {
+        let mut aig = Aig::new();
+        let inputs = aig.add_inputs(7);
+        let conj = aig.and_many(&inputs);
+        aig.add_output(conj);
+        let tables = aig.output_truth_tables();
+        assert_eq!(tables[0].len(), 2);
+        // Only the topmost bit of the 128-bit table is set.
+        assert_eq!(tables[0][0], 0);
+        assert_eq!(tables[0][1], 1u64 << 63);
+    }
+
+    #[test]
+    fn random_equivalence_on_wide_circuit() {
+        let mut aig = Aig::new();
+        let inputs = aig.add_inputs(20);
+        let f = aig.or_many(&inputs);
+        aig.add_output(f);
+        let copy = aig.clone();
+        assert_eq!(
+            check_equivalence(&aig, &copy, 8, 7),
+            EquivalenceResult::ProbablyEquivalent
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! # elf-analysis
+//!
+//! Explainability and analysis utilities used by the paper's feature study
+//! (Section IV-D):
+//!
+//! * [`tsne`] — exact t-SNE for the Figure 3 visualization of the cut
+//!   feature space;
+//! * [`shapley_values`] / [`shap_summary`] — exact Shapley-value feature
+//!   attribution for the Figure 4 SHAP plot (the 6-feature classifier makes
+//!   exact enumeration over all 64 coalitions cheap);
+//! * [`Pca`] and [`standardize`] — linear projections and feature
+//!   standardization used by the ablation benches.
+//!
+//! # Examples
+//!
+//! ```
+//! use elf_analysis::{shapley_values, PredictFn};
+//!
+//! // Attribute a simple linear model: only the first feature matters.
+//! let model = |rows: &[Vec<f32>]| -> Vec<f32> { rows.iter().map(|r| 2.0 * r[0]).collect() };
+//! let background = vec![vec![0.0, 0.0]];
+//! let values = shapley_values(&model, &[1.5, 9.0], &background);
+//! assert!(values[0] > values[1]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod pca;
+mod shap;
+mod tsne;
+
+pub use pca::{standardize, Pca};
+pub use shap::{shap_summary, shapley_values, PredictFn, ShapSummary};
+pub use tsne::{tsne, TsneConfig};

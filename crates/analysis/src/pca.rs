@@ -1,0 +1,184 @@
+//! Principal component analysis and feature standardization helpers.
+//!
+//! PCA provides a cheap linear alternative to t-SNE for visualizing the cut
+//! feature space, and is used by the ablation benches to check how much of
+//! the feature variance the classifier actually needs.
+
+/// Standardizes columns to zero mean and unit variance, returning the
+/// transformed data together with the per-column means and deviations.
+pub fn standardize(points: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<f64>, Vec<f64>) {
+    if points.is_empty() {
+        return (Vec::new(), Vec::new(), Vec::new());
+    }
+    let dims = points[0].len();
+    let n = points.len() as f64;
+    let mut mean = vec![0.0; dims];
+    for row in points {
+        for (m, v) in mean.iter_mut().zip(row) {
+            *m += v;
+        }
+    }
+    for m in &mut mean {
+        *m /= n;
+    }
+    let mut std = vec![0.0; dims];
+    for row in points {
+        for ((s, v), m) in std.iter_mut().zip(row).zip(&mean) {
+            *s += (v - m) * (v - m);
+        }
+    }
+    for s in &mut std {
+        *s = (*s / n).sqrt().max(1e-12);
+    }
+    let transformed = points
+        .iter()
+        .map(|row| {
+            row.iter()
+                .zip(mean.iter().zip(&std))
+                .map(|(v, (m, s))| (v - m) / s)
+                .collect()
+        })
+        .collect();
+    (transformed, mean, std)
+}
+
+/// Result of a PCA projection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pca {
+    /// The principal directions (unit vectors), most significant first.
+    pub components: Vec<Vec<f64>>,
+    /// The variance explained by each returned component.
+    pub explained_variance: Vec<f64>,
+    /// Column means subtracted before projection.
+    pub mean: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits the top `num_components` principal components with power
+    /// iteration and deflation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or rows have inconsistent dimensionality.
+    pub fn fit(points: &[Vec<f64>], num_components: usize) -> Self {
+        assert!(!points.is_empty(), "PCA needs at least one point");
+        let dims = points[0].len();
+        assert!(points.iter().all(|p| p.len() == dims));
+        let n = points.len() as f64;
+        let mut mean = vec![0.0; dims];
+        for row in points {
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        // Covariance matrix.
+        let mut covariance = vec![0.0; dims * dims];
+        for row in points {
+            let centred: Vec<f64> = row.iter().zip(&mean).map(|(v, m)| v - m).collect();
+            for i in 0..dims {
+                for j in 0..dims {
+                    covariance[i * dims + j] += centred[i] * centred[j] / n;
+                }
+            }
+        }
+        let mut components = Vec::new();
+        let mut explained = Vec::new();
+        let mut work = covariance.clone();
+        for component_index in 0..num_components.min(dims) {
+            // Power iteration on the deflated covariance.
+            let mut vector: Vec<f64> = (0..dims)
+                .map(|i| if i == component_index % dims { 1.0 } else { 0.1 })
+                .collect();
+            let mut eigenvalue = 0.0;
+            for _ in 0..200 {
+                let mut next = vec![0.0; dims];
+                for i in 0..dims {
+                    for j in 0..dims {
+                        next[i] += work[i * dims + j] * vector[j];
+                    }
+                }
+                let norm: f64 = next.iter().map(|v| v * v).sum::<f64>().sqrt();
+                if norm < 1e-12 {
+                    break;
+                }
+                for v in &mut next {
+                    *v /= norm;
+                }
+                eigenvalue = norm;
+                vector = next;
+            }
+            // Deflate.
+            for i in 0..dims {
+                for j in 0..dims {
+                    work[i * dims + j] -= eigenvalue * vector[i] * vector[j];
+                }
+            }
+            components.push(vector);
+            explained.push(eigenvalue);
+        }
+        Pca {
+            components,
+            explained_variance: explained,
+            mean,
+        }
+    }
+
+    /// Projects points onto the fitted components.
+    pub fn transform(&self, points: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        points
+            .iter()
+            .map(|row| {
+                let centred: Vec<f64> = row.iter().zip(&self.mean).map(|(v, m)| v - m).collect();
+                self.components
+                    .iter()
+                    .map(|c| c.iter().zip(&centred).map(|(a, b)| a * b).sum())
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardize_produces_zero_mean_unit_variance() {
+        let points: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, 3.0 * i as f64 + 1.0]).collect();
+        let (transformed, mean, std) = standardize(&points);
+        assert_eq!(mean.len(), 2);
+        assert!(std[1] > std[0]);
+        let col0: f64 = transformed.iter().map(|r| r[0]).sum::<f64>() / 50.0;
+        assert!(col0.abs() < 1e-9);
+        let var0: f64 = transformed.iter().map(|r| r[0] * r[0]).sum::<f64>() / 50.0;
+        assert!((var0 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn first_component_follows_dominant_direction() {
+        // Points along the direction (1, 2, 0) with small noise.
+        let points: Vec<Vec<f64>> = (0..100)
+            .map(|i| {
+                let t = i as f64 / 10.0;
+                vec![t, 2.0 * t, ((i % 3) as f64 - 1.0) * 0.01]
+            })
+            .collect();
+        let pca = Pca::fit(&points, 2);
+        let c0 = &pca.components[0];
+        let ratio = (c0[1] / c0[0]).abs();
+        assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+        assert!(pca.explained_variance[0] > pca.explained_variance[1]);
+        let projected = pca.transform(&points);
+        assert_eq!(projected.len(), 100);
+        assert_eq!(projected[0].len(), 2);
+    }
+
+    #[test]
+    fn empty_standardize_is_empty() {
+        let (t, m, s) = standardize(&[]);
+        assert!(t.is_empty() && m.is_empty() && s.is_empty());
+    }
+}

@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks for the logic-optimization operators: the cost
+//! of the per-cut pipeline stages and of whole baseline / ELF passes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use elf_circuits::epfl::{arithmetic_circuit, Scale};
+use elf_core::{circuit_dataset, ElfClassifier, ElfConfig, ElfRefactor};
+use elf_nn::TrainConfig;
+use elf_opt::{cut_truth_table, Refactor, RefactorParams, Resubstitution, Rewrite};
+use elf_sop::factor_truth_table;
+
+fn trained_classifier() -> ElfClassifier {
+    let circuit = arithmetic_circuit("square", Scale::Tiny);
+    let data = circuit_dataset(&circuit, &RefactorParams::default());
+    let (classifier, _) = ElfClassifier::fit(
+        &data,
+        &TrainConfig {
+            epochs: 5,
+            ..Default::default()
+        },
+        3,
+    );
+    classifier
+}
+
+/// Per-cut pipeline stages: cut computation, feature extraction, resynthesis.
+fn bench_cut_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cut_pipeline");
+    group.sample_size(30);
+    let mut aig = arithmetic_circuit("multiplier", Scale::Tiny);
+    let params = elf_aig::CutParams::default();
+    let roots: Vec<_> = aig.and_ids().collect();
+    let mid = roots[roots.len() / 2];
+
+    group.bench_function("reconvergence_cut", |b| {
+        b.iter(|| std::hint::black_box(aig.reconvergence_cut(mid, &params)))
+    });
+    let cut = aig.reconvergence_cut(mid, &params);
+    group.bench_function("cut_features", |b| {
+        b.iter(|| std::hint::black_box(aig.cut_features(&cut)))
+    });
+    group.bench_function("truth_table", |b| {
+        b.iter(|| std::hint::black_box(cut_truth_table(&aig, &cut)))
+    });
+    let truth = cut_truth_table(&aig, &cut);
+    group.bench_function("isop_and_factor", |b| {
+        b.iter(|| std::hint::black_box(factor_truth_table(&truth)))
+    });
+    group.finish();
+}
+
+/// Whole-pass comparison: baseline refactor vs ELF, plus the other operators.
+fn bench_operator_passes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("operator_passes");
+    group.sample_size(10);
+    let circuit = arithmetic_circuit("multiplier", Scale::Tiny);
+    let classifier = trained_classifier();
+
+    group.bench_function("refactor_baseline", |b| {
+        b.iter_batched(
+            || circuit.clone(),
+            |mut aig| std::hint::black_box(Refactor::new(RefactorParams::default()).run(&mut aig)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("elf_refactor", |b| {
+        let elf = ElfRefactor::new(classifier.clone(), ElfConfig::default());
+        b.iter_batched(
+            || circuit.clone(),
+            |mut aig| std::hint::black_box(elf.run(&mut aig)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("rewrite", |b| {
+        b.iter_batched(
+            || circuit.clone(),
+            |mut aig| std::hint::black_box(Rewrite::default().run(&mut aig)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("resubstitution", |b| {
+        b.iter_batched(
+            || circuit.clone(),
+            |mut aig| std::hint::black_box(Resubstitution::default().run(&mut aig)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cut_pipeline, bench_operator_passes);
+criterion_main!(benches);

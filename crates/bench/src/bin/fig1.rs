@@ -1,0 +1,73 @@
+//! Figure 1: the redundancy/pruning flow percentages.
+//!
+//! For every circuit of both suites this prints the fraction of cuts the
+//! baseline refactor commits ("originally committed", 0.05 %-10.8 % in the
+//! paper) and the fraction of cuts ELF prunes (69.4 %-95.1 % in the paper).
+
+use elf_bench::{paper, CachedSuite, HarnessOptions};
+use elf_core::experiment::compare_on_circuit;
+use elf_core::ComparisonRow;
+
+fn report(rows: &[(String, f64, f64)]) {
+    println!(
+        "{:<14} {:>22} {:>18}",
+        "Design", "originally committed", "pruned by ELF"
+    );
+    for (name, committed, pruned) in rows {
+        println!(
+            "{:<14} {:>20.2} % {:>16.1} %",
+            name,
+            committed * 100.0,
+            pruned * 100.0
+        );
+    }
+}
+
+fn flow_rows(suite: &CachedSuite) -> Vec<(String, f64, f64)> {
+    (0..suite.circuits().len())
+        .map(|held_out| {
+            let classifier = suite.train_excluding(held_out);
+            let row: ComparisonRow =
+                compare_on_circuit(&suite.circuits()[held_out], &classifier, suite.config());
+            (
+                row.name.clone(),
+                row.baseline_stats.commit_rate(),
+                row.prune_rate(),
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    println!("Figure 1: redundancy in refactoring and the effect of ELF pruning");
+    println!();
+
+    println!("Arithmetic circuits (scale {:?}):", options.scale);
+    let epfl = CachedSuite::new(options.epfl_circuits(), options.experiment_config(1));
+    let epfl_rows = flow_rows(&epfl);
+    report(&epfl_rows);
+    println!();
+
+    println!("Industrial circuits (size scale {}):", options.industrial_scale);
+    let industrial = CachedSuite::new(options.industrial_circuits(), options.experiment_config(1));
+    let industrial_rows = flow_rows(&industrial);
+    report(&industrial_rows);
+    println!();
+
+    let all: Vec<&(String, f64, f64)> = epfl_rows.iter().chain(&industrial_rows).collect();
+    let mean_failure =
+        1.0 - all.iter().map(|(_, c, _)| c).sum::<f64>() / all.len().max(1) as f64;
+    let mean_pruned = all.iter().map(|(_, _, p)| p).sum::<f64>() / all.len().max(1) as f64;
+    println!(
+        "Measured: {:.1} % of cuts fail to improve on average; ELF prunes {:.1} % of cuts.",
+        mean_failure * 100.0,
+        mean_pruned * 100.0
+    );
+    println!(
+        "Paper:    {:.0} % of cuts fail on average; ELF prunes {:.1} %-{:.1} % of cuts.",
+        paper::FAILURE_RATE * 100.0,
+        paper::PRUNED_RANGE.0 * 100.0,
+        paper::PRUNED_RANGE.1 * 100.0
+    );
+}

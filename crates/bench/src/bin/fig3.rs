@@ -1,0 +1,79 @@
+//! Figure 3: t-SNE visualization of the cut-feature space.
+//!
+//! Writes `fig3_tsne.csv` with one row per sampled cut: the two embedding
+//! coordinates and the refactored/not-refactored label (the colour in the
+//! paper's scatter plot), and prints a coarse ASCII preview.
+
+use std::fs;
+
+use elf_analysis::{tsne, TsneConfig};
+use elf_bench::HarnessOptions;
+use elf_core::collect_labeled_cuts;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let config = options.experiment_config(1);
+    let circuits = options.epfl_circuits();
+    // The paper plots the feature space of the evaluation circuits; sample a
+    // bounded number of cuts per circuit to keep exact t-SNE tractable.
+    let mut points = Vec::new();
+    let mut labels = Vec::new();
+    let per_circuit = 250usize;
+    for circuit in &circuits {
+        let cuts = collect_labeled_cuts(&circuit.aig, &config.elf.refactor);
+        // Keep all positives (they are rare) and a stride of negatives.
+        let positives = cuts.iter().filter(|c| c.committed);
+        let negatives = cuts.iter().filter(|c| !c.committed);
+        let stride = (cuts.len() / per_circuit).max(1);
+        for cut in positives.chain(negatives.step_by(stride)).take(per_circuit) {
+            points.push(cut.features.to_array().iter().map(|&v| v as f64).collect());
+            labels.push(cut.committed);
+        }
+    }
+    println!(
+        "Figure 3: embedding {} cuts ({} refactored) with exact t-SNE...",
+        points.len(),
+        labels.iter().filter(|&&l| l).count()
+    );
+    let embedding = tsne(
+        &points,
+        &TsneConfig {
+            iterations: 250,
+            perplexity: 30.0,
+            ..Default::default()
+        },
+    );
+
+    let mut csv = String::from("x,y,refactored\n");
+    for (point, &label) in embedding.iter().zip(&labels) {
+        csv.push_str(&format!("{},{},{}\n", point[0], point[1], u8::from(label)));
+    }
+    fs::write("fig3_tsne.csv", &csv).expect("write fig3_tsne.csv");
+    println!("wrote fig3_tsne.csv ({} points)", embedding.len());
+
+    // Coarse ASCII preview: positives are '#', negatives '.'.
+    let width = 60usize;
+    let height = 24usize;
+    let (mut min_x, mut max_x, mut min_y, mut max_y) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for p in &embedding {
+        min_x = min_x.min(p[0]);
+        max_x = max_x.max(p[0]);
+        min_y = min_y.min(p[1]);
+        max_y = max_y.max(p[1]);
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (p, &label) in embedding.iter().zip(&labels) {
+        let col = (((p[0] - min_x) / (max_x - min_x + 1e-9)) * (width - 1) as f64) as usize;
+        let row = (((p[1] - min_y) / (max_y - min_y + 1e-9)) * (height - 1) as f64) as usize;
+        let cell = &mut grid[row][col];
+        if label {
+            *cell = '#';
+        } else if *cell == ' ' {
+            *cell = '.';
+        }
+    }
+    println!("ASCII preview ('#' = refactored, '.' = not refactored):");
+    for row in grid {
+        println!("  {}", row.into_iter().collect::<String>());
+    }
+}

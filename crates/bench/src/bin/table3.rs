@@ -1,0 +1,23 @@
+//! Table III: baseline refactor vs ELF on the arithmetic suite
+//! (leave-one-out trained classifier).
+
+use elf_bench::{paper, print_comparison_table, CachedSuite, HarnessOptions};
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let suite = CachedSuite::new(options.epfl_circuits(), options.experiment_config(1));
+    let rows = suite.comparison_rows();
+    print_comparison_table(
+        &format!(
+            "Table III: refactor vs ELF on arithmetic circuits (scale {:?})",
+            options.scale
+        ),
+        &rows,
+    );
+    println!();
+    println!(
+        "Paper reference: speed-ups 2.50x-7.69x (mean {:.2}x), And increase at most {:+.2} %, levels unchanged.",
+        paper::EPFL_MEAN_SPEEDUP,
+        paper::EPFL_WORST_AND_INCREASE
+    );
+}

@@ -1,0 +1,20 @@
+//! Table IV: baseline refactor (applied once) vs ELF applied twice on the
+//! arithmetic suite.
+
+use elf_bench::{print_comparison_table, CachedSuite, HarnessOptions};
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let suite = CachedSuite::new(options.epfl_circuits(), options.experiment_config(2));
+    let rows = suite.comparison_rows();
+    print_comparison_table(
+        &format!(
+            "Table IV: refactor vs ELF x 2 on arithmetic circuits (scale {:?})",
+            options.scale
+        ),
+        &rows,
+    );
+    println!();
+    println!("Paper reference: ELF x 2 keeps a 1.34x-3.38x speed-up and can reduce the area");
+    println!("below the single baseline pass on the largest circuits (div, hyp).");
+}

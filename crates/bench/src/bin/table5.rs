@@ -1,0 +1,22 @@
+//! Table V: baseline refactor vs ELF on the industrial-like designs.
+
+use elf_bench::{paper, print_comparison_table, CachedSuite, HarnessOptions};
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let suite = CachedSuite::new(options.industrial_circuits(), options.experiment_config(1));
+    let rows = suite.comparison_rows();
+    print_comparison_table(
+        &format!(
+            "Table V: refactor vs ELF on industrial circuits (size scale {})",
+            options.industrial_scale
+        ),
+        &rows,
+    );
+    println!();
+    println!(
+        "Paper reference: speed-ups 2.01x-4.29x (mean {:.2}x), And increase at most {:+.2} %.",
+        paper::INDUSTRIAL_MEAN_SPEEDUP,
+        paper::INDUSTRIAL_WORST_AND_INCREASE
+    );
+}

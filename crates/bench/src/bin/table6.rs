@@ -1,0 +1,35 @@
+//! Table VI: baseline refactor vs ELF on the large synthetic circuits.
+//!
+//! The classifier is trained on the arithmetic suite (the synthetic circuits
+//! are never part of training), mirroring the paper's protocol of testing on
+//! previously unseen designs.
+
+use elf_bench::{paper, print_comparison_table, CachedSuite, HarnessOptions};
+use elf_core::experiment::compare_on_circuit;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let config = options.experiment_config(1);
+    // Train on the arithmetic suite only.
+    let trainer_suite = CachedSuite::new(options.epfl_circuits(), config);
+    let classifier = trainer_suite.train_all();
+
+    let synthetic = options.synthetic_circuits();
+    let rows: Vec<_> = synthetic
+        .iter()
+        .map(|circuit| compare_on_circuit(circuit, &classifier, &config))
+        .collect();
+    print_comparison_table(
+        &format!(
+            "Table VI: refactor vs ELF on large synthetic circuits (size scale {})",
+            options.synthetic_scale
+        ),
+        &rows,
+    );
+    println!();
+    println!("Paper reference (full-size circuits, 16M-23M nodes):");
+    for (name, speedup) in paper::SYNTHETIC_SPEEDUPS {
+        println!("  {name:<14} speed-up {speedup:.2}x, And difference below +0.07 %");
+    }
+    println!("Run with --scale paper for multi-million-node instances (hours of runtime).");
+}

@@ -1,0 +1,23 @@
+//! Table VII: classifier quality metrics on the arithmetic suite
+//! (leave-one-out).
+
+use elf_bench::{paper, print_quality_table, CachedSuite, HarnessOptions};
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let suite = CachedSuite::new(options.epfl_circuits(), options.experiment_config(1));
+    let rows = suite.quality_rows();
+    print_quality_table(
+        &format!(
+            "Table VII: ELF classifier quality on arithmetic circuits (scale {:?})",
+            options.scale
+        ),
+        &rows,
+    );
+    println!();
+    println!(
+        "Paper reference: recall {:.0} %-{:.0} %, accuracy 77 %-96 %.",
+        paper::EPFL_RECALL_RANGE.0 * 100.0,
+        paper::EPFL_RECALL_RANGE.1 * 100.0
+    );
+}

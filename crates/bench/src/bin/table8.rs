@@ -1,0 +1,23 @@
+//! Table VIII: classifier quality metrics on the industrial-like designs
+//! (leave-one-out).
+
+use elf_bench::{paper, print_quality_table, CachedSuite, HarnessOptions};
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let suite = CachedSuite::new(options.industrial_circuits(), options.experiment_config(1));
+    let rows = suite.quality_rows();
+    print_quality_table(
+        &format!(
+            "Table VIII: ELF classifier quality on industrial circuits (size scale {})",
+            options.industrial_scale
+        ),
+        &rows,
+    );
+    println!();
+    println!(
+        "Paper reference: recall {:.0} %-{:.0} %, accuracy 74 %-93 %.",
+        paper::INDUSTRIAL_RECALL_RANGE.0 * 100.0,
+        paper::INDUSTRIAL_RECALL_RANGE.1 * 100.0
+    );
+}

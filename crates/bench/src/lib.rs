@@ -1,0 +1,382 @@
+//! # elf-bench
+//!
+//! Benchmark harness regenerating every table and figure of the ELF paper.
+//!
+//! Each binary in `src/bin/` corresponds to one experiment:
+//!
+//! | Binary | Paper artifact |
+//! |--------|----------------|
+//! | `table1` | Table I — EPFL arithmetic circuit statistics |
+//! | `table2` | Table II — industrial circuit statistics |
+//! | `table3` | Table III — ABC refactor vs ELF on the arithmetic suite |
+//! | `table4` | Table IV — ABC refactor vs ELF applied twice |
+//! | `table5` | Table V — ABC refactor vs ELF on industrial designs |
+//! | `table6` | Table VI — large synthetic circuits |
+//! | `table7` | Table VII — classifier quality on the arithmetic suite |
+//! | `table8` | Table VIII — classifier quality on industrial designs |
+//! | `fig1` | Figure 1 — redundancy / pruning flow percentages |
+//! | `fig3` | Figure 3 — t-SNE embedding of the feature space (CSV) |
+//! | `fig4` | Figure 4 — SHAP values per feature |
+//! | `summary` | Headline numbers (average speed-up, worst-case area loss) |
+//!
+//! All binaries accept `--scale tiny|default|paper` (default: `default`) to
+//! trade fidelity against runtime, `--epochs N` to cap training epochs, and
+//! `--seed N`.  Absolute runtimes differ from the paper (the baseline is this
+//! repository's own refactor implementation rather than ABC's C code), but
+//! the relative behaviour — speed-up factors, near-zero area loss, recall and
+//! accuracy ranges — is directly comparable.
+
+use std::time::Duration;
+
+use elf_circuits::epfl::{arithmetic_suite, Scale};
+use elf_circuits::{industrial_suite, synthetic_suite};
+use elf_core::experiment::{
+    compare_on_circuit, quality_on_circuit, ComparisonRow, ExperimentConfig, QualityRow,
+};
+use elf_core::{circuit_dataset_standardized, BenchCircuit, ElfClassifier};
+use elf_nn::{Dataset, TrainConfig};
+
+/// Command-line options shared by every harness binary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HarnessOptions {
+    /// Benchmark size preset.
+    pub scale: Scale,
+    /// Scale factor applied to industrial/synthetic circuit sizes.
+    pub industrial_scale: f64,
+    /// Scale factor applied to the Table VI synthetic circuits.
+    pub synthetic_scale: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        HarnessOptions {
+            scale: Scale::Default,
+            industrial_scale: 0.01,
+            synthetic_scale: 0.002,
+            epochs: 30,
+            seed: 0xE1F,
+        }
+    }
+}
+
+impl HarnessOptions {
+    /// Parses options from the process arguments.  Unknown arguments are
+    /// ignored so binaries can add their own flags.
+    pub fn from_args() -> Self {
+        let mut options = HarnessOptions::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut index = 1;
+        while index < args.len() {
+            match args[index].as_str() {
+                "--scale" if index + 1 < args.len() => {
+                    options.scale = match args[index + 1].as_str() {
+                        "tiny" => Scale::Tiny,
+                        "paper" | "full" => Scale::Paper,
+                        _ => Scale::Default,
+                    };
+                    match options.scale {
+                        Scale::Tiny => {
+                            options.industrial_scale = 0.002;
+                            options.synthetic_scale = 0.0005;
+                            options.epochs = 10;
+                        }
+                        Scale::Default => {}
+                        Scale::Paper => {
+                            options.industrial_scale = 1.0;
+                            options.synthetic_scale = 1.0;
+                        }
+                    }
+                    index += 1;
+                }
+                "--epochs" if index + 1 < args.len() => {
+                    options.epochs = args[index + 1].parse().unwrap_or(options.epochs);
+                    index += 1;
+                }
+                "--seed" if index + 1 < args.len() => {
+                    options.seed = args[index + 1].parse().unwrap_or(options.seed);
+                    index += 1;
+                }
+                _ => {}
+            }
+            index += 1;
+        }
+        options
+    }
+
+    /// The experiment configuration implied by these options.
+    pub fn experiment_config(&self, applications: usize) -> ExperimentConfig {
+        ExperimentConfig {
+            train: TrainConfig {
+                epochs: self.epochs,
+                // The generated workloads are more imbalanced than the EPFL
+                // originals at reduced scale, so the harness trains with a
+                // positive-class weight (the paper's loss ablation found
+                // plain BCE sufficient on the original circuits).
+                loss: elf_nn::Loss::WeightedBce { pos_weight: 20.0 },
+                ..Default::default()
+            },
+            seed: self.seed,
+            applications,
+            ..Default::default()
+        }
+    }
+
+    /// Builds the EPFL-style arithmetic suite at the selected scale.
+    pub fn epfl_circuits(&self) -> Vec<BenchCircuit> {
+        arithmetic_suite(self.scale)
+            .into_iter()
+            .map(|(name, aig)| BenchCircuit::new(name, aig))
+            .collect()
+    }
+
+    /// Builds the industrial-like suite at the selected scale.
+    pub fn industrial_circuits(&self) -> Vec<BenchCircuit> {
+        industrial_suite(self.industrial_scale, self.seed)
+            .into_iter()
+            .map(|(name, aig)| BenchCircuit::new(name, aig))
+            .collect()
+    }
+
+    /// Builds the large synthetic suite at the selected scale.
+    pub fn synthetic_circuits(&self) -> Vec<BenchCircuit> {
+        synthetic_suite(self.synthetic_scale, self.seed)
+            .into_iter()
+            .map(|(name, aig)| BenchCircuit::new(name, aig))
+            .collect()
+    }
+}
+
+/// Leave-one-out experiment with per-circuit dataset caching (the datasets
+/// are collected once instead of once per held-out circuit).
+#[derive(Debug)]
+pub struct CachedSuite {
+    circuits: Vec<BenchCircuit>,
+    datasets: Vec<Dataset>,
+    config: ExperimentConfig,
+}
+
+impl CachedSuite {
+    /// Collects the labelled cut dataset of every circuit once.
+    pub fn new(circuits: Vec<BenchCircuit>, config: ExperimentConfig) -> Self {
+        let datasets = circuits
+            .iter()
+            .map(|c| circuit_dataset_standardized(&c.aig, &config.elf.refactor))
+            .collect();
+        CachedSuite {
+            circuits,
+            datasets,
+            config,
+        }
+    }
+
+    /// The circuits of the suite.
+    pub fn circuits(&self) -> &[BenchCircuit] {
+        &self.circuits
+    }
+
+    /// The experiment configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Trains a classifier on every circuit except `held_out`.
+    pub fn train_excluding(&self, held_out: usize) -> ElfClassifier {
+        let mut data = Dataset::new();
+        for (index, dataset) in self.datasets.iter().enumerate() {
+            if index != held_out {
+                data.extend_from(dataset);
+            }
+        }
+        let (classifier, _) = ElfClassifier::fit(&data, &self.config.train, self.config.seed);
+        classifier
+    }
+
+    /// Trains a classifier on every circuit of the suite.
+    pub fn train_all(&self) -> ElfClassifier {
+        let mut data = Dataset::new();
+        for dataset in &self.datasets {
+            data.extend_from(dataset);
+        }
+        let (classifier, _) = ElfClassifier::fit(&data, &self.config.train, self.config.seed);
+        classifier
+    }
+
+    /// Leave-one-out comparison rows (Tables III/IV/V).
+    pub fn comparison_rows(&self) -> Vec<ComparisonRow> {
+        (0..self.circuits.len())
+            .map(|held_out| {
+                let classifier = self.train_excluding(held_out);
+                compare_on_circuit(&self.circuits[held_out], &classifier, &self.config)
+            })
+            .collect()
+    }
+
+    /// Leave-one-out quality rows (Tables VII/VIII).
+    pub fn quality_rows(&self) -> Vec<QualityRow> {
+        (0..self.circuits.len())
+            .map(|held_out| {
+                let classifier = self.train_excluding(held_out);
+                quality_on_circuit(&self.circuits[held_out], &classifier, &self.config)
+            })
+            .collect()
+    }
+}
+
+fn millis(duration: Duration) -> f64 {
+    duration.as_secs_f64() * 1e3
+}
+
+/// Prints a baseline-vs-ELF comparison table in the layout of Tables III–V.
+pub fn print_comparison_table(title: &str, rows: &[ComparisonRow]) {
+    println!("{title}");
+    println!(
+        "{:<14} {:>9} | {:>12} {:>9} {:>7} | {:>12} {:>9} {:>7} | {:>8} {:>8} {:>8}",
+        "Design",
+        "Nodes",
+        "base ms",
+        "And",
+        "Level",
+        "ELF ms",
+        "And",
+        "Level",
+        "Speedup",
+        "dAnd%",
+        "dLvl%"
+    );
+    for row in rows {
+        println!(
+            "{:<14} {:>9} | {:>12.2} {:>9} {:>7} | {:>12.2} {:>9} {:>7} | {:>7.2}x {:>+8.2} {:>+8.2}",
+            row.name,
+            row.nodes_before,
+            millis(row.baseline_runtime),
+            row.baseline_ands,
+            row.baseline_level,
+            millis(row.elf_runtime),
+            row.elf_ands,
+            row.elf_level,
+            row.speedup(),
+            row.and_difference_percent(),
+            row.level_difference_percent(),
+        );
+    }
+    let mean_speedup = geometric_mean(rows.iter().map(ComparisonRow::speedup));
+    let worst = rows
+        .iter()
+        .map(ComparisonRow::and_difference_percent)
+        .fold(0.0, f64::max);
+    println!(
+        "-- mean speed-up {mean_speedup:.2}x, worst-case And increase {worst:+.2}% --"
+    );
+}
+
+/// Prints a classifier-quality table in the layout of Tables VII/VIII.
+pub fn print_quality_table(title: &str, rows: &[QualityRow]) {
+    println!("{title}");
+    println!(
+        "{:<14} {:>8} {:>10} {:>8} {:>9} {:>8} {:>8}",
+        "Design", "Recall", "Accuracy", "TP", "TN", "FP", "FN"
+    );
+    for row in rows {
+        let cm = row.confusion;
+        println!(
+            "{:<14} {:>7.0}% {:>9.0}% {:>8} {:>9} {:>8} {:>8}",
+            row.name,
+            cm.recall() * 100.0,
+            cm.accuracy() * 100.0,
+            cm.true_positives,
+            cm.true_negatives,
+            cm.false_positives,
+            cm.false_negatives,
+        );
+    }
+    let mean_recall: f64 =
+        rows.iter().map(|r| r.confusion.recall()).sum::<f64>() / rows.len().max(1) as f64;
+    let mean_accuracy: f64 =
+        rows.iter().map(|r| r.confusion.accuracy()).sum::<f64>() / rows.len().max(1) as f64;
+    println!(
+        "-- mean recall {:.1}%, mean accuracy {:.1}% --",
+        mean_recall * 100.0,
+        mean_accuracy * 100.0
+    );
+}
+
+/// Geometric mean of an iterator of positive numbers (1.0 when empty).
+pub fn geometric_mean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for value in values {
+        sum += value.max(1e-12).ln();
+        count += 1;
+    }
+    if count == 0 {
+        1.0
+    } else {
+        (sum / count as f64).exp()
+    }
+}
+
+/// Reference values reported by the paper, used to print the "paper vs
+/// measured" comparison that EXPERIMENTS.md records.
+pub mod paper {
+    /// Average speed-up on the EPFL arithmetic circuits (Table III).
+    pub const EPFL_MEAN_SPEEDUP: f64 = 5.29;
+    /// Worst-case And increase on the EPFL circuits, percent (Table III).
+    pub const EPFL_WORST_AND_INCREASE: f64 = 0.27;
+    /// Average speed-up on the industrial designs (Table V).
+    pub const INDUSTRIAL_MEAN_SPEEDUP: f64 = 2.80;
+    /// Worst-case And increase on industrial designs, percent (Table V).
+    pub const INDUSTRIAL_WORST_AND_INCREASE: f64 = 0.08;
+    /// Average speed-up over all designs reported in the abstract.
+    pub const OVERALL_MEAN_SPEEDUP: f64 = 3.9;
+    /// Per-design speed-up range on the synthetic circuits (Table VI).
+    pub const SYNTHETIC_SPEEDUPS: [(&str, f64); 3] =
+        [("sixteen", 2.97), ("twenty", 2.87), ("twentythree", 2.85)];
+    /// Average recall/accuracy on the EPFL circuits (Table VII).
+    pub const EPFL_RECALL_RANGE: (f64, f64) = (0.76, 1.0);
+    /// Average recall/accuracy on industrial designs (Table VIII).
+    pub const INDUSTRIAL_RECALL_RANGE: (f64, f64) = (0.81, 1.0);
+    /// Fraction of cuts the original refactor fails to improve (abstract).
+    pub const FAILURE_RATE: f64 = 0.98;
+    /// Range of cuts pruned by ELF (Figure 1).
+    pub const PRUNED_RANGE: (f64, f64) = (0.694, 0.951);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean([4.0, 1.0].into_iter()) - 2.0).abs() < 1e-9);
+        assert_eq!(geometric_mean(std::iter::empty()), 1.0);
+    }
+
+    #[test]
+    fn options_default_and_config() {
+        let options = HarnessOptions::default();
+        let config = options.experiment_config(2);
+        assert_eq!(config.applications, 2);
+        assert_eq!(config.train.epochs, options.epochs);
+    }
+
+    #[test]
+    fn cached_suite_trains_and_compares_on_tiny_circuits() {
+        let options = HarnessOptions {
+            scale: Scale::Tiny,
+            epochs: 3,
+            ..Default::default()
+        };
+        let circuits = options.epfl_circuits();
+        let suite = CachedSuite::new(circuits, options.experiment_config(1));
+        assert_eq!(suite.circuits().len(), 6);
+        let classifier = suite.train_excluding(0);
+        let row = compare_on_circuit(&suite.circuits()[0], &classifier, suite.config());
+        assert!(row.nodes_before > 0);
+        let quality = quality_on_circuit(&suite.circuits()[0], &classifier, suite.config());
+        assert!(quality.confusion.total() > 0);
+    }
+}

@@ -1,0 +1,295 @@
+//! Generators for the EPFL-style arithmetic benchmarks.
+//!
+//! The EPFL combinational benchmark suite's arithmetic circuits (divider,
+//! hypotenuse, log2, multiplier, square root, square) are word-level
+//! arithmetic blocks mapped to AIGs.  The suite itself is not redistributed
+//! here; instead each function is synthesized directly from the word-level
+//! primitives in [`crate::words`], which reproduces the structural character
+//! the ELF paper relies on (deep carry chains, heavy reconvergence, and a
+//! very low fraction of refactorable cuts).
+
+use elf_aig::Aig;
+
+use crate::words::{self, Word};
+
+/// Bit-width presets controlling benchmark size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Very small instances for unit tests (8-bit datapaths).
+    Tiny,
+    /// Moderate instances for the default benchmark harness (circuits of a
+    /// few thousand AND gates; minutes-scale experiments).
+    Default,
+    /// Full-size instances approximating the EPFL node counts (tens to
+    /// hundreds of thousands of AND gates).
+    Paper,
+}
+
+impl Scale {
+    fn width(self, tiny: usize, default: usize, paper: usize) -> usize {
+        match self {
+            Scale::Tiny => tiny,
+            Scale::Default => default,
+            Scale::Paper => paper,
+        }
+    }
+}
+
+/// Names of the six arithmetic benchmarks, in the order used by the paper's
+/// tables.
+pub const ARITHMETIC_NAMES: [&str; 6] = ["div", "hyp", "log2", "multiplier", "sqrt", "square"];
+
+/// Builds one arithmetic benchmark by name.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of [`ARITHMETIC_NAMES`].
+pub fn arithmetic_circuit(name: &str, scale: Scale) -> Aig {
+    match name {
+        "div" => divider(scale),
+        "hyp" => hypotenuse(scale),
+        "log2" => log2(scale),
+        "multiplier" => multiplier(scale),
+        "sqrt" => square_root(scale),
+        "square" => squarer(scale),
+        other => panic!("unknown arithmetic benchmark `{other}`"),
+    }
+}
+
+/// Builds the whole arithmetic suite.
+pub fn arithmetic_suite(scale: Scale) -> Vec<(String, Aig)> {
+    ARITHMETIC_NAMES
+        .iter()
+        .map(|name| (name.to_string(), arithmetic_circuit(name, scale)))
+        .collect()
+}
+
+/// `div`: restoring divider producing quotient and remainder.
+pub fn divider(scale: Scale) -> Aig {
+    let width = scale.width(8, 20, 64);
+    let mut aig = Aig::with_name("div");
+    let dividend: Word = aig.add_inputs(width);
+    let divisor: Word = aig.add_inputs(width);
+    let (quotient, remainder) = words::divide(&mut aig, &dividend, &divisor);
+    for lit in quotient.iter().chain(&remainder) {
+        aig.add_output(*lit);
+    }
+    aig.cleanup();
+    aig
+}
+
+/// `hyp`: integer hypotenuse `sqrt(x^2 + y^2)`.
+pub fn hypotenuse(scale: Scale) -> Aig {
+    let width = scale.width(6, 12, 48);
+    let mut aig = Aig::with_name("hyp");
+    let x: Word = aig.add_inputs(width);
+    let y: Word = aig.add_inputs(width);
+    let xx = words::square(&mut aig, &x);
+    let yy = words::square(&mut aig, &y);
+    let (sum, carry) = words::add(&mut aig, &xx, &yy);
+    let mut radicand = sum;
+    radicand.push(carry);
+    if radicand.len() % 2 == 1 {
+        radicand.push(aig.constant(false));
+    }
+    let root = words::isqrt(&mut aig, &radicand);
+    for lit in &root {
+        aig.add_output(*lit);
+    }
+    aig.cleanup();
+    aig
+}
+
+/// `log2`: fixed-point base-2 logarithm (integer part from a priority
+/// encoder, fractional part by digit recurrence on the normalized mantissa).
+pub fn log2(scale: Scale) -> Aig {
+    let width = scale.width(8, 16, 32);
+    let fractional_bits = scale.width(4, 8, 16);
+    let mut aig = Aig::with_name("log2");
+    let x: Word = aig.add_inputs(width);
+
+    // Integer part: position of the leading one.
+    let (exponent, non_zero) = words::leading_one_position(&mut aig, &x);
+    for lit in &exponent {
+        aig.add_output(*lit);
+    }
+    aig.add_output(non_zero);
+
+    // Normalize the mantissa: shift x left so the leading one reaches the top
+    // bit (a barrel shifter controlled by the exponent).
+    let mut mantissa = x.clone();
+    for (stage, _) in exponent.iter().enumerate() {
+        let shift = 1usize << stage;
+        // If the exponent bit is 0 the value is small, so shift further left.
+        let shifted = words::shift_left(&aig, &mantissa, shift);
+        let control = !exponent[stage];
+        mantissa = words::mux_word(&mut aig, control, &shifted, &mantissa);
+    }
+
+    // Fractional part: repeatedly square the mantissa (interpreted as a fixed
+    // point value in [1, 2)); each squaring yields one result bit.
+    let mut value = mantissa;
+    for _ in 0..fractional_bits {
+        let squared = words::square(&mut aig, &value);
+        // Keep the top `width` bits of the square.
+        let top: Word = squared[squared.len() - width..].to_vec();
+        let overflow = top[width - 1];
+        aig.add_output(overflow);
+        // If the square overflowed (>= 2), renormalize by taking the top bits,
+        // otherwise drop one extra bit.
+        let alternative: Word = squared[squared.len() - width - 1..squared.len() - 1].to_vec();
+        value = words::mux_word(&mut aig, overflow, &top, &alternative);
+    }
+    aig.cleanup();
+    aig
+}
+
+/// `multiplier`: array multiplier with a full-width product.
+pub fn multiplier(scale: Scale) -> Aig {
+    let width = scale.width(8, 20, 64);
+    let mut aig = Aig::with_name("multiplier");
+    let a: Word = aig.add_inputs(width);
+    let b: Word = aig.add_inputs(width);
+    let product = words::multiply(&mut aig, &a, &b);
+    for lit in &product {
+        aig.add_output(*lit);
+    }
+    aig.cleanup();
+    aig
+}
+
+/// `sqrt`: restoring integer square root.
+pub fn square_root(scale: Scale) -> Aig {
+    let width = scale.width(12, 40, 128);
+    let mut aig = Aig::with_name("sqrt");
+    let radicand: Word = aig.add_inputs(width);
+    let root = words::isqrt(&mut aig, &radicand);
+    for lit in &root {
+        aig.add_output(*lit);
+    }
+    aig.cleanup();
+    aig
+}
+
+/// `square`: array squarer with a full-width result.
+pub fn squarer(scale: Scale) -> Aig {
+    let width = scale.width(8, 22, 64);
+    let mut aig = Aig::with_name("square");
+    let a: Word = aig.add_inputs(width);
+    let result = words::square(&mut aig, &a);
+    for lit in &result {
+        aig.add_output(*lit);
+    }
+    aig.cleanup();
+    aig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_u64(aig: &Aig, inputs: u64, input_bits: usize) -> Vec<bool> {
+        let bits: Vec<bool> = (0..input_bits).map(|i| inputs >> i & 1 == 1).collect();
+        aig.evaluate(&bits)
+    }
+
+    #[test]
+    fn divider_computes_quotient_and_remainder() {
+        let aig = divider(Scale::Tiny);
+        assert_eq!(aig.num_inputs(), 16);
+        assert_eq!(aig.num_outputs(), 16);
+        // 100 / 7 = 14 remainder 2.
+        let packed = 100u64 | (7u64 << 8);
+        let out = eval_u64(&aig, packed, 16);
+        let quotient = out[..8]
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i));
+        let remainder = out[8..16]
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i));
+        assert_eq!(quotient, 14);
+        assert_eq!(remainder, 2);
+    }
+
+    #[test]
+    fn hypotenuse_is_close_to_euclidean_norm() {
+        let aig = hypotenuse(Scale::Tiny);
+        let width = 6;
+        // x = 3, y = 4 -> 5.
+        let packed = 3u64 | (4u64 << width);
+        let out = eval_u64(&aig, packed, 2 * width);
+        let value = out
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i));
+        assert_eq!(value, 5);
+    }
+
+    #[test]
+    fn multiplier_is_correct_on_samples() {
+        let aig = multiplier(Scale::Tiny);
+        let width = 8;
+        for (a, b) in [(5u64, 7u64), (255, 255), (12, 0), (100, 2)] {
+            let out = eval_u64(&aig, a | (b << width), 2 * width);
+            let value = out
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (i, &bit)| acc | (u64::from(bit) << i));
+            assert_eq!(value, a * b, "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn square_root_is_correct_on_samples() {
+        let aig = square_root(Scale::Tiny);
+        for x in [0u64, 1, 100, 1000, 4095] {
+            let out = eval_u64(&aig, x, 12);
+            let value = out
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (i, &bit)| acc | (u64::from(bit) << i));
+            assert_eq!(value, (x as f64).sqrt().floor() as u64, "sqrt({x})");
+        }
+    }
+
+    #[test]
+    fn log2_integer_part_matches_ilog2() {
+        let aig = log2(Scale::Tiny);
+        // The first outputs are the exponent bits followed by the non-zero flag.
+        for x in [1u64, 2, 5, 17, 128, 255] {
+            let out = eval_u64(&aig, x, 8);
+            let exponent = out[..3]
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (i, &bit)| acc | (u64::from(bit) << i));
+            assert_eq!(exponent, x.ilog2() as u64, "ilog2({x})");
+            assert!(out[3], "non-zero flag for {x}");
+        }
+    }
+
+    #[test]
+    fn suite_builds_all_six_circuits() {
+        let suite = arithmetic_suite(Scale::Tiny);
+        assert_eq!(suite.len(), 6);
+        for (name, aig) in &suite {
+            assert!(aig.num_ands() > 0, "{name} is empty");
+            assert!(aig.check_invariants().is_empty(), "{name} is inconsistent");
+            assert!(ARITHMETIC_NAMES.contains(&name.as_str()));
+        }
+    }
+
+    #[test]
+    fn default_scale_is_substantially_larger_than_tiny() {
+        let tiny = multiplier(Scale::Tiny);
+        let default = multiplier(Scale::Default);
+        assert!(default.num_ands() > 4 * tiny.num_ands());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown arithmetic benchmark")]
+    fn unknown_name_panics() {
+        let _ = arithmetic_circuit("adder", Scale::Tiny);
+    }
+}

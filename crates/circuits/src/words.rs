@@ -1,0 +1,355 @@
+//! Word-level (bit-vector) construction helpers over AIGs.
+//!
+//! These primitives are the building blocks of the EPFL-style arithmetic
+//! benchmarks: ripple-carry addition/subtraction, comparison, shifting,
+//! multiplexing, multiplication and squaring, all expressed directly as AND
+//! gates and inverters.
+
+use elf_aig::{Aig, Lit};
+
+/// A little-endian word of AIG literals (bit 0 first).
+pub type Word = Vec<Lit>;
+
+/// Returns a constant word of the given width encoding `value`.
+pub fn constant_word(aig: &Aig, value: u64, width: usize) -> Word {
+    (0..width)
+        .map(|i| aig.constant(value >> i & 1 == 1))
+        .collect()
+}
+
+/// Zero-extends (or truncates) a word to `width` bits.
+pub fn resize(aig: &Aig, word: &[Lit], width: usize) -> Word {
+    let mut out: Word = word.iter().copied().take(width).collect();
+    while out.len() < width {
+        out.push(aig.constant(false));
+    }
+    out
+}
+
+/// Full adder: returns (sum, carry).
+pub fn full_adder(aig: &mut Aig, a: Lit, b: Lit, carry_in: Lit) -> (Lit, Lit) {
+    let axb = aig.xor(a, b);
+    let sum = aig.xor(axb, carry_in);
+    let carry = aig.maj(a, b, carry_in);
+    (sum, carry)
+}
+
+/// Ripple-carry addition of two equal-width words.  Returns (sum, carry-out).
+///
+/// # Panics
+///
+/// Panics if the word widths differ.
+pub fn add(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> (Word, Lit) {
+    assert_eq!(a.len(), b.len(), "operands must have the same width");
+    let mut carry = aig.constant(false);
+    let mut sum = Word::with_capacity(a.len());
+    for (&x, &y) in a.iter().zip(b) {
+        let (s, c) = full_adder(aig, x, y, carry);
+        sum.push(s);
+        carry = c;
+    }
+    (sum, carry)
+}
+
+/// Two's-complement subtraction `a - b`.  Returns (difference, no-borrow flag);
+/// the flag is true when `a >= b` (unsigned).
+pub fn sub(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> (Word, Lit) {
+    assert_eq!(a.len(), b.len(), "operands must have the same width");
+    let mut carry = aig.constant(true);
+    let mut diff = Word::with_capacity(a.len());
+    for (&x, &y) in a.iter().zip(b) {
+        let (s, c) = full_adder(aig, x, !y, carry);
+        diff.push(s);
+        carry = c;
+    }
+    (diff, carry)
+}
+
+/// Unsigned comparison `a >= b`.
+pub fn greater_equal(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Lit {
+    sub(aig, a, b).1
+}
+
+/// Bitwise multiplexer: `if sel then when_true else when_false`.
+pub fn mux_word(aig: &mut Aig, sel: Lit, when_true: &[Lit], when_false: &[Lit]) -> Word {
+    assert_eq!(when_true.len(), when_false.len(), "widths must match");
+    when_true
+        .iter()
+        .zip(when_false)
+        .map(|(&t, &e)| aig.mux(sel, t, e))
+        .collect()
+}
+
+/// Logical left shift by a constant amount (bits shifted in are zero), keeping
+/// the original width.
+pub fn shift_left(aig: &Aig, word: &[Lit], amount: usize) -> Word {
+    let mut out = vec![aig.constant(false); word.len()];
+    for (i, &bit) in word.iter().enumerate() {
+        if i + amount < word.len() {
+            out[i + amount] = bit;
+        }
+    }
+    out
+}
+
+/// Array multiplier: the full `a.len() + b.len()`-bit product.
+pub fn multiply(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Word {
+    let width = a.len() + b.len();
+    let mut accumulator = constant_word(aig, 0, width);
+    for (j, &bj) in b.iter().enumerate() {
+        // Partial product: (a & bj) << j, zero-extended to the result width.
+        let mut partial = vec![aig.constant(false); width];
+        for (i, &ai) in a.iter().enumerate() {
+            if i + j < width {
+                partial[i + j] = aig.and(ai, bj);
+            }
+        }
+        let (sum, _) = add(aig, &accumulator, &partial);
+        accumulator = sum;
+    }
+    accumulator
+}
+
+/// Squarer: the full `2 * a.len()`-bit square of a word.
+pub fn square(aig: &mut Aig, a: &[Lit]) -> Word {
+    multiply(aig, a, &a.to_vec())
+}
+
+/// Restoring divider: returns (quotient, remainder) of `dividend / divisor`
+/// where both have the same width.  Division by zero yields an all-ones
+/// quotient, like a typical hardware restoring divider.
+pub fn divide(aig: &mut Aig, dividend: &[Lit], divisor: &[Lit]) -> (Word, Word) {
+    let width = dividend.len();
+    assert_eq!(width, divisor.len(), "operands must have the same width");
+    // Remainder register is one bit wider than the divisor to hold the shift.
+    let ext = width + 1;
+    let divisor_ext = resize(aig, divisor, ext);
+    let mut remainder = constant_word(aig, 0, ext);
+    let mut quotient = vec![aig.constant(false); width];
+    for step in (0..width).rev() {
+        // Shift the remainder left by one and bring in the next dividend bit.
+        let mut shifted = shift_left(aig, &remainder, 1);
+        shifted[0] = dividend[step];
+        let (difference, fits) = sub(aig, &shifted, &divisor_ext);
+        remainder = mux_word(aig, fits, &difference, &shifted);
+        quotient[step] = fits;
+    }
+    (quotient, resize(aig, &remainder, width))
+}
+
+/// Restoring integer square root: returns the `width/2`-bit root of a
+/// `width`-bit radicand (width must be even).
+pub fn isqrt(aig: &mut Aig, radicand: &[Lit]) -> Word {
+    let width = radicand.len();
+    assert!(width % 2 == 0, "radicand width must be even");
+    let half = width / 2;
+    let ext = width + 2;
+    let radicand_ext = resize(aig, radicand, ext);
+    let mut remainder = constant_word(aig, 0, ext);
+    let mut root = constant_word(aig, 0, ext);
+    for step in (0..half).rev() {
+        // Bring down the next two radicand bits.
+        let mut shifted = shift_left(aig, &remainder, 2);
+        shifted[1] = radicand_ext[2 * step + 1];
+        shifted[0] = radicand_ext[2 * step];
+        // Trial subtrahend: (root << 2) | 1.
+        let mut trial = shift_left(aig, &root, 2);
+        trial[0] = aig.constant(true);
+        let (difference, fits) = sub(aig, &shifted, &trial);
+        remainder = mux_word(aig, fits, &difference, &shifted);
+        // root = (root << 1) | fits.
+        root = shift_left(aig, &root, 1);
+        root[0] = fits;
+    }
+    resize(aig, &root, half)
+}
+
+/// Priority encoder: index of the most significant set bit (0 when the input
+/// is zero), as a `ceil(log2(width))`-bit word, plus a "non-zero" flag.
+pub fn leading_one_position(aig: &mut Aig, word: &[Lit]) -> (Word, Lit) {
+    let width = word.len();
+    let out_bits = usize::BITS as usize - (width.max(2) - 1).leading_zeros() as usize;
+    let mut position = constant_word(aig, 0, out_bits);
+    let mut found = aig.constant(false);
+    // Scan from MSB to LSB, keeping the first hit.
+    for index in (0..width).rev() {
+        let bit = word[index];
+        let take = aig.and(bit, !found);
+        let index_word = constant_word(aig, index as u64, out_bits);
+        position = mux_word(aig, take, &index_word, &position);
+        found = aig.or(found, bit);
+    }
+    (position, found)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_word(aig: &Aig, outputs: &[usize], inputs: &[bool]) -> u64 {
+        let values = aig.evaluate(inputs);
+        outputs
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (bit, &index)| acc | (u64::from(values[index]) << bit))
+    }
+
+    /// Builds a circuit computing `op` on two `width`-bit inputs and checks it
+    /// against `model` for a set of sample values.
+    fn check_binary_op(
+        width: usize,
+        op: impl Fn(&mut Aig, &[Lit], &[Lit]) -> Word,
+        model: impl Fn(u64, u64) -> u64,
+        samples: &[(u64, u64)],
+    ) {
+        let mut aig = Aig::new();
+        let a: Word = aig.add_inputs(width);
+        let b: Word = aig.add_inputs(width);
+        let result = op(&mut aig, &a, &b);
+        let out_indices: Vec<usize> = result.iter().map(|lit| aig.add_output(*lit)).collect();
+        for &(x, y) in samples {
+            let mut inputs = Vec::new();
+            for i in 0..width {
+                inputs.push(x >> i & 1 == 1);
+            }
+            for i in 0..width {
+                inputs.push(y >> i & 1 == 1);
+            }
+            let got = eval_word(&aig, &out_indices, &inputs);
+            let mask = if result.len() >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << result.len()) - 1
+            };
+            assert_eq!(got, model(x, y) & mask, "op({x}, {y})");
+        }
+    }
+
+    #[test]
+    fn addition_matches_integer_addition() {
+        check_binary_op(
+            8,
+            |aig, a, b| add(aig, a, b).0,
+            |x, y| x + y,
+            &[(0, 0), (1, 1), (200, 100), (255, 255), (127, 128)],
+        );
+    }
+
+    #[test]
+    fn subtraction_matches_wrapping_subtraction() {
+        check_binary_op(
+            8,
+            |aig, a, b| sub(aig, a, b).0,
+            |x, y| x.wrapping_sub(y),
+            &[(5, 3), (3, 5), (255, 1), (0, 255), (128, 128)],
+        );
+    }
+
+    #[test]
+    fn comparison_flag_is_correct() {
+        let mut aig = Aig::new();
+        let a: Word = aig.add_inputs(6);
+        let b: Word = aig.add_inputs(6);
+        let ge = greater_equal(&mut aig, &a, &b);
+        let out = aig.add_output(ge);
+        for &(x, y) in &[(0u64, 0u64), (5, 9), (9, 5), (63, 63), (32, 31)] {
+            let mut inputs = Vec::new();
+            for i in 0..6 {
+                inputs.push(x >> i & 1 == 1);
+            }
+            for i in 0..6 {
+                inputs.push(y >> i & 1 == 1);
+            }
+            assert_eq!(aig.evaluate(&inputs)[out], x >= y, "cmp({x},{y})");
+        }
+    }
+
+    #[test]
+    fn multiplication_matches_integer_product() {
+        check_binary_op(
+            6,
+            |aig, a, b| multiply(aig, a, b),
+            |x, y| x * y,
+            &[(0, 7), (3, 5), (63, 63), (21, 2), (17, 13)],
+        );
+    }
+
+    #[test]
+    fn division_matches_integer_division() {
+        check_binary_op(
+            6,
+            |aig, a, b| divide(aig, a, b).0,
+            |x, y| if y == 0 { (1 << 6) - 1 } else { x / y },
+            &[(42, 7), (63, 9), (5, 9), (17, 1), (40, 6)],
+        );
+        check_binary_op(
+            6,
+            |aig, a, b| divide(aig, a, b).1,
+            |x, y| if y == 0 { x } else { x % y },
+            &[(42, 7), (63, 9), (5, 9), (17, 1), (40, 6)],
+        );
+    }
+
+    #[test]
+    fn square_root_matches_integer_sqrt() {
+        let mut aig = Aig::new();
+        let a: Word = aig.add_inputs(10);
+        let root = isqrt(&mut aig, &a);
+        let out_indices: Vec<usize> = root.iter().map(|lit| aig.add_output(*lit)).collect();
+        for x in [0u64, 1, 4, 15, 16, 100, 255, 1000, 1023] {
+            let inputs: Vec<bool> = (0..10).map(|i| x >> i & 1 == 1).collect();
+            let got = eval_word(&aig, &out_indices, &inputs);
+            let expected = (x as f64).sqrt().floor() as u64;
+            assert_eq!(got, expected, "isqrt({x})");
+        }
+    }
+
+    #[test]
+    fn squarer_matches_multiplier() {
+        let mut aig = Aig::new();
+        let a: Word = aig.add_inputs(5);
+        let sq = square(&mut aig, &a);
+        let out_indices: Vec<usize> = sq.iter().map(|lit| aig.add_output(*lit)).collect();
+        for x in 0u64..32 {
+            let inputs: Vec<bool> = (0..5).map(|i| x >> i & 1 == 1).collect();
+            assert_eq!(eval_word(&aig, &out_indices, &inputs), x * x);
+        }
+    }
+
+    #[test]
+    fn leading_one_position_matches_ilog2() {
+        let mut aig = Aig::new();
+        let a: Word = aig.add_inputs(8);
+        let (position, found) = leading_one_position(&mut aig, &a);
+        let pos_indices: Vec<usize> = position.iter().map(|lit| aig.add_output(*lit)).collect();
+        let found_index = aig.add_output(found);
+        for x in [0u64, 1, 2, 3, 7, 8, 100, 128, 255] {
+            let inputs: Vec<bool> = (0..8).map(|i| x >> i & 1 == 1).collect();
+            let values = aig.evaluate(&inputs);
+            let got = pos_indices
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (bit, &index)| acc | (u64::from(values[index]) << bit));
+            if x == 0 {
+                assert!(!values[found_index]);
+            } else {
+                assert!(values[found_index]);
+                assert_eq!(got, x.ilog2() as u64, "ilog2({x})");
+            }
+        }
+    }
+
+    #[test]
+    fn shift_and_resize_behave() {
+        let aig = Aig::new();
+        let word = constant_word(&aig, 0b1011, 4);
+        let shifted = shift_left(&aig, &word, 1);
+        assert_eq!(shifted[0], aig.constant(false));
+        assert_eq!(shifted[1], word[0]);
+        let wide = resize(&aig, &word, 6);
+        assert_eq!(wide.len(), 6);
+        assert_eq!(wide[5], aig.constant(false));
+        let narrow = resize(&aig, &word, 2);
+        assert_eq!(narrow.len(), 2);
+    }
+}

@@ -1,0 +1,375 @@
+//! The ELF cut classifier: a mean–variance normalizer fused with the
+//! 325-parameter MLP, evaluated on one big batch of cut features.
+
+use std::error::Error;
+use std::fmt;
+
+use elf_aig::{CutFeatures, NUM_FEATURES};
+use elf_nn::{
+    model_from_text, model_to_text, train, ConfusionMatrix, Dataset, Mlp, Normalizer, TrainConfig,
+    TrainReport,
+};
+
+/// Error returned when deserializing a stored classifier fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseClassifierError {
+    message: String,
+}
+
+impl ParseClassifierError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseClassifierError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseClassifierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid classifier text: {}", self.message)
+    }
+}
+
+impl Error for ParseClassifierError {}
+
+/// Default decision threshold on the classifier's output probability.
+pub const DEFAULT_THRESHOLD: f32 = 0.5;
+
+/// Training-set recall preserved by the post-training threshold calibration.
+pub const RECALL_TARGET: f64 = 0.95;
+
+/// The trained ELF classifier.
+///
+/// Conceptually this is the ONNX graph the paper deploys inside ABC: a
+/// mean–variance-normalization node fused with the feed-forward network.
+/// Classification is always performed on a whole batch of cuts at once (the
+/// paper's key engineering optimization).
+///
+/// # Examples
+///
+/// ```
+/// use elf_core::ElfClassifier;
+/// use elf_nn::Dataset;
+///
+/// let mut data = Dataset::new();
+/// for i in 0..100 {
+///     let x = i as f32;
+///     data.push(vec![x, x, 10.0, 20.0, 1.0, 5.0], i % 10 == 0);
+/// }
+/// let (classifier, _report) = ElfClassifier::fit(&data, &Default::default(), 42);
+/// let decisions = classifier.classify_batch(&[[1.0, 1.0, 10.0, 20.0, 1.0, 5.0]]);
+/// assert_eq!(decisions.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElfClassifier {
+    normalizer: Normalizer,
+    model: Mlp,
+    threshold: f32,
+}
+
+impl ElfClassifier {
+    /// Trains a classifier on a labelled feature dataset.
+    ///
+    /// The normalizer is fitted on the training data and fused with the
+    /// model; `seed` controls weight initialization and data shuffling.
+    ///
+    /// After training, the decision threshold is calibrated to be
+    /// recall-driven: it is set to the largest value that still classifies at
+    /// least [`RECALL_TARGET`] of the training positives as positive
+    /// (clamped to `[0.05, 0.5]`).  The paper stresses that recall directly
+    /// bounds the area loss, so the operating point favours recall over
+    /// pruning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or does not have six features.
+    pub fn fit(data: &Dataset, config: &TrainConfig, seed: u64) -> (Self, TrainReport) {
+        assert_eq!(
+            data.num_features(),
+            NUM_FEATURES,
+            "the ELF classifier expects {NUM_FEATURES} features"
+        );
+        let normalizer = Normalizer::fit(data);
+        let normalized = normalizer.transform(data);
+        let mut model = Mlp::paper_architecture(seed);
+        let report = train(&mut model, &normalized, config);
+        let mut classifier = ElfClassifier {
+            normalizer,
+            model,
+            threshold: DEFAULT_THRESHOLD,
+        };
+        classifier.calibrate_threshold(data, RECALL_TARGET);
+        (classifier, report)
+    }
+
+    /// Calibrates the decision threshold so that at least `recall_target` of
+    /// the positive examples in `data` are classified as positive.
+    ///
+    /// The threshold is clamped to `[0.05, 0.5]`; if `data` has no positive
+    /// examples the threshold is left unchanged.
+    pub fn calibrate_threshold(&mut self, data: &Dataset, recall_target: f64) {
+        let mut positive_probs: Vec<f32> = Vec::new();
+        let rows: Vec<Vec<f32>> = data
+            .features()
+            .iter()
+            .map(|f| self.normalizer.transform_row(f))
+            .collect();
+        let probs = self.model.predict(&rows);
+        for (p, &label) in probs.iter().zip(data.labels()) {
+            if label >= 0.5 {
+                positive_probs.push(*p);
+            }
+        }
+        if positive_probs.is_empty() {
+            return;
+        }
+        positive_probs.sort_by(|a, b| a.partial_cmp(b).expect("finite probabilities"));
+        // Keep `recall_target` of positives: threshold at the (1 - target)
+        // quantile of the positive probability distribution.
+        let index = ((1.0 - recall_target) * positive_probs.len() as f64).floor() as usize;
+        let quantile = positive_probs[index.min(positive_probs.len() - 1)];
+        self.threshold = quantile.clamp(0.05, DEFAULT_THRESHOLD);
+    }
+
+    /// Creates a classifier from already-trained parts.
+    pub fn from_parts(normalizer: Normalizer, model: Mlp, threshold: f32) -> Self {
+        ElfClassifier {
+            normalizer,
+            model,
+            threshold,
+        }
+    }
+
+    /// The decision threshold.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Sets the decision threshold (lower thresholds favour recall over
+    /// pruning rate).
+    pub fn set_threshold(&mut self, threshold: f32) {
+        self.threshold = threshold;
+    }
+
+    /// The fused normalizer.
+    pub fn normalizer(&self) -> &Normalizer {
+        &self.normalizer
+    }
+
+    /// The underlying network.
+    pub fn model(&self) -> &Mlp {
+        &self.model
+    }
+
+    /// Predicted probability that each cut will be successfully refactored.
+    ///
+    /// The whole batch is normalized and packed into a single matrix before
+    /// one forward pass, mirroring the paper's batched-inference design.
+    pub fn predict_batch(&self, features: &[[f32; NUM_FEATURES]]) -> Vec<f32> {
+        if features.is_empty() {
+            return Vec::new();
+        }
+        let rows: Vec<Vec<f32>> = features
+            .iter()
+            .map(|f| self.normalizer.transform_row(f))
+            .collect();
+        self.model.predict(&rows)
+    }
+
+    /// Predicted probabilities where the batch is standardized with its *own*
+    /// statistics instead of the training statistics.
+    ///
+    /// The paper standardizes every dataset individually so the model
+    /// generalizes to circuits whose feature ranges (levels, fanouts) differ
+    /// from anything seen during training.
+    pub fn predict_batch_self_normalized(&self, features: &[[f32; NUM_FEATURES]]) -> Vec<f32> {
+        if features.is_empty() {
+            return Vec::new();
+        }
+        let dataset = Dataset::from_parts(
+            features.iter().map(|f| f.to_vec()).collect(),
+            vec![0.0; features.len()],
+        );
+        let normalizer = Normalizer::fit(&dataset);
+        let rows: Vec<Vec<f32>> = features
+            .iter()
+            .map(|f| normalizer.transform_row(f))
+            .collect();
+        self.model.predict(&rows)
+    }
+
+    /// Classifies a batch of cuts: `true` means "attempt resynthesis".
+    pub fn classify_batch(&self, features: &[[f32; NUM_FEATURES]]) -> Vec<bool> {
+        self.predict_batch(features)
+            .into_iter()
+            .map(|p| p >= self.threshold)
+            .collect()
+    }
+
+    /// Classifies a batch using per-circuit (self) normalization.
+    pub fn classify_batch_self_normalized(&self, features: &[[f32; NUM_FEATURES]]) -> Vec<bool> {
+        self.predict_batch_self_normalized(features)
+            .into_iter()
+            .map(|p| p >= self.threshold)
+            .collect()
+    }
+
+    /// Convenience for classifying [`CutFeatures`] values.
+    pub fn classify_cut_features(&self, features: &[CutFeatures], self_normalize: bool) -> Vec<bool> {
+        let arrays: Vec<[f32; NUM_FEATURES]> = features.iter().map(CutFeatures::to_array).collect();
+        if self_normalize {
+            self.classify_batch_self_normalized(&arrays)
+        } else {
+            self.classify_batch(&arrays)
+        }
+    }
+
+    /// Evaluates the classifier against ground-truth labels, returning the
+    /// confusion matrix used by Tables VII and VIII.
+    pub fn evaluate(
+        &self,
+        features: &[[f32; NUM_FEATURES]],
+        labels: &[bool],
+        self_normalize: bool,
+    ) -> ConfusionMatrix {
+        let predictions = if self_normalize {
+            self.classify_batch_self_normalized(features)
+        } else {
+            self.classify_batch(features)
+        };
+        ConfusionMatrix::from_predictions(&predictions, labels)
+    }
+
+    /// Serializes the classifier (normalizer, model and threshold) to text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("threshold {}\n", self.threshold));
+        let mean: Vec<String> = self.normalizer.mean().iter().map(|v| format!("{v:e}")).collect();
+        let std: Vec<String> = self.normalizer.std().iter().map(|v| format!("{v:e}")).collect();
+        out.push_str(&format!("mean {}\n", mean.join(" ")));
+        out.push_str(&format!("std {}\n", std.join(" ")));
+        out.push_str(&model_to_text(&self.model));
+        out
+    }
+
+    /// Deserializes a classifier from the text produced by [`ElfClassifier::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseClassifierError`] if any section is malformed.
+    pub fn from_text(text: &str) -> Result<Self, ParseClassifierError> {
+        let mut lines = text.lines();
+        let parse_err = ParseClassifierError::new;
+        let threshold_line = lines.next().ok_or_else(|| parse_err("missing threshold"))?;
+        let threshold: f32 = threshold_line
+            .strip_prefix("threshold ")
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| parse_err("bad threshold line"))?;
+        let parse_vec = |line: &str, prefix: &str| -> Result<Vec<f32>, ParseClassifierError> {
+            line.strip_prefix(prefix)
+                .ok_or_else(|| parse_err("missing normalizer line"))?
+                .split_whitespace()
+                .map(|s| s.parse().map_err(|_| parse_err("bad normalizer value")))
+                .collect()
+        };
+        let mean = parse_vec(lines.next().ok_or_else(|| parse_err("missing mean"))?, "mean ")?;
+        let std = parse_vec(lines.next().ok_or_else(|| parse_err("missing std"))?, "std ")?;
+        let rest: Vec<&str> = lines.collect();
+        let model = model_from_text(&rest.join("\n"))
+            .map_err(|e| ParseClassifierError::new(format!("model section: {e}")))?;
+        Ok(ElfClassifier {
+            normalizer: Normalizer::from_stats(mean, std),
+            model,
+            threshold,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_dataset(n: usize) -> Dataset {
+        let mut data = Dataset::new();
+        for i in 0..n {
+            // Positives: low cut fanout, several reconvergent nodes.
+            let positive = i % 7 == 0;
+            let features = if positive {
+                vec![1.0, 5.0, 2.0, 12.0, 4.0, 6.0]
+            } else {
+                vec![3.0 + (i % 5) as f32, 20.0, 15.0, 8.0, 0.0, 8.0]
+            };
+            data.push(features, positive);
+        }
+        data
+    }
+
+    fn quick_config() -> TrainConfig {
+        TrainConfig {
+            epochs: 10,
+            learning_rate: 0.05,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fit_and_classify_separable_data() {
+        let data = synthetic_dataset(400);
+        let (classifier, report) = ElfClassifier::fit(&data, &quick_config(), 3);
+        assert!(report.validation_metrics.recall() > 0.8);
+        let positives = classifier.classify_batch(&[[1.0, 5.0, 2.0, 12.0, 4.0, 6.0]]);
+        let negatives = classifier.classify_batch(&[[5.0, 20.0, 15.0, 8.0, 0.0, 8.0]]);
+        assert!(positives[0]);
+        assert!(!negatives[0]);
+    }
+
+    #[test]
+    fn threshold_zero_keeps_everything() {
+        let data = synthetic_dataset(200);
+        let (mut classifier, _) = ElfClassifier::fit(&data, &quick_config(), 5);
+        classifier.set_threshold(0.0);
+        let decisions = classifier.classify_batch(&[
+            [1.0, 5.0, 2.0, 12.0, 4.0, 6.0],
+            [9.0, 20.0, 15.0, 8.0, 0.0, 8.0],
+        ]);
+        assert!(decisions.iter().all(|&d| d));
+        assert_eq!(classifier.threshold(), 0.0);
+    }
+
+    #[test]
+    fn evaluation_produces_confusion_matrix() {
+        let data = synthetic_dataset(300);
+        let (classifier, _) = ElfClassifier::fit(&data, &quick_config(), 7);
+        let features: Vec<[f32; 6]> = data
+            .features()
+            .iter()
+            .map(|f| [f[0], f[1], f[2], f[3], f[4], f[5]])
+            .collect();
+        let labels: Vec<bool> = data.labels().iter().map(|&l| l >= 0.5).collect();
+        let cm = classifier.evaluate(&features, &labels, false);
+        assert_eq!(cm.total(), data.len());
+        assert!(cm.recall() > 0.8);
+        assert!(cm.accuracy() > 0.8);
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let data = synthetic_dataset(150);
+        let (classifier, _) = ElfClassifier::fit(&data, &quick_config(), 9);
+        let text = classifier.to_text();
+        let restored = ElfClassifier::from_text(&text).expect("round trip");
+        let sample = [[2.0f32, 7.0, 3.0, 11.0, 2.0, 5.0]];
+        assert_eq!(
+            classifier.predict_batch(&sample)[0].to_bits(),
+            restored.predict_batch(&sample)[0].to_bits()
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_handled() {
+        let data = synthetic_dataset(100);
+        let (classifier, _) = ElfClassifier::fit(&data, &quick_config(), 11);
+        assert!(classifier.predict_batch(&[]).is_empty());
+        assert!(classifier.classify_batch_self_normalized(&[]).is_empty());
+    }
+}

@@ -1,0 +1,325 @@
+//! The ELF operator (paper Algorithm 2): batch feature collection, batch
+//! classification, and pruned refactoring.
+
+use std::time::{Duration, Instant};
+
+use elf_aig::{Aig, NodeId, NUM_FEATURES};
+use elf_opt::{Refactor, RefactorParams, RefactorStats};
+
+use crate::classifier::ElfClassifier;
+
+/// Configuration of the ELF operator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElfConfig {
+    /// Parameters of the underlying refactor operator.
+    pub refactor: RefactorParams,
+    /// Standardize each circuit's feature batch with its own statistics
+    /// (paper Section IV-A) instead of the training statistics.
+    pub self_normalize: bool,
+    /// Classify all cuts once before iterating (the paper's batched mode).
+    /// When `false`, cuts are classified one at a time as the AIG evolves
+    /// (the ablation discussed in Section III-B).
+    pub batch_classification: bool,
+}
+
+impl Default for ElfConfig {
+    fn default() -> Self {
+        ElfConfig {
+            refactor: RefactorParams::default(),
+            self_normalize: true,
+            batch_classification: true,
+        }
+    }
+}
+
+/// Statistics of one ELF pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ElfStats {
+    /// Statistics of the underlying (pruned) refactor pass.
+    pub refactor: RefactorStats,
+    /// Time spent collecting features for every cut.
+    pub feature_time: Duration,
+    /// Time spent in batched classifier inference.
+    pub classify_time: Duration,
+    /// Number of cuts the classifier pruned.
+    pub pruned: usize,
+    /// Number of cuts the classifier kept (resynthesis attempted).
+    pub kept: usize,
+    /// Total wall-clock time of the ELF pass.
+    pub total_time: Duration,
+}
+
+impl ElfStats {
+    /// Fraction of cuts pruned by the classifier (the 69.4–95.1% of Fig. 1).
+    pub fn prune_rate(&self) -> f64 {
+        let total = self.pruned + self.kept;
+        if total == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / total as f64
+        }
+    }
+}
+
+/// The ELF operator: a trained classifier wrapped around [`Refactor`].
+///
+/// # Examples
+///
+/// ```no_run
+/// use elf_core::{ElfClassifier, ElfConfig, ElfRefactor};
+/// use elf_aig::Aig;
+/// # fn classifier() -> ElfClassifier { unimplemented!() }
+///
+/// let classifier = classifier();
+/// let elf = ElfRefactor::new(classifier, ElfConfig::default());
+/// let mut aig = Aig::new();
+/// let stats = elf.run(&mut aig);
+/// println!("pruned {:.1}% of cuts", stats.prune_rate() * 100.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ElfRefactor {
+    classifier: ElfClassifier,
+    config: ElfConfig,
+}
+
+impl ElfRefactor {
+    /// Creates an ELF operator from a trained classifier.
+    pub fn new(classifier: ElfClassifier, config: ElfConfig) -> Self {
+        ElfRefactor { classifier, config }
+    }
+
+    /// The wrapped classifier.
+    pub fn classifier(&self) -> &ElfClassifier {
+        &self.classifier
+    }
+
+    /// The operator configuration.
+    pub fn config(&self) -> &ElfConfig {
+        &self.config
+    }
+
+    /// Runs one ELF pass over the graph (Algorithm 2).
+    pub fn run(&self, aig: &mut Aig) -> ElfStats {
+        if self.config.batch_classification {
+            self.run_batched(aig)
+        } else {
+            self.run_per_node(aig)
+        }
+    }
+
+    /// Runs ELF `applications` times in sequence (the paper's "ELF x 2"),
+    /// returning the per-pass statistics.
+    pub fn run_repeated(&self, aig: &mut Aig, applications: usize) -> Vec<ElfStats> {
+        (0..applications).map(|_| self.run(aig)).collect()
+    }
+
+    fn run_batched(&self, aig: &mut Aig) -> ElfStats {
+        let start = Instant::now();
+        let refactor = Refactor::new(self.config.refactor);
+
+        // Phase 1: collect the cut features of every node in one sweep.
+        let feature_start = Instant::now();
+        let features = refactor.collect_features(aig);
+        let feature_time = feature_start.elapsed();
+
+        // Phase 2: classify all cuts in a single batch.
+        let classify_start = Instant::now();
+        let arrays: Vec<[f32; NUM_FEATURES]> =
+            features.iter().map(|(_, f)| f.to_array()).collect();
+        let decisions = if self.config.self_normalize {
+            self.classifier.classify_batch_self_normalized(&arrays)
+        } else {
+            self.classifier.classify_batch(&arrays)
+        };
+        let classify_time = classify_start.elapsed();
+
+        // Phase 3: refactor only the nodes the classifier kept.
+        let mut stats = RefactorStats::default();
+        let refactor_start = Instant::now();
+        let mut pruned = 0usize;
+        let mut kept = 0usize;
+        for ((node, _), keep) in features.iter().zip(&decisions) {
+            let node: NodeId = *node;
+            if !aig.is_and(node) || aig.refs(node) == 0 {
+                continue;
+            }
+            stats.nodes_visited += 1;
+            stats.cuts_formed += 1;
+            if !*keep {
+                pruned += 1;
+                stats.cuts_pruned += 1;
+                continue;
+            }
+            kept += 1;
+            let outcome = refactor.refactor_node(aig, node);
+            stats.cuts_resynthesized += 1;
+            if outcome.committed {
+                stats.cuts_committed += 1;
+                stats.total_gain += outcome.gain;
+            }
+        }
+        stats.runtime = refactor_start.elapsed();
+
+        ElfStats {
+            refactor: stats,
+            feature_time,
+            classify_time,
+            pruned,
+            kept,
+            total_time: start.elapsed(),
+        }
+    }
+
+    fn run_per_node(&self, aig: &mut Aig) -> ElfStats {
+        let start = Instant::now();
+        let refactor = Refactor::new(self.config.refactor);
+        let mut pruned = 0usize;
+        let mut kept = 0usize;
+        let classifier = &self.classifier;
+        let stats = refactor.run_with_filter(aig, |_, features| {
+            let keep = classifier.classify_batch(&[features.to_array()])[0];
+            if keep {
+                kept += 1;
+            } else {
+                pruned += 1;
+            }
+            keep
+        });
+        ElfStats {
+            refactor: stats,
+            feature_time: Duration::ZERO,
+            classify_time: Duration::ZERO,
+            pruned,
+            kept,
+            total_time: start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::DEFAULT_THRESHOLD;
+    use elf_aig::{check_equivalence, EquivalenceResult, Lit};
+    use elf_nn::{Dataset, Mlp, Normalizer};
+
+    /// Builds a classifier with hand-set normalizer statistics and an
+    /// untrained (random) network — sufficient for exercising the flow.
+    fn dummy_classifier(threshold: f32) -> ElfClassifier {
+        let normalizer = Normalizer::from_stats(vec![2.0; 6], vec![1.0; 6]);
+        ElfClassifier::from_parts(normalizer, Mlp::paper_architecture(5), threshold)
+    }
+
+    fn redundant_circuit() -> Aig {
+        let mut aig = Aig::new();
+        let inputs: Vec<Lit> = aig.add_inputs(6);
+        let mut acc = inputs[5];
+        for w in inputs.windows(3) {
+            let t0 = aig.and(w[0], w[1]);
+            let t1 = aig.and(w[0], w[2]);
+            let or = aig.or(t0, t1);
+            acc = aig.and(acc, or);
+        }
+        aig.add_output(acc);
+        aig.cleanup();
+        aig
+    }
+
+    #[test]
+    fn keep_everything_matches_baseline_quality() {
+        // With threshold 0 the classifier keeps every cut, so ELF must reach
+        // exactly the same node count as the baseline.
+        let mut elf_aig = redundant_circuit();
+        let mut baseline_aig = redundant_circuit();
+        let elf = ElfRefactor::new(dummy_classifier(0.0), ElfConfig::default());
+        let stats = elf.run(&mut elf_aig);
+        let baseline = Refactor::new(RefactorParams::default()).run(&mut baseline_aig);
+        assert_eq!(stats.pruned, 0);
+        assert_eq!(stats.refactor.cuts_committed, baseline.cuts_committed);
+        assert_eq!(elf_aig.num_reachable_ands(), baseline_aig.num_reachable_ands());
+    }
+
+    #[test]
+    fn prune_everything_changes_nothing() {
+        let mut aig = redundant_circuit();
+        let golden = aig.clone();
+        let elf = ElfRefactor::new(dummy_classifier(1.1), ElfConfig::default());
+        let stats = elf.run(&mut aig);
+        assert_eq!(stats.kept, 0);
+        assert_eq!(stats.refactor.cuts_committed, 0);
+        assert!((stats.prune_rate() - 1.0).abs() < 1e-9);
+        assert_eq!(golden.num_ands(), aig.num_ands());
+    }
+
+    #[test]
+    fn elf_preserves_functionality() {
+        let mut aig = redundant_circuit();
+        let golden = aig.clone();
+        let elf = ElfRefactor::new(dummy_classifier(DEFAULT_THRESHOLD), ElfConfig::default());
+        let _ = elf.run(&mut aig);
+        assert!(aig.check_invariants().is_empty());
+        assert_eq!(
+            check_equivalence(&golden, &aig, 8, 77),
+            EquivalenceResult::Equivalent
+        );
+    }
+
+    #[test]
+    fn per_node_mode_also_preserves_functionality() {
+        let mut aig = redundant_circuit();
+        let golden = aig.clone();
+        let config = ElfConfig {
+            batch_classification: false,
+            ..Default::default()
+        };
+        let elf = ElfRefactor::new(dummy_classifier(DEFAULT_THRESHOLD), config);
+        let stats = elf.run(&mut aig);
+        assert_eq!(stats.pruned + stats.kept, stats.refactor.cuts_formed);
+        assert_eq!(
+            check_equivalence(&golden, &aig, 8, 78),
+            EquivalenceResult::Equivalent
+        );
+    }
+
+    #[test]
+    fn repeated_application_reports_each_pass() {
+        let mut aig = redundant_circuit();
+        let elf = ElfRefactor::new(dummy_classifier(0.0), ElfConfig::default());
+        let passes = elf.run_repeated(&mut aig, 2);
+        assert_eq!(passes.len(), 2);
+        // The second pass cannot commit more gain than remains.
+        assert!(passes[1].refactor.total_gain <= passes[0].refactor.total_gain);
+    }
+
+    /// Trained end-to-end smoke test: train on one circuit, apply to another.
+    #[test]
+    fn trained_classifier_runs_end_to_end() {
+        use crate::dataset::circuit_dataset;
+        use elf_nn::TrainConfig;
+        let train_circuit = redundant_circuit();
+        let data = circuit_dataset(&train_circuit, &RefactorParams::default());
+        let data = if data.class_counts().1 == 0 {
+            // Ensure at least one positive example for training stability.
+            let mut d = Dataset::new();
+            d.extend_from(&data);
+            d.push(vec![1.0, 2.0, 2.0, 10.0, 3.0, 5.0], true);
+            d
+        } else {
+            data
+        };
+        let config = TrainConfig {
+            epochs: 5,
+            ..Default::default()
+        };
+        let (classifier, _) = ElfClassifier::fit(&data, &config, 13);
+        let mut target = redundant_circuit();
+        let golden = target.clone();
+        let elf = ElfRefactor::new(classifier, ElfConfig::default());
+        let stats = elf.run(&mut target);
+        assert_eq!(stats.pruned + stats.kept, stats.refactor.cuts_formed);
+        assert_eq!(
+            check_equivalence(&golden, &target, 8, 80),
+            EquivalenceResult::Equivalent
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! # elf-core
+//!
+//! ELF — Efficient Logic synthesis by pruning redundancy in reFactoring.
+//!
+//! This crate is the paper's primary contribution: a lightweight learned
+//! classifier that predicts, from six structural cut features, whether the
+//! refactor operator will succeed at a node, and an operator wrapper that
+//! skips (prunes) the nodes predicted to fail.  Because only ~0.05–10.8 % of
+//! cuts are ever committed, pruning the rest removes most of the operator's
+//! runtime at negligible quality cost.
+//!
+//! The pieces:
+//!
+//! * [`ElfClassifier`] — mean–variance normalization fused with the paper's
+//!   325-parameter MLP, trained and evaluated in batch;
+//! * [`circuit_dataset`] / [`leave_one_out_dataset`] — training-data
+//!   collection by running the baseline operator in recording mode;
+//! * [`ElfRefactor`] — the pruned operator (Algorithm 2): collect features for
+//!   every cut, classify the whole batch once, then resynthesize only the
+//!   surviving nodes;
+//! * [`experiment`] — the leave-one-out protocol, baseline-vs-ELF comparison
+//!   rows and classifier quality metrics that regenerate the paper's tables.
+//!
+//! # Examples
+//!
+//! Train on a set of circuits and accelerate refactoring of another:
+//!
+//! ```
+//! use elf_aig::Aig;
+//! use elf_core::{circuit_dataset, ElfClassifier, ElfConfig, ElfRefactor};
+//! use elf_nn::TrainConfig;
+//! use elf_opt::RefactorParams;
+//!
+//! // A tiny training circuit with redundant logic.
+//! let mut train_aig = Aig::new();
+//! let inputs = train_aig.add_inputs(4);
+//! let t0 = train_aig.and(inputs[0], inputs[1]);
+//! let t1 = train_aig.and(inputs[0], inputs[2]);
+//! let f = train_aig.or(t0, t1);
+//! let g = train_aig.and(f, inputs[3]);
+//! train_aig.add_output(g);
+//!
+//! let data = circuit_dataset(&train_aig, &RefactorParams::default());
+//! let config = TrainConfig { epochs: 3, ..Default::default() };
+//! let (classifier, _) = ElfClassifier::fit(&data, &config, 7);
+//!
+//! let mut target = train_aig.clone();
+//! let elf = ElfRefactor::new(classifier, ElfConfig::default());
+//! let stats = elf.run(&mut target);
+//! assert_eq!(stats.pruned + stats.kept, stats.refactor.cuts_formed);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod classifier;
+mod dataset;
+pub mod experiment;
+mod flow;
+
+pub use classifier::{ElfClassifier, ParseClassifierError, DEFAULT_THRESHOLD};
+pub use dataset::{
+    circuit_dataset, circuit_dataset_standardized, collect_labeled_cuts, cuts_to_arrays,
+    cuts_to_dataset, leave_one_out_dataset, standardize_per_circuit, BenchCircuit,
+};
+pub use experiment::{
+    circuit_stats, compare_on_circuit, quality_on_circuit, run_suite, train_leave_one_out,
+    train_on_all, CircuitStatsRow, ComparisonRow, ExperimentConfig, QualityRow, SuiteResult,
+};
+pub use flow::{ElfConfig, ElfRefactor, ElfStats};

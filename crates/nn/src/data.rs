@@ -1,0 +1,455 @@
+//! Datasets, normalization, resampling and augmentation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::matrix::Matrix;
+
+/// A labelled binary-classification dataset with dense feature rows.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Dataset {
+    features: Vec<Vec<f32>>,
+    labels: Vec<f32>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a dataset from parallel feature and label vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors have different lengths.
+    pub fn from_parts(features: Vec<Vec<f32>>, labels: Vec<f32>) -> Self {
+        assert_eq!(features.len(), labels.len(), "feature/label count mismatch");
+        Dataset { features, labels }
+    }
+
+    /// Adds one labelled example.
+    pub fn push(&mut self, features: Vec<f32>, label: bool) {
+        self.features.push(features);
+        self.labels.push(if label { 1.0 } else { 0.0 });
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` if the dataset has no examples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of features per example (0 for an empty dataset).
+    pub fn num_features(&self) -> usize {
+        self.features.first().map_or(0, Vec::len)
+    }
+
+    /// The feature rows.
+    pub fn features(&self) -> &[Vec<f32>] {
+        &self.features
+    }
+
+    /// The labels (0.0 or 1.0).
+    pub fn labels(&self) -> &[f32] {
+        &self.labels
+    }
+
+    /// Counts of (negative, positive) examples.
+    pub fn class_counts(&self) -> (usize, usize) {
+        let positives = self.labels.iter().filter(|&&l| l >= 0.5).count();
+        (self.len() - positives, positives)
+    }
+
+    /// Appends all examples of `other`.
+    pub fn extend_from(&mut self, other: &Dataset) {
+        self.features.extend(other.features.iter().cloned());
+        self.labels.extend_from_slice(&other.labels);
+    }
+
+    /// Splits the dataset into (train, validation) with the given validation
+    /// fraction, after a seeded shuffle.
+    pub fn split(&self, validation_fraction: f32, seed: u64) -> (Dataset, Dataset) {
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..indices.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            indices.swap(i, j);
+        }
+        let valid_count = ((self.len() as f32) * validation_fraction).round() as usize;
+        let (valid_idx, train_idx) = indices.split_at(valid_count.min(self.len()));
+        let pick = |idx: &[usize]| {
+            Dataset::from_parts(
+                idx.iter().map(|&i| self.features[i].clone()).collect(),
+                idx.iter().map(|&i| self.labels[i]).collect(),
+            )
+        };
+        (pick(train_idx), pick(valid_idx))
+    }
+
+    /// Packs the features into a single matrix (one row per example), the
+    /// batching trick the paper uses to amortize inference overhead.
+    pub fn to_matrix(&self) -> Matrix {
+        if self.is_empty() {
+            Matrix::zeros(0, 0)
+        } else {
+            Matrix::from_rows(&self.features)
+        }
+    }
+
+    /// Selects a subset of the dataset by example indices (with repetition
+    /// allowed, for resampling).
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        Dataset::from_parts(
+            indices.iter().map(|&i| self.features[i].clone()).collect(),
+            indices.iter().map(|&i| self.labels[i]).collect(),
+        )
+    }
+}
+
+/// Mean–variance normalization fitted on a dataset.
+///
+/// The paper fuses this normalization into the deployed model ("we merged a
+/// Mean Variance Normalization node directly with the model"); the same
+/// fusion is done by `elf-core`'s classifier, which stores a `Normalizer`
+/// next to the MLP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Normalizer {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl Normalizer {
+    /// Fits per-feature mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn fit(dataset: &Dataset) -> Self {
+        assert!(!dataset.is_empty(), "cannot fit a normalizer on an empty dataset");
+        let dims = dataset.num_features();
+        let n = dataset.len() as f32;
+        let mut mean = vec![0.0; dims];
+        for row in dataset.features() {
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; dims];
+        for row in dataset.features() {
+            for ((v, x), m) in var.iter_mut().zip(row).zip(&mean) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|v| (v / n).sqrt().max(1e-6))
+            .collect();
+        Normalizer { mean, std }
+    }
+
+    /// Creates a normalizer from explicit statistics.
+    pub fn from_stats(mean: Vec<f32>, std: Vec<f32>) -> Self {
+        assert_eq!(mean.len(), std.len());
+        Normalizer { mean, std }
+    }
+
+    /// Per-feature means.
+    pub fn mean(&self) -> &[f32] {
+        &self.mean
+    }
+
+    /// Per-feature standard deviations.
+    pub fn std(&self) -> &[f32] {
+        &self.std
+    }
+
+    /// Normalizes one feature row.
+    pub fn transform_row(&self, row: &[f32]) -> Vec<f32> {
+        row.iter()
+            .zip(self.mean.iter().zip(&self.std))
+            .map(|(x, (m, s))| (x - m) / s)
+            .collect()
+    }
+
+    /// Normalizes a whole dataset, returning a new dataset.
+    pub fn transform(&self, dataset: &Dataset) -> Dataset {
+        Dataset::from_parts(
+            dataset
+                .features()
+                .iter()
+                .map(|row| self.transform_row(row))
+                .collect(),
+            dataset.labels().to_vec(),
+        )
+    }
+}
+
+/// Weighted random sampling with replacement that balances the two classes
+/// (the resampling strategy the paper found most effective).
+#[derive(Debug, Clone)]
+pub struct WeightedRandomSampler {
+    weights: Vec<f64>,
+    cumulative: Vec<f64>,
+}
+
+impl WeightedRandomSampler {
+    /// Builds a sampler whose per-example weight is inversely proportional to
+    /// its class frequency.
+    pub fn balanced(dataset: &Dataset) -> Self {
+        let (neg, pos) = dataset.class_counts();
+        let w_pos = if pos == 0 { 0.0 } else { 1.0 / pos as f64 };
+        let w_neg = if neg == 0 { 0.0 } else { 1.0 / neg as f64 };
+        let weights: Vec<f64> = dataset
+            .labels()
+            .iter()
+            .map(|&l| if l >= 0.5 { w_pos } else { w_neg })
+            .collect();
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0.0;
+        for w in &weights {
+            total += w;
+            cumulative.push(total);
+        }
+        WeightedRandomSampler {
+            weights,
+            cumulative,
+        }
+    }
+
+    /// Per-example sampling weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Draws `count` example indices with replacement.
+    pub fn sample(&self, count: usize, rng: &mut impl Rng) -> Vec<usize> {
+        let total = *self.cumulative.last().unwrap_or(&0.0);
+        if total <= 0.0 {
+            return (0..count.min(self.weights.len())).collect();
+        }
+        (0..count)
+            .map(|_| {
+                let r = rng.gen_range(0.0..total);
+                match self
+                    .cumulative
+                    .binary_search_by(|probe| probe.partial_cmp(&r).expect("finite weights"))
+                {
+                    Ok(i) | Err(i) => i.min(self.weights.len() - 1),
+                }
+            })
+            .collect()
+    }
+}
+
+/// MixUp augmentation (Zhang et al.): convex combinations of example pairs.
+///
+/// Returns a new dataset of `count` mixed examples drawn from `dataset`.
+pub fn mixup(dataset: &Dataset, count: usize, alpha: f32, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Dataset::new();
+    if dataset.len() < 2 {
+        return out;
+    }
+    for _ in 0..count {
+        let i = rng.gen_range(0..dataset.len());
+        let j = rng.gen_range(0..dataset.len());
+        let lambda = sample_beta(alpha, alpha, &mut rng);
+        let xi = &dataset.features()[i];
+        let xj = &dataset.features()[j];
+        let mixed: Vec<f32> = xi
+            .iter()
+            .zip(xj)
+            .map(|(a, b)| lambda * a + (1.0 - lambda) * b)
+            .collect();
+        let label = lambda * dataset.labels()[i] + (1.0 - lambda) * dataset.labels()[j];
+        out.features.push(mixed);
+        out.labels.push(label);
+    }
+    out
+}
+
+/// SMOTE-style oversampling: synthesizes minority-class examples by
+/// interpolating each minority example with one of its `k` nearest minority
+/// neighbours until the minority class reaches `target_count` examples.
+pub fn smote(dataset: &Dataset, target_count: usize, k: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let minority: Vec<&Vec<f32>> = dataset
+        .features()
+        .iter()
+        .zip(dataset.labels())
+        .filter(|(_, &l)| l >= 0.5)
+        .map(|(f, _)| f)
+        .collect();
+    let mut out = dataset.clone();
+    if minority.len() < 2 {
+        return out;
+    }
+    let distance = |a: &[f32], b: &[f32]| -> f32 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>()
+    };
+    while out.class_counts().1 < target_count {
+        let anchor = minority[rng.gen_range(0..minority.len())];
+        // k nearest minority neighbours of the anchor.
+        let mut by_distance: Vec<(f32, usize)> = minority
+            .iter()
+            .enumerate()
+            .map(|(idx, other)| (distance(anchor, other), idx))
+            .collect();
+        by_distance.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        let neighbours = &by_distance[1..(k + 1).min(by_distance.len())];
+        if neighbours.is_empty() {
+            break;
+        }
+        let (_, pick) = neighbours[rng.gen_range(0..neighbours.len())];
+        let lambda: f32 = rng.gen_range(0.0..1.0);
+        let synthetic: Vec<f32> = anchor
+            .iter()
+            .zip(minority[pick])
+            .map(|(a, b)| a + lambda * (b - a))
+            .collect();
+        out.push(synthetic, true);
+    }
+    out
+}
+
+/// Samples from a Beta(`a`, `b`) distribution (used by MixUp).
+fn sample_beta(a: f32, b: f32, rng: &mut impl Rng) -> f32 {
+    let x = sample_gamma(a, rng);
+    let y = sample_gamma(b, rng);
+    if x + y == 0.0 {
+        0.5
+    } else {
+        x / (x + y)
+    }
+}
+
+/// Marsaglia–Tsang gamma sampling (shape `a`, scale 1).
+fn sample_gamma(shape: f32, rng: &mut impl Rng) -> f32 {
+    if shape < 1.0 {
+        // Boost the shape and correct with a power of a uniform.
+        let u: f32 = rng.gen_range(f32::EPSILON..1.0);
+        return sample_gamma(shape + 1.0, rng) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // Standard normal via Box-Muller.
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let normal = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        let v = (1.0 + c * normal).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f32 = rng.gen_range(f32::EPSILON..1.0);
+        if u.ln() < 0.5 * normal * normal + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dataset() -> Dataset {
+        let mut data = Dataset::new();
+        for i in 0..20 {
+            let x = i as f32;
+            data.push(vec![x, 2.0 * x], i % 5 == 0);
+        }
+        data
+    }
+
+    #[test]
+    fn dataset_basics() {
+        let data = toy_dataset();
+        assert_eq!(data.len(), 20);
+        assert_eq!(data.num_features(), 2);
+        assert_eq!(data.class_counts(), (16, 4));
+        assert!(!data.is_empty());
+        let matrix = data.to_matrix();
+        assert_eq!(matrix.rows(), 20);
+        assert_eq!(matrix.cols(), 2);
+    }
+
+    #[test]
+    fn split_partitions_all_examples() {
+        let data = toy_dataset();
+        let (train, valid) = data.split(0.25, 3);
+        assert_eq!(train.len() + valid.len(), data.len());
+        assert_eq!(valid.len(), 5);
+    }
+
+    #[test]
+    fn normalizer_centers_and_scales() {
+        let data = toy_dataset();
+        let norm = Normalizer::fit(&data);
+        let transformed = norm.transform(&data);
+        let matrix = transformed.to_matrix();
+        let sums = matrix.column_sums();
+        for s in sums {
+            assert!(s.abs() < 1e-3, "mean should be ~0, got {s}");
+        }
+        // Round trip on a single row.
+        let row = norm.transform_row(&[0.0, 0.0]);
+        assert!(row[0] < 0.0);
+    }
+
+    #[test]
+    fn balanced_sampler_oversamples_minority() {
+        let data = toy_dataset();
+        let sampler = WeightedRandomSampler::balanced(&data);
+        let mut rng = StdRng::seed_from_u64(9);
+        let indices = sampler.sample(4000, &mut rng);
+        let positives = indices
+            .iter()
+            .filter(|&&i| data.labels()[i] >= 0.5)
+            .count();
+        let fraction = positives as f64 / indices.len() as f64;
+        assert!(
+            (fraction - 0.5).abs() < 0.08,
+            "balanced sampling should yield ~50% positives, got {fraction}"
+        );
+    }
+
+    #[test]
+    fn mixup_labels_are_convex_combinations() {
+        let data = toy_dataset();
+        let mixed = mixup(&data, 50, 0.4, 11);
+        assert_eq!(mixed.len(), 50);
+        for (row, &label) in mixed.features().iter().zip(mixed.labels()) {
+            assert_eq!(row.len(), 2);
+            assert!((0.0..=1.0).contains(&label));
+            // Feature 1 is always twice feature 0 in the source data, and the
+            // relation is preserved by convex combination.
+            assert!((row[1] - 2.0 * row[0]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn smote_reaches_target_minority_count() {
+        let data = toy_dataset();
+        let augmented = smote(&data, 12, 3, 5);
+        assert!(augmented.class_counts().1 >= 12);
+        assert_eq!(augmented.class_counts().0, 16);
+        assert_eq!(augmented.num_features(), 2);
+    }
+
+    #[test]
+    fn beta_samples_stay_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let s = sample_beta(0.4, 0.4, &mut rng);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

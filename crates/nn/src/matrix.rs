@@ -1,0 +1,316 @@
+//! A minimal dense matrix type for the classifier.
+//!
+//! The ELF classifier is a 325-parameter MLP evaluated on batches of cut
+//! features, so a simple row-major `f32` matrix with naive loops is both
+//! sufficient and fast enough (the paper's own engineering trick is batching,
+//! not a faster kernel).
+
+use std::fmt;
+
+/// A dense row-major matrix of `f32` values.
+///
+/// # Examples
+///
+/// ```
+/// use elf_nn::Matrix;
+/// let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+/// let b = Matrix::identity(2);
+/// assert_eq!(a.matmul(&b), a);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the identity matrix of the given size.
+    pub fn identity(size: usize) -> Self {
+        let mut m = Self::zeros(size, size);
+        for i in 0..size {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must match dimensions");
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from a slice of equally sized rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have differing lengths or the input is empty.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "at least one row is required");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "all rows must have the same length");
+            data.extend_from_slice(row);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable access to the underlying row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Returns the element at (`row`, `col`).
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the element at (`row`, `col`).
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Returns a view of row `row`.
+    pub fn row(&self, row: usize) -> &[f32] {
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Returns `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.data[i * other.cols + j] += a * other.get(k, j);
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns `self^T * other` without materializing the transpose.
+    pub fn matmul_transpose_self(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "row counts must agree");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            for i in 0..self.cols {
+                let a = self.get(k, i);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.data[i * other.cols + j] += a * other.get(k, j);
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns `self * other^T` without materializing the transpose.
+    pub fn matmul_transpose_other(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "column counts must agree");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            for j in 0..other.rows {
+                let mut sum = 0.0;
+                for k in 0..self.cols {
+                    sum += self.get(i, k) * other.get(j, k);
+                }
+                out.set(i, j, sum);
+            }
+        }
+        out
+    }
+
+    /// Applies a function to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Adds a row vector to every row (broadcast), in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != self.cols()`.
+    pub fn add_row_broadcast(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                self.data[i * self.cols + j] += bias[j];
+            }
+        }
+    }
+
+    /// Sums the rows, returning one value per column.
+    pub fn column_sums(&self) -> Vec<f32> {
+        let mut sums = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                sums[j] += self.get(i, j);
+            }
+        }
+        sums
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}x{}]", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            let row: Vec<String> = self.row(i).iter().map(|v| format!("{v:8.4}")).collect();
+            writeln!(f, "  {}", row.join(" "))?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_against_hand_computed() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]));
+    }
+
+    #[test]
+    fn transpose_products_match_explicit_transpose() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let b = Matrix::from_rows(&[vec![1.0, 0.5], vec![-1.0, 2.0], vec![0.0, 1.0]]);
+        // a^T (2x3) * b (3x2) = 2x2
+        let atb = a.matmul_transpose_self(&b);
+        assert_eq!(atb.rows(), 2);
+        assert_eq!(atb.cols(), 2);
+        assert!((atb.get(0, 0) - (1.0 - 3.0 + 0.0)).abs() < 1e-6);
+        // a (3x2) * a^T (2x3) = 3x3 symmetric
+        let aat = a.matmul_transpose_other(&a);
+        assert_eq!(aat.get(0, 1), aat.get(1, 0));
+        assert_eq!(aat.get(0, 0), 5.0);
+    }
+
+    #[test]
+    fn broadcast_and_sums() {
+        let mut m = Matrix::zeros(3, 2);
+        m.add_row_broadcast(&[1.0, 2.0]);
+        assert_eq!(m.column_sums(), vec![3.0, 6.0]);
+        let h = m.hadamard(&m);
+        assert_eq!(h.get(0, 1), 4.0);
+        let s = m.add(&m);
+        assert_eq!(s.get(2, 0), 2.0);
+        let n = m.map(|x| -x);
+        assert_eq!(n.get(0, 0), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatched_matmul_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,175 @@
+//! Classification metrics (the paper reports recall, accuracy and the full
+//! confusion matrix per circuit).
+
+/// A binary confusion matrix.
+///
+/// In the ELF setting the positive class is "this cut will be successfully
+/// refactored"; recall therefore bounds the area loss (missed positives are
+/// optimizations ELF skips) while accuracy tracks the achievable speed-up.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// Positive examples classified as positive.
+    pub true_positives: usize,
+    /// Negative examples classified as negative.
+    pub true_negatives: usize,
+    /// Negative examples classified as positive.
+    pub false_positives: usize,
+    /// Positive examples classified as negative.
+    pub false_negatives: usize,
+}
+
+impl ConfusionMatrix {
+    /// Builds a confusion matrix from parallel prediction/label slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn from_predictions(predictions: &[bool], labels: &[bool]) -> Self {
+        assert_eq!(predictions.len(), labels.len(), "length mismatch");
+        let mut cm = ConfusionMatrix::default();
+        for (&p, &l) in predictions.iter().zip(labels) {
+            match (p, l) {
+                (true, true) => cm.true_positives += 1,
+                (false, false) => cm.true_negatives += 1,
+                (true, false) => cm.false_positives += 1,
+                (false, true) => cm.false_negatives += 1,
+            }
+        }
+        cm
+    }
+
+    /// Builds a confusion matrix from probabilities thresholded at `threshold`.
+    pub fn from_probabilities(probabilities: &[f32], labels: &[bool], threshold: f32) -> Self {
+        let predictions: Vec<bool> = probabilities.iter().map(|&p| p >= threshold).collect();
+        Self::from_predictions(&predictions, labels)
+    }
+
+    /// Total number of examples.
+    pub fn total(&self) -> usize {
+        self.true_positives + self.true_negatives + self.false_positives + self.false_negatives
+    }
+
+    /// Recall = TP / (TP + FN).  Returns 1.0 when there are no positives.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Accuracy = (TP + TN) / total.  Returns 1.0 for an empty matrix.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            1.0
+        } else {
+            (self.true_positives + self.true_negatives) as f64 / self.total() as f64
+        }
+    }
+
+    /// Precision = TP / (TP + FP).  Returns 1.0 when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Specificity = TN / (TN + FP): the fraction of redundant cuts correctly
+    /// pruned, which directly drives the runtime reduction.
+    pub fn specificity(&self) -> f64 {
+        let denom = self.true_negatives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_negatives as f64 / denom as f64
+        }
+    }
+
+    /// F1 score (harmonic mean of precision and recall).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Merges two confusion matrices (summing all cells).
+    pub fn merge(&self, other: &ConfusionMatrix) -> ConfusionMatrix {
+        ConfusionMatrix {
+            true_positives: self.true_positives + other.true_positives,
+            true_negatives: self.true_negatives + other.true_negatives,
+            false_positives: self.false_positives + other.false_positives,
+            false_negatives: self.false_negatives + other.false_negatives,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_correct() {
+        let predictions = [true, true, false, false, true];
+        let labels = [true, false, false, true, true];
+        let cm = ConfusionMatrix::from_predictions(&predictions, &labels);
+        assert_eq!(cm.true_positives, 2);
+        assert_eq!(cm.false_positives, 1);
+        assert_eq!(cm.true_negatives, 1);
+        assert_eq!(cm.false_negatives, 1);
+        assert_eq!(cm.total(), 5);
+    }
+
+    #[test]
+    fn metric_formulas() {
+        let cm = ConfusionMatrix {
+            true_positives: 90,
+            false_negatives: 10,
+            true_negatives: 700,
+            false_positives: 200,
+        };
+        assert!((cm.recall() - 0.9).abs() < 1e-9);
+        assert!((cm.accuracy() - 0.79).abs() < 1e-9);
+        assert!((cm.precision() - 90.0 / 290.0).abs() < 1e-9);
+        assert!((cm.specificity() - 700.0 / 900.0).abs() < 1e-9);
+        assert!(cm.f1() > 0.0 && cm.f1() < 1.0);
+    }
+
+    #[test]
+    fn degenerate_cases_do_not_divide_by_zero() {
+        let empty = ConfusionMatrix::default();
+        assert_eq!(empty.recall(), 1.0);
+        assert_eq!(empty.accuracy(), 1.0);
+        assert_eq!(empty.precision(), 1.0);
+        assert_eq!(empty.specificity(), 1.0);
+    }
+
+    #[test]
+    fn threshold_controls_recall() {
+        let probabilities = [0.9, 0.6, 0.4, 0.2];
+        let labels = [true, true, true, false];
+        let strict = ConfusionMatrix::from_probabilities(&probabilities, &labels, 0.8);
+        let lenient = ConfusionMatrix::from_probabilities(&probabilities, &labels, 0.3);
+        assert!(lenient.recall() > strict.recall());
+    }
+
+    #[test]
+    fn merge_sums_cells() {
+        let a = ConfusionMatrix {
+            true_positives: 1,
+            true_negatives: 2,
+            false_positives: 3,
+            false_negatives: 4,
+        };
+        let merged = a.merge(&a);
+        assert_eq!(merged.total(), 20);
+        assert_eq!(merged.false_negatives, 8);
+    }
+}

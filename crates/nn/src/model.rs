@@ -1,0 +1,255 @@
+//! Multi-layer perceptron with manual backpropagation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::layer::{Activation, Dense};
+use crate::matrix::Matrix;
+
+/// A feed-forward neural network (multi-layer perceptron).
+///
+/// The ELF classifier is the 4-layer instance created by
+/// [`Mlp::paper_architecture`]: shape `6 -> 12 -> 12 -> 6 -> 1` with ReLU
+/// hidden activations and a sigmoid output, totalling 325 parameters.
+///
+/// # Examples
+///
+/// ```
+/// use elf_nn::{Matrix, Mlp};
+/// let model = Mlp::paper_architecture(42);
+/// assert_eq!(model.num_params(), 325);
+/// let x = Matrix::from_rows(&[vec![0.0; 6]]);
+/// let y = model.forward(&x);
+/// assert_eq!(y.rows(), 1);
+/// assert_eq!(y.cols(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+/// Per-layer gradients produced by [`Mlp::backward`].
+#[derive(Debug, Clone)]
+pub struct Gradients {
+    /// Gradient of the loss with respect to each layer's weight matrix.
+    pub weights: Vec<Matrix>,
+    /// Gradient of the loss with respect to each layer's bias vector.
+    pub biases: Vec<Vec<f32>>,
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer sizes, Xavier-initialized.
+    ///
+    /// `sizes` lists the width of every layer including input and output,
+    /// e.g. `[6, 12, 12, 6, 1]`.  Hidden layers use `hidden` activation and
+    /// the final layer uses `output` activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are provided.
+    pub fn new(sizes: &[usize], hidden: Activation, output: Activation, seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for window in sizes.windows(2) {
+            let is_last = layers.len() == sizes.len() - 2;
+            let activation = if is_last { output } else { hidden };
+            layers.push(Dense::xavier(window[0], window[1], activation, &mut rng));
+        }
+        Mlp { layers }
+    }
+
+    /// The exact architecture used by the paper: `6 -> 12 -> 12 -> 6 -> 1`
+    /// (325 parameters), ReLU hidden activations, sigmoid output.
+    pub fn paper_architecture(seed: u64) -> Self {
+        Self::new(&[6, 12, 12, 6, 1], Activation::Relu, Activation::Sigmoid, seed)
+    }
+
+    /// Builds a model from pre-constructed layers.
+    pub fn from_layers(layers: Vec<Dense>) -> Self {
+        Mlp { layers }
+    }
+
+    /// The layers of the network.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Number of input features expected by the network.
+    pub fn num_inputs(&self) -> usize {
+        self.layers.first().map_or(0, Dense::inputs)
+    }
+
+    /// Number of outputs produced by the network.
+    pub fn num_outputs(&self) -> usize {
+        self.layers.last().map_or(0, Dense::outputs)
+    }
+
+    /// Total number of trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(Dense::num_params).sum()
+    }
+
+    /// Runs the network on a batch of inputs (`N x num_inputs`).
+    pub fn forward(&self, input: &Matrix) -> Matrix {
+        let mut current = input.clone();
+        for layer in &self.layers {
+            current = layer.forward(&current);
+        }
+        current
+    }
+
+    /// Runs the network and keeps every layer's output (the input is entry 0).
+    /// Used by backpropagation.
+    pub fn forward_cached(&self, input: &Matrix) -> Vec<Matrix> {
+        let mut activations = Vec::with_capacity(self.layers.len() + 1);
+        activations.push(input.clone());
+        for layer in &self.layers {
+            let next = layer.forward(activations.last().expect("non-empty"));
+            activations.push(next);
+        }
+        activations
+    }
+
+    /// Backpropagates `grad_output` (gradient of the loss with respect to the
+    /// network output, shape `N x num_outputs`) through the cached forward
+    /// pass, returning per-layer parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activations` was not produced by [`Mlp::forward_cached`] on
+    /// a batch with the same number of rows as `grad_output`.
+    pub fn backward(&self, activations: &[Matrix], grad_output: &Matrix) -> Gradients {
+        assert_eq!(activations.len(), self.layers.len() + 1);
+        let mut weight_grads = vec![Matrix::zeros(0, 0); self.layers.len()];
+        let mut bias_grads = vec![Vec::new(); self.layers.len()];
+        // Gradient w.r.t. the current layer's output.
+        let mut grad = grad_output.clone();
+        for (index, layer) in self.layers.iter().enumerate().rev() {
+            let output = &activations[index + 1];
+            let input = &activations[index];
+            // Chain through the activation: dL/dz = dL/dy * act'(y).
+            let act = layer.activation();
+            let grad_pre = grad.hadamard(&output.map(|y| act.derivative_from_output(y)));
+            // dW = input^T * grad_pre, db = column sums of grad_pre.
+            weight_grads[index] = input.matmul_transpose_self(&grad_pre);
+            bias_grads[index] = grad_pre.column_sums();
+            // dL/d(input) = grad_pre * W^T.
+            grad = grad_pre.matmul_transpose_other(layer.weights());
+        }
+        Gradients {
+            weights: weight_grads,
+            biases: bias_grads,
+        }
+    }
+
+    /// Applies a parameter update: `param -= step` for every entry of `deltas`.
+    pub(crate) fn apply_update(&mut self, deltas: &Gradients) {
+        for (layer, (dw, db)) in self
+            .layers
+            .iter_mut()
+            .zip(deltas.weights.iter().zip(&deltas.biases))
+        {
+            for (w, d) in layer.weights.data_mut().iter_mut().zip(dw.data()) {
+                *w -= d;
+            }
+            for (b, d) in layer.bias.iter_mut().zip(db) {
+                *b -= d;
+            }
+        }
+    }
+
+    /// Convenience: computes output probabilities for a batch of feature rows.
+    pub fn predict(&self, features: &[Vec<f32>]) -> Vec<f32> {
+        if features.is_empty() {
+            return Vec::new();
+        }
+        let matrix = Matrix::from_rows(features);
+        let out = self.forward(&matrix);
+        (0..out.rows()).map(|i| out.get(i, 0)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_architecture_has_325_params() {
+        let model = Mlp::paper_architecture(7);
+        assert_eq!(model.num_params(), 325);
+        assert_eq!(model.num_inputs(), 6);
+        assert_eq!(model.num_outputs(), 1);
+        assert_eq!(model.layers().len(), 4);
+    }
+
+    #[test]
+    fn forward_output_is_probability() {
+        let model = Mlp::paper_architecture(3);
+        let x = Matrix::from_rows(&[vec![0.5; 6], vec![-1.0, 2.0, 0.0, 1.0, 3.0, -2.0]]);
+        let y = model.forward(&x);
+        assert_eq!(y.rows(), 2);
+        for i in 0..2 {
+            let p = y.get(i, 0);
+            assert!((0.0..=1.0).contains(&p), "output {p} is not a probability");
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        // Tiny network, tiny batch: compare analytic and numeric gradients.
+        let mut model = Mlp::new(&[2, 3, 1], Activation::Relu, Activation::Sigmoid, 11);
+        let x = Matrix::from_rows(&[vec![0.3, -0.7], vec![1.2, 0.4]]);
+        let targets = [1.0f32, 0.0];
+        let loss = |model: &Mlp| -> f32 {
+            let out = model.forward(&x);
+            let mut total = 0.0;
+            for (i, &t) in targets.iter().enumerate() {
+                let p = out.get(i, 0).clamp(1e-6, 1.0 - 1e-6);
+                total += -(t * p.ln() + (1.0 - t) * (1.0 - p).ln());
+            }
+            total / targets.len() as f32
+        };
+        // Analytic gradient of BCE w.r.t. sigmoid output p is (p - t)/(p(1-p)N).
+        let acts = model.forward_cached(&x);
+        let out = acts.last().unwrap();
+        let mut grad_out = Matrix::zeros(2, 1);
+        for (i, &t) in targets.iter().enumerate() {
+            let p = out.get(i, 0).clamp(1e-6, 1.0 - 1e-6);
+            grad_out.set(i, 0, (p - t) / (p * (1.0 - p) * targets.len() as f32));
+        }
+        let grads = model.backward(&acts, &grad_out);
+
+        // Numeric check on a handful of weights of the first layer.
+        let eps = 1e-3;
+        for &(r, c) in &[(0usize, 0usize), (1, 2), (0, 1)] {
+            let base = model.layers[0].weights.get(r, c);
+            model.layers[0].weights.set(r, c, base + eps);
+            let plus = loss(&model);
+            model.layers[0].weights.set(r, c, base - eps);
+            let minus = loss(&model);
+            model.layers[0].weights.set(r, c, base);
+            let numeric = (plus - minus) / (2.0 * eps);
+            let analytic = grads.weights[0].get(r, c);
+            assert!(
+                (numeric - analytic).abs() < 2e-2,
+                "gradient mismatch at ({r},{c}): numeric {numeric}, analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn predict_handles_empty_input() {
+        let model = Mlp::paper_architecture(1);
+        assert!(model.predict(&[]).is_empty());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = Mlp::paper_architecture(123);
+        let b = Mlp::paper_architecture(123);
+        let c = Mlp::paper_architecture(124);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,254 @@
+//! The training loop used to fit the ELF classifier.
+//!
+//! Mirrors the paper's recipe: Adam (lr 0.1), batch size 64, up to 30 epochs
+//! with early stopping (patience 10), cosine annealing with warm restarts,
+//! binary cross entropy, a class-balancing weighted random sampler and MixUp
+//! augmentation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::data::{mixup, Dataset, WeightedRandomSampler};
+use crate::loss::Loss;
+use crate::matrix::Matrix;
+use crate::metrics::ConfusionMatrix;
+use crate::model::Mlp;
+use crate::optim::{Adam, CosineAnnealingWarmRestarts};
+
+/// Hyper-parameters of the training loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Maximum number of epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Initial learning rate for Adam.
+    pub learning_rate: f32,
+    /// Early-stopping patience (epochs without validation improvement).
+    pub patience: usize,
+    /// Loss function.
+    pub loss: Loss,
+    /// Fraction of the data held out for validation / early stopping.
+    pub validation_fraction: f32,
+    /// Balance classes with a weighted random sampler.
+    pub balanced_sampling: bool,
+    /// MixUp augmentation strength; `None` disables MixUp.
+    pub mixup_alpha: Option<f32>,
+    /// Fraction of extra MixUp examples per epoch (relative to the train set).
+    pub mixup_fraction: f32,
+    /// Length (in epochs) of the first cosine-annealing period.
+    pub scheduler_period: f32,
+    /// Period multiplier after each warm restart.
+    pub scheduler_mult: f32,
+    /// RNG seed (sampling, shuffling, MixUp).
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 30,
+            batch_size: 64,
+            // The paper trains with Adam at 0.1 under PyTorch; this
+            // from-scratch implementation is stabler at a smaller base rate
+            // with the same cosine-annealing warm restarts.
+            learning_rate: 0.02,
+            patience: 10,
+            loss: Loss::BinaryCrossEntropy,
+            validation_fraction: 0.2,
+            balanced_sampling: true,
+            mixup_alpha: Some(0.4),
+            mixup_fraction: 0.25,
+            scheduler_period: 10.0,
+            scheduler_mult: 2.0,
+            seed: 0xE1F,
+        }
+    }
+}
+
+/// Summary of a completed training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Number of epochs actually run (early stopping may cut training short).
+    pub epochs_run: usize,
+    /// Epoch index (0-based) with the best validation loss.
+    pub best_epoch: usize,
+    /// Training loss per epoch.
+    pub train_losses: Vec<f32>,
+    /// Validation loss per epoch.
+    pub validation_losses: Vec<f32>,
+    /// Validation confusion matrix of the best model at threshold 0.5.
+    pub validation_metrics: ConfusionMatrix,
+}
+
+/// Trains `model` in place on `data` and returns a report.
+///
+/// The model with the best validation loss is restored before returning.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or its feature width does not match the model.
+pub fn train(model: &mut Mlp, data: &Dataset, config: &TrainConfig) -> TrainReport {
+    assert!(!data.is_empty(), "cannot train on an empty dataset");
+    assert_eq!(
+        data.num_features(),
+        model.num_inputs(),
+        "dataset width must match the model input size"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let (train_set, valid_set) = data.split(config.validation_fraction, config.seed);
+    let (train_set, valid_set) = if valid_set.is_empty() || train_set.is_empty() {
+        (data.clone(), data.clone())
+    } else {
+        (train_set, valid_set)
+    };
+
+    let sampler = WeightedRandomSampler::balanced(&train_set);
+    let schedule = CosineAnnealingWarmRestarts::new(
+        config.learning_rate,
+        config.learning_rate * 1e-3,
+        config.scheduler_period,
+        config.scheduler_mult,
+    );
+    let mut optimizer = Adam::new(config.learning_rate);
+
+    let valid_matrix = valid_set.to_matrix();
+    let valid_labels = valid_set.labels().to_vec();
+
+    let mut best_loss = f32::INFINITY;
+    let mut best_model = model.clone();
+    let mut best_epoch = 0;
+    let mut epochs_without_improvement = 0;
+    let mut train_losses = Vec::new();
+    let mut validation_losses = Vec::new();
+
+    for epoch in 0..config.epochs {
+        optimizer.set_learning_rate(schedule.learning_rate_at(epoch as f32));
+
+        // Assemble this epoch's training pool: resampled originals + MixUp.
+        let pool = {
+            let mut pool = if config.balanced_sampling {
+                let indices = sampler.sample(train_set.len(), &mut rng);
+                train_set.select(&indices)
+            } else {
+                train_set.clone()
+            };
+            if let Some(alpha) = config.mixup_alpha {
+                let extra = ((train_set.len() as f32) * config.mixup_fraction) as usize;
+                let mixed = mixup(&train_set, extra, alpha, config.seed.wrapping_add(epoch as u64));
+                pool.extend_from(&mixed);
+            }
+            pool
+        };
+
+        // Mini-batch SGD over the pool.
+        let mut epoch_loss = 0.0;
+        let mut batches = 0;
+        let mut index = 0;
+        while index < pool.len() {
+            let end = (index + config.batch_size).min(pool.len());
+            let rows: Vec<Vec<f32>> = pool.features()[index..end].to_vec();
+            let targets: Vec<f32> = pool.labels()[index..end].to_vec();
+            let x = Matrix::from_rows(&rows);
+            let activations = model.forward_cached(&x);
+            let output = activations.last().expect("at least one activation");
+            epoch_loss += config.loss.value(output, &targets);
+            let grad_output = config.loss.gradient(output, &targets);
+            let grads = model.backward(&activations, &grad_output);
+            optimizer.step(model, &grads);
+            batches += 1;
+            index = end;
+        }
+        train_losses.push(epoch_loss / batches.max(1) as f32);
+
+        // Validation.
+        let valid_out = model.forward(&valid_matrix);
+        let valid_loss = config.loss.value(&valid_out, &valid_labels);
+        validation_losses.push(valid_loss);
+        if valid_loss < best_loss {
+            best_loss = valid_loss;
+            best_model = model.clone();
+            best_epoch = epoch;
+            epochs_without_improvement = 0;
+        } else {
+            epochs_without_improvement += 1;
+            if epochs_without_improvement >= config.patience {
+                break;
+            }
+        }
+    }
+
+    *model = best_model;
+    let best_out = model.forward(&valid_matrix);
+    let probabilities: Vec<f32> = (0..best_out.rows()).map(|i| best_out.get(i, 0)).collect();
+    let labels_bool: Vec<bool> = valid_labels.iter().map(|&l| l >= 0.5).collect();
+    let validation_metrics = ConfusionMatrix::from_probabilities(&probabilities, &labels_bool, 0.5);
+
+    TrainReport {
+        epochs_run: train_losses.len(),
+        best_epoch,
+        train_losses,
+        validation_losses,
+        validation_metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// A separable but imbalanced synthetic task reminiscent of the cut
+    /// classification problem: positives live in a small corner of the space.
+    fn imbalanced_dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Dataset::new();
+        for _ in 0..n {
+            let x: Vec<f32> = (0..6).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let label = x[0] < 0.25 && x[4] > 0.6;
+            data.push(x, label);
+        }
+        data
+    }
+
+    #[test]
+    fn training_learns_the_imbalanced_task() {
+        let data = imbalanced_dataset(1200, 3);
+        let mut model = Mlp::paper_architecture(7);
+        let config = TrainConfig {
+            epochs: 25,
+            learning_rate: 0.05,
+            ..Default::default()
+        };
+        let report = train(&mut model, &data, &config);
+        assert!(report.epochs_run >= 5);
+        assert!(report.validation_metrics.recall() > 0.6, "{:?}", report.validation_metrics);
+        assert!(report.validation_metrics.accuracy() > 0.7);
+        // Loss curves should exist for every epoch run.
+        assert_eq!(report.train_losses.len(), report.epochs_run);
+        assert_eq!(report.validation_losses.len(), report.epochs_run);
+    }
+
+    #[test]
+    fn early_stopping_halts_training() {
+        let data = imbalanced_dataset(200, 5);
+        let mut model = Mlp::paper_architecture(1);
+        let config = TrainConfig {
+            epochs: 30,
+            patience: 2,
+            learning_rate: 1.0, // destructive LR to force non-improvement
+            mixup_alpha: None,
+            ..Default::default()
+        };
+        let report = train(&mut model, &data, &config);
+        assert!(report.epochs_run <= 30);
+        assert!(report.best_epoch < report.epochs_run);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn training_on_empty_dataset_panics() {
+        let mut model = Mlp::paper_architecture(1);
+        let _ = train(&mut model, &Dataset::new(), &TrainConfig::default());
+    }
+}

@@ -1,0 +1,48 @@
+//! # elf-opt
+//!
+//! Logic-optimization operators over And-Inverter Graphs.
+//!
+//! The crate reimplements, from scratch, the operators the ELF paper builds
+//! on:
+//!
+//! * [`Refactor`] — the reconvergence-driven refactor operator (the paper's
+//!   baseline and the operator ELF prunes);
+//! * [`Rewrite`] — DAG-aware cut rewriting (background operator, and the
+//!   first extension target mentioned in the paper's conclusion);
+//! * [`Resubstitution`] — window-based resubstitution.
+//!
+//! Every operator exposes per-node entry points in addition to a whole-graph
+//! `run`, so higher layers (the ELF flow in `elf-core`) can interleave
+//! classification and resynthesis.
+//!
+//! # Examples
+//!
+//! ```
+//! use elf_aig::Aig;
+//! use elf_opt::{Refactor, RefactorParams};
+//!
+//! let mut aig = Aig::new();
+//! let a = aig.add_input();
+//! let b = aig.add_input();
+//! let c = aig.add_input();
+//! let t0 = aig.and(a, b);
+//! let t1 = aig.and(a, c);
+//! let f = aig.or(t0, t1);
+//! aig.add_output(f);
+//!
+//! let stats = Refactor::new(RefactorParams::default()).run(&mut aig);
+//! assert_eq!(stats.cuts_formed, 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod build;
+mod refactor;
+mod resub;
+mod rewrite;
+
+pub use build::{build_expr, count_new_nodes, cut_truth_table, ImplementationCost};
+pub use refactor::{LabeledCut, NodeOutcome, Refactor, RefactorParams, RefactorStats};
+pub use resub::{Resubstitution, ResubParams, ResubStats};
+pub use rewrite::{Rewrite, RewriteParams, RewriteStats};

@@ -1,0 +1,501 @@
+//! The refactor operator (Mishchenko et al.), the baseline that ELF accelerates.
+//!
+//! For every AND node the operator forms a reconvergence-driven cut, converts
+//! the cut function to an irredundant SOP, factors it algebraically, and
+//! commits the factored implementation when it removes more nodes than it
+//! adds (paper Algorithm 1).  The per-node entry point [`Refactor::refactor_node`]
+//! is exposed so that ELF can drive its own pruned iteration (Algorithm 2).
+
+use std::time::{Duration, Instant};
+
+use elf_aig::{Aig, CutFeatures, CutParams, Lit, NodeId};
+use elf_sop::factor_truth_table;
+
+use crate::build::{build_expr, count_new_nodes, cut_truth_table};
+
+/// Parameters of the refactor operator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefactorParams {
+    /// Reconvergence-driven cut parameters (leaf bound, expansion cost bound).
+    pub cut: CutParams,
+    /// Accept changes with zero gain as well as positive gain (ABC's `-z`).
+    pub zero_gain: bool,
+    /// Reject candidates whose estimated root level exceeds the current root
+    /// level (ABC's `-l`, used by the paper's experiments).
+    pub preserve_level: bool,
+    /// Also factor the complement of the cut function and keep the better of
+    /// the two implementations.
+    pub try_complement: bool,
+    /// Cuts with fewer leaves than this are not resynthesized (they cannot
+    /// yield a gain).
+    pub min_leaves: usize,
+}
+
+impl Default for RefactorParams {
+    fn default() -> Self {
+        RefactorParams {
+            cut: CutParams::default(),
+            zero_gain: false,
+            preserve_level: true,
+            try_complement: true,
+            min_leaves: 3,
+        }
+    }
+}
+
+impl RefactorParams {
+    /// Parameters matching the paper's baseline invocation `refactor -l`.
+    pub fn paper_baseline() -> Self {
+        Self::default()
+    }
+}
+
+/// What happened when refactoring was attempted at a single node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeOutcome {
+    /// The node that was processed.
+    pub node: NodeId,
+    /// Structural features of the node's cut.
+    pub features: CutFeatures,
+    /// Whether a full resynthesis (truth table, ISOP, factoring, gain
+    /// evaluation) was performed.
+    pub resynthesized: bool,
+    /// Whether a change was committed to the graph.
+    pub committed: bool,
+    /// Achieved gain (nodes removed minus nodes added); zero when nothing was
+    /// committed.
+    pub gain: i64,
+}
+
+/// A labeled cut sample recorded while running the baseline operator.
+///
+/// These samples are the training data of the ELF classifier: the label is
+/// `true` exactly when the baseline refactor committed a change at the node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabeledCut {
+    /// The node whose cut was examined.
+    pub node: NodeId,
+    /// Structural features of the cut.
+    pub features: CutFeatures,
+    /// Whether the baseline operator committed a change at this node.
+    pub committed: bool,
+}
+
+/// Aggregate statistics of one refactor pass (baseline or pruned).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RefactorStats {
+    /// Nodes visited by the pass.
+    pub nodes_visited: usize,
+    /// Cuts formed (equal to nodes visited unless nodes died mid-pass).
+    pub cuts_formed: usize,
+    /// Cuts that went through full resynthesis.
+    pub cuts_resynthesized: usize,
+    /// Cuts whose resynthesis was pruned (skipped) by a filter.
+    pub cuts_pruned: usize,
+    /// Cuts whose resynthesized implementation was committed.
+    pub cuts_committed: usize,
+    /// Total gain: AND nodes removed minus AND nodes added.
+    pub total_gain: i64,
+    /// Wall-clock time of the pass.
+    pub runtime: Duration,
+}
+
+impl RefactorStats {
+    /// Fraction of formed cuts that were committed (the paper's "Refactored"
+    /// column and the right-hand side of Figure 1).
+    pub fn commit_rate(&self) -> f64 {
+        if self.cuts_formed == 0 {
+            0.0
+        } else {
+            self.cuts_committed as f64 / self.cuts_formed as f64
+        }
+    }
+
+    /// Fraction of formed cuts that were pruned before resynthesis.
+    pub fn prune_rate(&self) -> f64 {
+        if self.cuts_formed == 0 {
+            0.0
+        } else {
+            self.cuts_pruned as f64 / self.cuts_formed as f64
+        }
+    }
+}
+
+/// The refactor operator.
+///
+/// # Examples
+///
+/// ```
+/// use elf_aig::Aig;
+/// use elf_opt::{Refactor, RefactorParams};
+///
+/// let mut aig = Aig::new();
+/// let inputs = aig.add_inputs(4);
+/// // Redundant structure: (a & b) | (a & b & c & d) == a & b.
+/// let ab = aig.and(inputs[0], inputs[1]);
+/// let abcd = {
+///     let cd = aig.and(inputs[2], inputs[3]);
+///     aig.and(ab, cd)
+/// };
+/// let f = aig.or(ab, abcd);
+/// aig.add_output(f);
+///
+/// let stats = Refactor::new(RefactorParams::default()).run(&mut aig);
+/// assert!(stats.total_gain >= 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Refactor {
+    params: RefactorParams,
+}
+
+impl Refactor {
+    /// Creates a refactor operator with the given parameters.
+    pub fn new(params: RefactorParams) -> Self {
+        Refactor { params }
+    }
+
+    /// Returns the operator's parameters.
+    pub fn params(&self) -> &RefactorParams {
+        &self.params
+    }
+
+    /// Runs the baseline operator over every node of the graph (Algorithm 1).
+    pub fn run(&self, aig: &mut Aig) -> RefactorStats {
+        self.run_impl(aig, |_, _| true, None)
+    }
+
+    /// Runs the operator, recording a labeled sample for every visited cut.
+    ///
+    /// The labels reflect the baseline behaviour (every cut is resynthesized),
+    /// so the recorded samples are exactly the training data described in the
+    /// paper.
+    pub fn run_recording(&self, aig: &mut Aig) -> (RefactorStats, Vec<LabeledCut>) {
+        let mut samples = Vec::new();
+        let stats = self.run_impl(aig, |_, _| true, Some(&mut samples));
+        (stats, samples)
+    }
+
+    /// Runs the operator but consults `keep` before resynthesizing each cut:
+    /// when `keep` returns `false` the cut is pruned (counted but not
+    /// resynthesized).  This is the per-node filtering mode used by ablations;
+    /// the ELF flow batches classification up front instead.
+    pub fn run_with_filter(
+        &self,
+        aig: &mut Aig,
+        mut keep: impl FnMut(NodeId, &CutFeatures) -> bool,
+    ) -> RefactorStats {
+        self.run_impl(aig, &mut keep, None)
+    }
+
+    fn run_impl(
+        &self,
+        aig: &mut Aig,
+        mut keep: impl FnMut(NodeId, &CutFeatures) -> bool,
+        mut samples: Option<&mut Vec<LabeledCut>>,
+    ) -> RefactorStats {
+        let start = Instant::now();
+        let mut stats = RefactorStats::default();
+        let targets: Vec<NodeId> = aig.and_ids().collect();
+        for node in targets {
+            if !aig.is_and(node) || aig.refs(node) == 0 {
+                continue;
+            }
+            stats.nodes_visited += 1;
+            let outcome = self.refactor_node_filtered(aig, node, &mut keep);
+            stats.cuts_formed += 1;
+            if outcome.resynthesized {
+                stats.cuts_resynthesized += 1;
+            } else {
+                stats.cuts_pruned += 1;
+            }
+            if outcome.committed {
+                stats.cuts_committed += 1;
+                stats.total_gain += outcome.gain;
+            }
+            if let Some(samples) = samples.as_deref_mut() {
+                samples.push(LabeledCut {
+                    node,
+                    features: outcome.features,
+                    committed: outcome.committed,
+                });
+            }
+        }
+        stats.runtime = start.elapsed();
+        stats
+    }
+
+    /// Collects the cut features of every live AND node without resynthesizing
+    /// anything.  This is phase 1 of the ELF flow (batch feature collection).
+    pub fn collect_features(&self, aig: &mut Aig) -> Vec<(NodeId, CutFeatures)> {
+        let targets: Vec<NodeId> = aig.and_ids().collect();
+        let mut result = Vec::with_capacity(targets.len());
+        for node in targets {
+            if !aig.is_and(node) || aig.refs(node) == 0 {
+                continue;
+            }
+            let cut = aig.reconvergence_cut(node, &self.params.cut);
+            let features = aig.cut_features(&cut);
+            result.push((node, features));
+        }
+        result
+    }
+
+    /// Performs the full refactor step (cut, resynthesis, gain evaluation,
+    /// commit) at a single node.
+    pub fn refactor_node(&self, aig: &mut Aig, node: NodeId) -> NodeOutcome {
+        self.refactor_node_filtered(aig, node, &mut |_, _| true)
+    }
+
+    fn refactor_node_filtered(
+        &self,
+        aig: &mut Aig,
+        node: NodeId,
+        keep: &mut impl FnMut(NodeId, &CutFeatures) -> bool,
+    ) -> NodeOutcome {
+        debug_assert!(aig.is_and(node));
+        let cut = aig.reconvergence_cut(node, &self.params.cut);
+        let features = aig.cut_features(&cut);
+        let mut outcome = NodeOutcome {
+            node,
+            features,
+            resynthesized: false,
+            committed: false,
+            gain: 0,
+        };
+        if !keep(node, &features) {
+            return outcome;
+        }
+        outcome.resynthesized = true;
+        if cut.num_leaves() < self.params.min_leaves {
+            return outcome;
+        }
+
+        // Resynthesize: truth table -> ISOP -> factored form (both polarities).
+        let truth = cut_truth_table(aig, &cut);
+        let leaf_lits: Vec<Lit> = cut.leaves.iter().map(|&l| l.lit()).collect();
+        let mut candidates = vec![(factor_truth_table(&truth), false)];
+        if self.params.try_complement {
+            candidates.push((factor_truth_table(&!&truth), true));
+        }
+
+        // Evaluate the gain of each candidate with the cut-bounded MFFC
+        // temporarily dereferenced, exactly like ABC.  The MFFC is bounded by
+        // the cut's leaves: the resynthesized implementation keeps using the
+        // leaves, so logic below them can never be reclaimed by this commit.
+        let saved = aig.deref_mffc_bounded(node, &cut.leaves) as i64;
+        let root_level = aig.level(node);
+        let mut best: Option<(usize, i64)> = None; // (candidate index, gain)
+        for (index, (expr, _)) in candidates.iter().enumerate() {
+            let cost = count_new_nodes(aig, expr, &leaf_lits, Some(node));
+            if self.params.preserve_level && cost.level > root_level {
+                continue;
+            }
+            let gain = saved - cost.new_nodes as i64;
+            let better = match best {
+                None => true,
+                Some((best_index, best_gain)) => {
+                    gain > best_gain
+                        || (gain == best_gain
+                            && expr.num_gates() < candidates[best_index].0.num_gates())
+                }
+            };
+            if better {
+                best = Some((index, gain));
+            }
+        }
+        aig.ref_mffc_bounded(node, &cut.leaves);
+
+        let Some((index, gain)) = best else {
+            return outcome;
+        };
+        let accept = gain > 0 || (self.params.zero_gain && gain >= 0);
+        if !accept {
+            return outcome;
+        }
+
+        // Build the winning implementation and commit it.
+        let slot_watermark = aig.num_slots();
+        let ands_before = aig.num_ands() as i64;
+        let (expr, complemented) = &candidates[index];
+        let mut new_lit = build_expr(aig, expr, &leaf_lits);
+        if *complemented {
+            new_lit = !new_lit;
+        }
+        if new_lit.node() == node || aig.cone_contains(new_lit.node(), node) {
+            // Degenerate candidate: it reproduces (or depends on) the node
+            // itself.  Drop any speculative nodes and keep the graph unchanged.
+            aig.sweep_dangling_from(slot_watermark);
+            return outcome;
+        }
+        aig.replace(node, new_lit);
+        let achieved = ands_before - aig.num_ands() as i64;
+        outcome.committed = true;
+        outcome.gain = achieved;
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elf_aig::{check_equivalence, EquivalenceResult};
+
+    /// (a & b) | (a & c): refactoring should rewrite it as a & (b | c),
+    /// saving one node.
+    fn shared_literal_circuit() -> Aig {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let t0 = aig.and(a, b);
+        let t1 = aig.and(a, c);
+        let f = aig.or(t0, t1);
+        aig.add_output(f);
+        aig
+    }
+
+    /// A circuit with heavy redundancy: f = (a & b) | (a & b & c & d).
+    fn absorbed_term_circuit() -> Aig {
+        let mut aig = Aig::new();
+        let inputs = aig.add_inputs(4);
+        let ab = aig.and(inputs[0], inputs[1]);
+        let cd = aig.and(inputs[2], inputs[3]);
+        let abcd = aig.and(ab, cd);
+        let f = aig.or(ab, abcd);
+        aig.add_output(f);
+        aig
+    }
+
+    #[test]
+    fn refactor_reduces_shared_literal_circuit() {
+        let mut aig = shared_literal_circuit();
+        let golden = aig.clone();
+        let before = aig.num_reachable_ands();
+        let stats = Refactor::new(RefactorParams::default()).run(&mut aig);
+        let after = aig.num_reachable_ands();
+        assert!(after < before, "expected node count to drop: {before} -> {after}");
+        assert!(stats.cuts_committed >= 1);
+        assert_eq!(stats.total_gain, (before - after) as i64);
+        assert_eq!(
+            check_equivalence(&golden, &aig, 8, 1),
+            EquivalenceResult::Equivalent
+        );
+        assert!(aig.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn refactor_absorbs_redundant_term() {
+        let mut aig = absorbed_term_circuit();
+        let golden = aig.clone();
+        let stats = Refactor::new(RefactorParams::default()).run(&mut aig);
+        assert!(stats.total_gain >= 1);
+        assert_eq!(
+            check_equivalence(&golden, &aig, 8, 2),
+            EquivalenceResult::Equivalent
+        );
+        assert!(aig.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn refactor_is_idempotent_on_optimal_circuit() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let f = aig.and(a, b);
+        aig.add_output(f);
+        let stats = Refactor::new(RefactorParams::default()).run(&mut aig);
+        assert_eq!(stats.cuts_committed, 0);
+        assert_eq!(aig.num_ands(), 1);
+    }
+
+    #[test]
+    fn filter_prunes_resynthesis() {
+        let mut aig = shared_literal_circuit();
+        let stats = Refactor::new(RefactorParams::default())
+            .run_with_filter(&mut aig, |_, _| false);
+        assert_eq!(stats.cuts_resynthesized, 0);
+        assert_eq!(stats.cuts_pruned, stats.cuts_formed);
+        assert_eq!(stats.cuts_committed, 0);
+        // Nothing changed.
+        assert_eq!(aig.num_ands(), 3);
+    }
+
+    #[test]
+    fn recording_produces_one_sample_per_cut() {
+        let mut aig = absorbed_term_circuit();
+        let (stats, samples) = Refactor::new(RefactorParams::default()).run_recording(&mut aig);
+        assert_eq!(samples.len(), stats.cuts_formed);
+        let committed = samples.iter().filter(|s| s.committed).count();
+        assert_eq!(committed, stats.cuts_committed);
+        assert!(samples.iter().all(|s| s.features.leaves >= 2.0));
+    }
+
+    #[test]
+    fn collect_features_covers_all_live_nodes() {
+        let mut aig = absorbed_term_circuit();
+        let features = Refactor::default().collect_features(&mut aig);
+        assert_eq!(features.len(), aig.num_reachable_ands());
+    }
+
+    #[test]
+    fn constant_function_is_collapsed() {
+        // f = (a & !a) | (b & !b) is constant false but built redundantly.
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let t0 = aig.and(a, !a); // folds to constant immediately
+        let t1 = aig.and(b, !b);
+        let f = aig.or(t0, t1);
+        aig.add_output(f);
+        // The AIG constant-folds these at construction time already.
+        assert_eq!(aig.num_ands(), 0);
+        assert_eq!(f, elf_aig::Lit::FALSE);
+
+        // A non-trivially constant function: f = a & b & !(a & b).
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let ab = aig.and(a, b);
+        let g = aig.and(ab, !ab);
+        assert_eq!(g, elf_aig::Lit::FALSE);
+        let _ = aig;
+    }
+
+    #[test]
+    fn commit_rate_and_prune_rate() {
+        let stats = RefactorStats {
+            cuts_formed: 100,
+            cuts_committed: 2,
+            cuts_pruned: 80,
+            ..Default::default()
+        };
+        assert!((stats.commit_rate() - 0.02).abs() < 1e-9);
+        assert!((stats.prune_rate() - 0.8).abs() < 1e-9);
+        assert_eq!(RefactorStats::default().commit_rate(), 0.0);
+    }
+
+    #[test]
+    fn gain_matches_node_count_change_on_larger_circuit() {
+        // Build a chain of redundant or-of-and structures.
+        let mut aig = Aig::new();
+        let inputs = aig.add_inputs(8);
+        let mut acc = inputs[0];
+        for w in inputs.windows(3) {
+            let t0 = aig.and(w[0], w[1]);
+            let t1 = aig.and(w[0], w[2]);
+            let or = aig.or(t0, t1);
+            acc = aig.and(acc, or);
+        }
+        aig.add_output(acc);
+        let golden = aig.clone();
+        let before = aig.num_reachable_ands() as i64;
+        let stats = Refactor::new(RefactorParams::default()).run(&mut aig);
+        let after = aig.num_reachable_ands() as i64;
+        assert_eq!(stats.total_gain, before - after);
+        assert_eq!(
+            check_equivalence(&golden, &aig, 16, 3),
+            EquivalenceResult::Equivalent
+        );
+        assert!(aig.check_invariants().is_empty());
+    }
+}

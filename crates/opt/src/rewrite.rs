@@ -1,0 +1,310 @@
+//! DAG-aware cut rewriting.
+//!
+//! Rewrite greedily enumerates small (k-feasible) cuts for every node and
+//! replaces the best cut with a resynthesized implementation when that
+//! reduces the node count (Mishchenko et al., DAC'06).  The original
+//! algorithm substitutes pre-computed NPN-class subgraphs; this
+//! reimplementation resynthesizes each cut through the same ISOP + factoring
+//! pipeline used by refactor, which preserves the operator's structure (cut
+//! enumeration, gain evaluation, greedy commit) without the 222-class table.
+//!
+//! The operator is a background substrate in the ELF paper (it is part of
+//! `resyn2`) and the first candidate for extending ELF-style pruning, so the
+//! implementation exposes the same per-node hooks as [`Refactor`](crate::Refactor).
+
+use std::time::{Duration, Instant};
+
+use elf_aig::{Aig, Cut, Lit, NodeId};
+use elf_sop::factor_truth_table;
+
+use crate::build::{build_expr, count_new_nodes, cut_truth_table};
+
+/// Parameters of the rewrite operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RewriteParams {
+    /// Maximum number of cut leaves (4 in the classic operator).
+    pub cut_size: usize,
+    /// Maximum number of cuts stored per node during enumeration.
+    pub cuts_per_node: usize,
+    /// Accept zero-gain rewrites.
+    pub zero_gain: bool,
+    /// Reject candidates that would increase the node's level.
+    pub preserve_level: bool,
+}
+
+impl Default for RewriteParams {
+    fn default() -> Self {
+        RewriteParams {
+            cut_size: 4,
+            cuts_per_node: 8,
+            zero_gain: false,
+            preserve_level: true,
+        }
+    }
+}
+
+/// Aggregate statistics of one rewrite pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RewriteStats {
+    /// Nodes visited.
+    pub nodes_visited: usize,
+    /// Cuts evaluated (resynthesized and gain-checked).
+    pub cuts_evaluated: usize,
+    /// Nodes at which a rewrite was committed.
+    pub nodes_rewritten: usize,
+    /// Total gain in AND nodes.
+    pub total_gain: i64,
+    /// Wall-clock time of the pass.
+    pub runtime: Duration,
+}
+
+/// The rewrite operator.
+#[derive(Debug, Clone, Default)]
+pub struct Rewrite {
+    params: RewriteParams,
+}
+
+impl Rewrite {
+    /// Creates a rewrite operator with the given parameters.
+    pub fn new(params: RewriteParams) -> Self {
+        Rewrite { params }
+    }
+
+    /// Returns the operator's parameters.
+    pub fn params(&self) -> &RewriteParams {
+        &self.params
+    }
+
+    /// Runs rewriting over every node of the graph.
+    pub fn run(&self, aig: &mut Aig) -> RewriteStats {
+        let start = Instant::now();
+        let mut stats = RewriteStats::default();
+        let targets: Vec<NodeId> = aig.and_ids().collect();
+        for node in targets {
+            if !aig.is_and(node) || aig.refs(node) == 0 {
+                continue;
+            }
+            stats.nodes_visited += 1;
+            let (evaluated, gain) = self.rewrite_node(aig, node);
+            stats.cuts_evaluated += evaluated;
+            if gain > 0 {
+                stats.nodes_rewritten += 1;
+                stats.total_gain += gain;
+            }
+        }
+        stats.runtime = start.elapsed();
+        stats
+    }
+
+    /// Attempts to rewrite a single node.  Returns the number of cuts that
+    /// were evaluated and the achieved gain (zero when nothing was committed).
+    pub fn rewrite_node(&self, aig: &mut Aig, node: NodeId) -> (usize, i64) {
+        let cuts = self.enumerate_cuts(aig, node);
+        let mut evaluated = 0;
+        let root_level = aig.level(node);
+        let mut best: Option<(Cut, elf_sop::FactoredForm, bool, i64)> = None;
+        for cut in cuts {
+            if cut.num_leaves() < 3 {
+                continue;
+            }
+            evaluated += 1;
+            let truth = cut_truth_table(aig, &cut);
+            let leaf_lits: Vec<Lit> = cut.leaves.iter().map(|&l| l.lit()).collect();
+            // The reclaimable logic is the MFFC bounded by this cut's leaves.
+            let saved = aig.deref_mffc_bounded(node, &cut.leaves) as i64;
+            for complemented in [false, true] {
+                let expr = if complemented {
+                    factor_truth_table(&!&truth)
+                } else {
+                    factor_truth_table(&truth)
+                };
+                let cost = count_new_nodes(aig, &expr, &leaf_lits, Some(node));
+                if self.params.preserve_level && cost.level > root_level {
+                    continue;
+                }
+                let gain = saved - cost.new_nodes as i64;
+                if best.as_ref().map_or(true, |(_, _, _, g)| gain > *g) {
+                    best = Some((cut.clone(), expr, complemented, gain));
+                }
+            }
+            aig.ref_mffc_bounded(node, &cut.leaves);
+        }
+        let Some((cut, expr, complemented, gain)) = best else {
+            return (evaluated, 0);
+        };
+        let accept = gain > 0 || (self.params.zero_gain && gain >= 0);
+        if !accept {
+            return (evaluated, 0);
+        }
+        let leaf_lits: Vec<Lit> = cut.leaves.iter().map(|&l| l.lit()).collect();
+        let watermark = aig.num_slots();
+        let before = aig.num_ands() as i64;
+        let mut new_lit = build_expr(aig, &expr, &leaf_lits);
+        if complemented {
+            new_lit = !new_lit;
+        }
+        if new_lit.node() == node || aig.cone_contains(new_lit.node(), node) {
+            aig.sweep_dangling_from(watermark);
+            return (evaluated, 0);
+        }
+        aig.replace(node, new_lit);
+        (evaluated, before - aig.num_ands() as i64)
+    }
+
+    /// Enumerates k-feasible cuts rooted at `node` by merging fanin cuts
+    /// bottom-up within the node's transitive fanin cone.
+    fn enumerate_cuts(&self, aig: &Aig, node: NodeId) -> Vec<Cut> {
+        // Restrict enumeration to the local cone to keep the pass fast.
+        let cone = local_cone(aig, node, 64);
+        let mut cut_sets: Vec<(NodeId, Vec<Vec<NodeId>>)> = Vec::with_capacity(cone.len());
+        let find = |sets: &Vec<(NodeId, Vec<Vec<NodeId>>)>, id: NodeId| -> Vec<Vec<NodeId>> {
+            sets.iter()
+                .find(|(n, _)| *n == id)
+                .map(|(_, cuts)| cuts.clone())
+                .unwrap_or_else(|| vec![vec![id]])
+        };
+        for &id in &cone {
+            let (f0, f1) = aig.fanins(id);
+            let cuts0 = find(&cut_sets, f0.node());
+            let cuts1 = find(&cut_sets, f1.node());
+            let mut merged: Vec<Vec<NodeId>> = vec![vec![id]];
+            for c0 in &cuts0 {
+                for c1 in &cuts1 {
+                    let mut union = c0.clone();
+                    for &leaf in c1 {
+                        if !union.contains(&leaf) {
+                            union.push(leaf);
+                        }
+                    }
+                    if union.len() <= self.params.cut_size && !merged.contains(&union) {
+                        merged.push(union);
+                    }
+                }
+            }
+            merged.sort_by_key(Vec::len);
+            merged.truncate(self.params.cuts_per_node);
+            cut_sets.push((id, merged));
+        }
+        let root_cuts = find(&cut_sets, node);
+        root_cuts
+            .into_iter()
+            .filter(|leaves| !(leaves.len() == 1 && leaves[0] == node))
+            .map(|leaves| {
+                let cone = cone_between(aig, node, &leaves);
+                Cut {
+                    root: node,
+                    leaves,
+                    cone,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Returns the AND nodes of the transitive fanin cone of `root`, in
+/// topological order, truncated to `limit` nodes.
+fn local_cone(aig: &Aig, root: NodeId, limit: usize) -> Vec<NodeId> {
+    let mut order = Vec::new();
+    let mut visited = Vec::new();
+    let mut stack = vec![(root, false)];
+    while let Some((id, expanded)) = stack.pop() {
+        if expanded {
+            order.push(id);
+            continue;
+        }
+        if visited.contains(&id) || !aig.is_and(id) || visited.len() >= limit {
+            continue;
+        }
+        visited.push(id);
+        stack.push((id, true));
+        let (f0, f1) = aig.fanins(id);
+        stack.push((f0.node(), false));
+        stack.push((f1.node(), false));
+    }
+    order
+}
+
+/// Collects the internal nodes between `root` and `leaves`.
+fn cone_between(aig: &Aig, root: NodeId, leaves: &[NodeId]) -> Vec<NodeId> {
+    let mut cone = Vec::new();
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        if cone.contains(&id) || leaves.contains(&id) {
+            continue;
+        }
+        cone.push(id);
+        let (f0, f1) = aig.fanins(id);
+        for fanin in [f0.node(), f1.node()] {
+            if !leaves.contains(&fanin) && !cone.contains(&fanin) {
+                stack.push(fanin);
+            }
+        }
+    }
+    cone
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elf_aig::{check_equivalence, EquivalenceResult};
+
+    fn redundant_circuit() -> Aig {
+        let mut aig = Aig::new();
+        let inputs = aig.add_inputs(4);
+        // f = (a & b) | (a & b & c) | (a & b & d): collapses to a & b ... kept
+        // redundant on purpose.
+        let ab = aig.and(inputs[0], inputs[1]);
+        let abc = aig.and(ab, inputs[2]);
+        let abd = aig.and(ab, inputs[3]);
+        let t = aig.or(ab, abc);
+        let f = aig.or(t, abd);
+        aig.add_output(f);
+        aig
+    }
+
+    #[test]
+    fn rewrite_reduces_redundant_circuit() {
+        let mut aig = redundant_circuit();
+        let golden = aig.clone();
+        let before = aig.num_reachable_ands();
+        let stats = Rewrite::new(RewriteParams::default()).run(&mut aig);
+        let after = aig.num_reachable_ands();
+        assert!(stats.total_gain >= 1, "stats: {stats:?}");
+        assert!(after < before);
+        assert_eq!(
+            check_equivalence(&golden, &aig, 8, 5),
+            EquivalenceResult::Equivalent
+        );
+        assert!(aig.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn rewrite_leaves_optimal_circuit_alone() {
+        let mut aig = Aig::new();
+        let inputs = aig.add_inputs(4);
+        let f = aig.and_many(&inputs);
+        aig.add_output(f);
+        let before = aig.num_ands();
+        let stats = Rewrite::default().run(&mut aig);
+        assert_eq!(stats.total_gain, 0);
+        assert_eq!(aig.num_ands(), before);
+    }
+
+    #[test]
+    fn cut_enumeration_respects_size_limit() {
+        let mut aig = Aig::new();
+        let inputs = aig.add_inputs(6);
+        let f = aig.and_many(&inputs);
+        aig.add_output(f);
+        let rewrite = Rewrite::new(RewriteParams {
+            cut_size: 4,
+            ..Default::default()
+        });
+        let cuts = rewrite.enumerate_cuts(&aig, f.node());
+        assert!(!cuts.is_empty());
+        for cut in &cuts {
+            assert!(cut.num_leaves() <= 4);
+            assert_eq!(cut.root, f.node());
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests: every optimization operator must preserve the
+//! function of the network and never increase the reachable node count.
+
+use elf_aig::{check_equivalence, Aig, EquivalenceResult, Lit};
+use elf_opt::{Refactor, RefactorParams, Resubstitution, Rewrite};
+use proptest::prelude::*;
+
+/// Builds a random redundant circuit from a script of gate choices.
+fn build_random_circuit(num_inputs: usize, script: &[(u8, usize, usize, usize)]) -> Aig {
+    let mut aig = Aig::new();
+    let mut signals: Vec<Lit> = aig.add_inputs(num_inputs);
+    for &(kind, a, b, c) in script {
+        let pick = |i: usize, signals: &[Lit]| signals[i % signals.len()];
+        let lit = match kind % 6 {
+            0 => {
+                let (x, y) = (pick(a, &signals), pick(b, &signals));
+                aig.and(x, y)
+            }
+            1 => {
+                let (x, y) = (pick(a, &signals), pick(b, &signals));
+                aig.or(x, y)
+            }
+            2 => {
+                let (x, y) = (pick(a, &signals), pick(b, &signals));
+                aig.xor(x, y)
+            }
+            3 => {
+                let (x, y, z) = (pick(a, &signals), pick(b, &signals), pick(c, &signals));
+                aig.mux(x, y, z)
+            }
+            4 => {
+                let (x, y, z) = (pick(a, &signals), pick(b, &signals), pick(c, &signals));
+                aig.maj(x, y, z)
+            }
+            _ => {
+                // Deliberately redundant structure: (x & y) | (x & z).
+                let (x, y, z) = (pick(a, &signals), pick(b, &signals), pick(c, &signals));
+                let t0 = aig.and(x, y);
+                let t1 = aig.and(x, z);
+                aig.or(t0, t1)
+            }
+        };
+        signals.push(lit);
+    }
+    let n = signals.len();
+    for lit in signals.iter().skip(n.saturating_sub(3)) {
+        aig.add_output(*lit);
+    }
+    // Remove dangling logic so the network is clean, as ABC's would be.
+    aig.cleanup();
+    aig
+}
+
+fn script_strategy(len: usize) -> impl Strategy<Value = Vec<(u8, usize, usize, usize)>> {
+    prop::collection::vec(
+        (any::<u8>(), 0usize..128, 0usize..128, 0usize..128),
+        4..len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Refactor preserves functionality and reports a gain that matches the
+    /// actual change in reachable node count.
+    #[test]
+    fn refactor_preserves_function(script in script_strategy(40)) {
+        let mut aig = build_random_circuit(6, &script);
+        let golden = aig.clone();
+        let before = aig.num_reachable_ands() as i64;
+        let stats = Refactor::new(RefactorParams::default()).run(&mut aig);
+        let after = aig.num_reachable_ands() as i64;
+        prop_assert!(after <= before);
+        prop_assert_eq!(stats.total_gain, before - after);
+        prop_assert!(aig.check_invariants().is_empty(), "{:?}", aig.check_invariants());
+        prop_assert_eq!(
+            check_equivalence(&golden, &aig, 16, 99),
+            EquivalenceResult::Equivalent
+        );
+    }
+
+    /// Refactor in zero-gain mode also preserves functionality.
+    #[test]
+    fn refactor_zero_gain_preserves_function(script in script_strategy(30)) {
+        let mut aig = build_random_circuit(5, &script);
+        let golden = aig.clone();
+        let params = RefactorParams { zero_gain: true, ..Default::default() };
+        let _ = Refactor::new(params).run(&mut aig);
+        prop_assert!(aig.check_invariants().is_empty());
+        prop_assert_eq!(
+            check_equivalence(&golden, &aig, 16, 7),
+            EquivalenceResult::Equivalent
+        );
+    }
+
+    /// Rewrite preserves functionality and never increases the node count.
+    #[test]
+    fn rewrite_preserves_function(script in script_strategy(30)) {
+        let mut aig = build_random_circuit(5, &script);
+        let golden = aig.clone();
+        let before = aig.num_reachable_ands();
+        let _ = Rewrite::default().run(&mut aig);
+        prop_assert!(aig.num_reachable_ands() <= before);
+        prop_assert!(aig.check_invariants().is_empty());
+        prop_assert_eq!(
+            check_equivalence(&golden, &aig, 16, 13),
+            EquivalenceResult::Equivalent
+        );
+    }
+
+    /// Resubstitution preserves functionality and never increases node count.
+    #[test]
+    fn resub_preserves_function(script in script_strategy(30)) {
+        let mut aig = build_random_circuit(5, &script);
+        let golden = aig.clone();
+        let before = aig.num_reachable_ands();
+        let _ = Resubstitution::default().run(&mut aig);
+        prop_assert!(aig.num_reachable_ands() <= before);
+        prop_assert!(aig.check_invariants().is_empty());
+        prop_assert_eq!(
+            check_equivalence(&golden, &aig, 16, 17),
+            EquivalenceResult::Equivalent
+        );
+    }
+
+    /// Chaining refactor twice (the paper's "ELF x 2" setting applied to the
+    /// baseline) is still sound and monotone in node count.
+    #[test]
+    fn refactor_twice_is_sound(script in script_strategy(30)) {
+        let mut aig = build_random_circuit(5, &script);
+        let golden = aig.clone();
+        let refactor = Refactor::new(RefactorParams::default());
+        let first = refactor.run(&mut aig);
+        let second = refactor.run(&mut aig);
+        prop_assert!(second.total_gain <= first.total_gain + second.total_gain);
+        prop_assert!(aig.check_invariants().is_empty());
+        prop_assert_eq!(
+            check_equivalence(&golden, &aig, 16, 29),
+            EquivalenceResult::Equivalent
+        );
+    }
+}

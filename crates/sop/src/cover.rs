@@ -1,0 +1,347 @@
+//! Cubes, sum-of-products covers, and the Minato–Morreale irredundant SOP.
+
+use std::fmt;
+
+use crate::truth::TruthTable;
+
+/// A product term (cube) over at most 16 variables.
+///
+/// `pos` and `neg` are bit masks of the variables appearing as positive and
+/// negative literals respectively.  A variable present in neither mask is a
+/// don't-care for the cube.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Cube {
+    /// Mask of variables appearing as positive literals.
+    pub pos: u32,
+    /// Mask of variables appearing as negative literals.
+    pub neg: u32,
+}
+
+impl Cube {
+    /// The tautology cube (no literals).
+    pub const TAUTOLOGY: Cube = Cube { pos: 0, neg: 0 };
+
+    /// Creates a cube containing a single literal.
+    pub fn literal(var: usize, positive: bool) -> Self {
+        if positive {
+            Cube {
+                pos: 1 << var,
+                neg: 0,
+            }
+        } else {
+            Cube {
+                pos: 0,
+                neg: 1 << var,
+            }
+        }
+    }
+
+    /// Returns a copy of this cube with an extra literal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube already contains the opposite literal.
+    pub fn with_literal(mut self, var: usize, positive: bool) -> Self {
+        let bit = 1u32 << var;
+        if positive {
+            assert_eq!(self.neg & bit, 0, "cube would become contradictory");
+            self.pos |= bit;
+        } else {
+            assert_eq!(self.pos & bit, 0, "cube would become contradictory");
+            self.neg |= bit;
+        }
+        self
+    }
+
+    /// Number of literals in the cube.
+    pub fn num_literals(&self) -> usize {
+        (self.pos.count_ones() + self.neg.count_ones()) as usize
+    }
+
+    /// Returns `true` if the cube contains the given literal.
+    pub fn contains(&self, var: usize, positive: bool) -> bool {
+        let bit = 1u32 << var;
+        if positive {
+            self.pos & bit != 0
+        } else {
+            self.neg & bit != 0
+        }
+    }
+
+    /// Removes a literal from the cube (no-op if absent).
+    pub fn without(&self, var: usize, positive: bool) -> Self {
+        let bit = !(1u32 << var);
+        if positive {
+            Cube {
+                pos: self.pos & bit,
+                neg: self.neg,
+            }
+        } else {
+            Cube {
+                pos: self.pos,
+                neg: self.neg & bit,
+            }
+        }
+    }
+
+    /// Returns `true` if the cube evaluates to true under `minterm`.
+    pub fn covers(&self, minterm: usize) -> bool {
+        let m = minterm as u32;
+        (m & self.pos) == self.pos && (m & self.neg) == 0
+    }
+
+    /// Converts the cube to a truth table over `num_vars` variables.
+    pub fn to_truth_table(&self, num_vars: usize) -> TruthTable {
+        let mut result = TruthTable::ones(num_vars);
+        for var in 0..num_vars {
+            if self.pos >> var & 1 == 1 {
+                result = &result & &TruthTable::var(var, num_vars);
+            }
+            if self.neg >> var & 1 == 1 {
+                result = &result & &!&TruthTable::var(var, num_vars);
+            }
+        }
+        result
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Cube::TAUTOLOGY {
+            return write!(f, "1");
+        }
+        for var in 0..32 {
+            if self.pos >> var & 1 == 1 {
+                write!(f, "x{var}")?;
+            }
+            if self.neg >> var & 1 == 1 {
+                write!(f, "!x{var}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A sum-of-products cover: a disjunction of [`Cube`]s over `num_vars` variables.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Sop {
+    num_vars: usize,
+    cubes: Vec<Cube>,
+}
+
+impl Sop {
+    /// Creates an empty (constant-false) cover.
+    pub fn new(num_vars: usize) -> Self {
+        Sop {
+            num_vars,
+            cubes: Vec::new(),
+        }
+    }
+
+    /// Creates a cover from explicit cubes.
+    pub fn from_cubes(num_vars: usize, cubes: Vec<Cube>) -> Self {
+        Sop { num_vars, cubes }
+    }
+
+    /// The number of variables of the cover.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The cubes of the cover.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Number of cubes.
+    pub fn num_cubes(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Total number of literals over all cubes.
+    pub fn num_literals(&self) -> usize {
+        self.cubes.iter().map(Cube::num_literals).sum()
+    }
+
+    /// Adds a cube to the cover.
+    pub fn push(&mut self, cube: Cube) {
+        self.cubes.push(cube);
+    }
+
+    /// Returns `true` if the cover has no cubes (constant false).
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Evaluates the cover into a truth table.
+    pub fn to_truth_table(&self) -> TruthTable {
+        let mut result = TruthTable::zeros(self.num_vars);
+        for cube in &self.cubes {
+            result = &result | &cube.to_truth_table(self.num_vars);
+        }
+        result
+    }
+
+    /// Computes an irredundant sum-of-products cover of `function` using the
+    /// Minato–Morreale algorithm.
+    ///
+    /// The resulting cover `C` satisfies `function ⊆ C ⊆ function` (it is
+    /// exact) and no cube can be dropped without uncovering a minterm.
+    pub fn isop(function: &TruthTable) -> Self {
+        let num_vars = function.num_vars();
+        let (cubes, cover) = isop_rec(function, function, num_vars);
+        debug_assert_eq!(&cover, function, "ISOP must reproduce the function exactly");
+        Sop {
+            num_vars,
+            cubes,
+        }
+    }
+}
+
+impl fmt::Display for Sop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cubes.is_empty() {
+            return write!(f, "0");
+        }
+        let strings: Vec<String> = self.cubes.iter().map(|c| c.to_string()).collect();
+        write!(f, "{}", strings.join(" + "))
+    }
+}
+
+/// Recursive Minato–Morreale ISOP on the interval `[lower, upper]`.
+///
+/// Returns the cubes and the function they cover.
+fn isop_rec(lower: &TruthTable, upper: &TruthTable, top: usize) -> (Vec<Cube>, TruthTable) {
+    debug_assert!(lower.implies(upper), "lower bound must imply upper bound");
+    if lower.is_zero() {
+        return (Vec::new(), TruthTable::zeros(lower.num_vars()));
+    }
+    if upper.is_one() {
+        return (vec![Cube::TAUTOLOGY], TruthTable::ones(lower.num_vars()));
+    }
+    // Find the topmost variable either bound depends on.
+    let mut var = top;
+    loop {
+        assert!(var > 0, "non-constant interval must depend on a variable");
+        var -= 1;
+        if lower.depends_on(var) || upper.depends_on(var) {
+            break;
+        }
+    }
+
+    let l0 = lower.cofactor0(var);
+    let l1 = lower.cofactor1(var);
+    let u0 = upper.cofactor0(var);
+    let u1 = upper.cofactor1(var);
+
+    // Cubes that must contain the negative literal of `var`.
+    let (cubes0, cover0) = isop_rec(&l0.and_not(&u1), &u0, var);
+    // Cubes that must contain the positive literal of `var`.
+    let (cubes1, cover1) = isop_rec(&l1.and_not(&u0), &u1, var);
+    // Remaining minterms can be covered without mentioning `var`.
+    let l0_rest = l0.and_not(&cover0);
+    let l1_rest = l1.and_not(&cover1);
+    let (cubes_star, cover_star) = isop_rec(&(&l0_rest | &l1_rest), &(&u0 & &u1), var);
+
+    let nv = lower.num_vars();
+    let var_tt = TruthTable::var(var, nv);
+    let cover = &(&(&cover0 & &!&var_tt) | &(&cover1 & &var_tt)) | &cover_star;
+
+    let mut cubes = Vec::with_capacity(cubes0.len() + cubes1.len() + cubes_star.len());
+    cubes.extend(cubes0.into_iter().map(|c| c.with_literal(var, false)));
+    cubes.extend(cubes1.into_iter().map(|c| c.with_literal(var, true)));
+    cubes.extend(cubes_star);
+    (cubes, cover)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_basics() {
+        let c = Cube::literal(0, true).with_literal(2, false);
+        assert_eq!(c.num_literals(), 2);
+        assert!(c.contains(0, true));
+        assert!(c.contains(2, false));
+        assert!(!c.contains(1, true));
+        assert!(c.covers(0b001));
+        assert!(!c.covers(0b101));
+        assert_eq!(c.without(2, false), Cube::literal(0, true));
+        assert_eq!(c.to_string(), "x0!x2");
+        assert_eq!(Cube::TAUTOLOGY.to_string(), "1");
+    }
+
+    #[test]
+    #[should_panic(expected = "contradictory")]
+    fn contradictory_cube_panics() {
+        let _ = Cube::literal(1, true).with_literal(1, false);
+    }
+
+    #[test]
+    fn cube_truth_table() {
+        let c = Cube::literal(0, true).with_literal(1, false);
+        let tt = c.to_truth_table(2);
+        assert_eq!(tt.count_ones(), 1);
+        assert!(tt.get_bit(0b01));
+    }
+
+    #[test]
+    fn isop_of_simple_functions() {
+        // AND
+        let a = TruthTable::var(0, 2);
+        let b = TruthTable::var(1, 2);
+        let and = &a & &b;
+        let sop = Sop::isop(&and);
+        assert_eq!(sop.num_cubes(), 1);
+        assert_eq!(sop.to_truth_table(), and);
+
+        // XOR needs two cubes.
+        let xor = &a ^ &b;
+        let sop = Sop::isop(&xor);
+        assert_eq!(sop.num_cubes(), 2);
+        assert_eq!(sop.to_truth_table(), xor);
+
+        // Constants.
+        assert!(Sop::isop(&TruthTable::zeros(3)).is_empty());
+        let one = Sop::isop(&TruthTable::ones(3));
+        assert_eq!(one.num_cubes(), 1);
+        assert_eq!(one.cubes()[0], Cube::TAUTOLOGY);
+    }
+
+    #[test]
+    fn isop_is_irredundant_for_majority() {
+        // MAJ3 has exactly three prime implicants: ab + ac + bc.
+        let a = TruthTable::var(0, 3);
+        let b = TruthTable::var(1, 3);
+        let c = TruthTable::var(2, 3);
+        let maj = &(&(&a & &b) | &(&a & &c)) | &(&b & &c);
+        let sop = Sop::isop(&maj);
+        assert_eq!(sop.to_truth_table(), maj);
+        assert_eq!(sop.num_cubes(), 3);
+        assert_eq!(sop.num_literals(), 6);
+    }
+
+    #[test]
+    fn isop_covers_multi_word_function() {
+        // 8-variable function: (x0 & x7) | (x3 & !x6)
+        let x0 = TruthTable::var(0, 8);
+        let x3 = TruthTable::var(3, 8);
+        let x6 = TruthTable::var(6, 8);
+        let x7 = TruthTable::var(7, 8);
+        let f = &(&x0 & &x7) | &(&x3 & &!&x6);
+        let sop = Sop::isop(&f);
+        assert_eq!(sop.to_truth_table(), f);
+        assert!(sop.num_cubes() <= 3);
+    }
+
+    #[test]
+    fn sop_display() {
+        let a = TruthTable::var(0, 2);
+        let b = TruthTable::var(1, 2);
+        let or = &a | &b;
+        let sop = Sop::isop(&or);
+        assert_eq!(sop.to_truth_table(), or);
+        assert!(!sop.to_string().is_empty());
+    }
+}

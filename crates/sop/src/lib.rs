@@ -1,0 +1,37 @@
+//! # elf-sop
+//!
+//! Two-level and factored-form logic substrate for the ELF reproduction.
+//!
+//! Refactoring transforms a cut of an AIG in three steps, all provided here:
+//!
+//! 1. The cut's function is expressed as a [`TruthTable`] over its leaves.
+//! 2. The truth table is converted to an irredundant sum-of-products cover
+//!    ([`Sop::isop`], the Minato–Morreale algorithm).
+//! 3. The cover is algebraically [factored](factor) into a [`FactoredForm`],
+//!    whose binary gate count is the size of the resynthesized cut.
+//!
+//! # Examples
+//!
+//! ```
+//! use elf_sop::{factor_truth_table, Sop, TruthTable};
+//!
+//! // f = a b + a c factors into a (b + c): two gates instead of three.
+//! let a = TruthTable::var(0, 3);
+//! let b = TruthTable::var(1, 3);
+//! let c = TruthTable::var(2, 3);
+//! let f = &(&a & &b) | &(&a & &c);
+//! let expr = factor_truth_table(&f);
+//! assert_eq!(expr.num_gates(), 2);
+//! assert_eq!(Sop::isop(&f).num_cubes(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cover;
+mod factor;
+mod truth;
+
+pub use cover::{Cube, Sop};
+pub use factor::{factor, factor_truth_table, FactoredForm};
+pub use truth::{TruthTable, MAX_VARS};

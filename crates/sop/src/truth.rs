@@ -1,0 +1,390 @@
+//! Truth tables over up to 16 variables, stored as packed 64-bit words.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// Maximum number of variables supported by [`TruthTable`].
+pub const MAX_VARS: usize = 16;
+
+const ELEMENTARY: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+/// A complete truth table of a Boolean function over `num_vars` variables.
+///
+/// Bit `m` of the table is the value of the function under the input
+/// assignment encoded by the integer `m` (variable `i` is bit `i` of `m`).
+///
+/// # Examples
+///
+/// ```
+/// use elf_sop::TruthTable;
+/// let a = TruthTable::var(0, 2);
+/// let b = TruthTable::var(1, 2);
+/// let f = &a & &b;
+/// assert_eq!(f.count_ones(), 1);
+/// assert!(f.get_bit(0b11));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    num_vars: usize,
+    words: Vec<u64>,
+}
+
+impl TruthTable {
+    fn word_count(num_vars: usize) -> usize {
+        if num_vars <= 6 {
+            1
+        } else {
+            1 << (num_vars - 6)
+        }
+    }
+
+    fn last_word_mask(num_vars: usize) -> u64 {
+        if num_vars >= 6 {
+            !0u64
+        } else {
+            (1u64 << (1usize << num_vars)) - 1
+        }
+    }
+
+    /// Creates the constant-false function over `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > MAX_VARS`.
+    pub fn zeros(num_vars: usize) -> Self {
+        assert!(num_vars <= MAX_VARS, "at most {MAX_VARS} variables supported");
+        TruthTable {
+            num_vars,
+            words: vec![0; Self::word_count(num_vars)],
+        }
+    }
+
+    /// Creates the constant-true function over `num_vars` variables.
+    pub fn ones(num_vars: usize) -> Self {
+        let mut t = Self::zeros(num_vars);
+        for w in &mut t.words {
+            *w = !0;
+        }
+        t.mask();
+        t
+    }
+
+    /// Creates the projection function of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars` or `num_vars > MAX_VARS`.
+    pub fn var(var: usize, num_vars: usize) -> Self {
+        assert!(var < num_vars, "variable index out of range");
+        let mut t = Self::zeros(num_vars);
+        for (i, w) in t.words.iter_mut().enumerate() {
+            *w = if var < 6 {
+                ELEMENTARY[var]
+            } else if (i >> (var - 6)) & 1 == 1 {
+                !0
+            } else {
+                0
+            };
+        }
+        t.mask();
+        t
+    }
+
+    /// Creates a truth table from raw words (least-significant word first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of words does not match `num_vars`.
+    pub fn from_words(words: Vec<u64>, num_vars: usize) -> Self {
+        assert!(num_vars <= MAX_VARS);
+        assert_eq!(words.len(), Self::word_count(num_vars), "wrong word count");
+        let mut t = TruthTable { num_vars, words };
+        t.mask();
+        t
+    }
+
+    /// Builds a truth table by evaluating `f` on every input assignment.
+    pub fn from_fn(num_vars: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut t = Self::zeros(num_vars);
+        for m in 0..(1usize << num_vars) {
+            if f(m) {
+                t.set_bit(m);
+            }
+        }
+        t
+    }
+
+    fn mask(&mut self) {
+        let m = Self::last_word_mask(self.num_vars);
+        if let Some(last) = self.words.last_mut() {
+            *last &= m;
+        }
+    }
+
+    /// Number of variables of this function.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The packed words of the table, least significant first.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Returns the value of the function for input assignment `minterm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `minterm >= 2^num_vars`.
+    pub fn get_bit(&self, minterm: usize) -> bool {
+        assert!(minterm < 1usize << self.num_vars, "minterm out of range");
+        self.words[minterm / 64] >> (minterm % 64) & 1 == 1
+    }
+
+    /// Sets the value of the function for input assignment `minterm` to true.
+    pub fn set_bit(&mut self, minterm: usize) {
+        assert!(minterm < 1usize << self.num_vars, "minterm out of range");
+        self.words[minterm / 64] |= 1u64 << (minterm % 64);
+    }
+
+    /// Returns `true` if the function is constant false.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Returns `true` if the function is constant true.
+    pub fn is_one(&self) -> bool {
+        let last = self.words.len() - 1;
+        self.words[..last].iter().all(|&w| w == !0)
+            && self.words[last] == Self::last_word_mask(self.num_vars)
+    }
+
+    /// Number of satisfying assignments (ON-set size).
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns the positive cofactor with respect to `var` (a function that no
+    /// longer depends on `var`).
+    pub fn cofactor1(&self, var: usize) -> Self {
+        assert!(var < self.num_vars);
+        let mut out = self.clone();
+        if var < 6 {
+            let shift = 1usize << var;
+            let mask = ELEMENTARY[var];
+            for w in &mut out.words {
+                let hi = *w & mask;
+                *w = hi | (hi >> shift);
+            }
+        } else {
+            let block = 1usize << (var - 6);
+            let total = out.words.len();
+            let mut i = 0;
+            while i < total {
+                for k in 0..block {
+                    out.words[i + k] = self.words[i + block + k];
+                }
+                for k in 0..block {
+                    out.words[i + block + k] = self.words[i + block + k];
+                }
+                i += 2 * block;
+            }
+        }
+        out.mask();
+        out
+    }
+
+    /// Returns the negative cofactor with respect to `var`.
+    pub fn cofactor0(&self, var: usize) -> Self {
+        assert!(var < self.num_vars);
+        let mut out = self.clone();
+        if var < 6 {
+            let shift = 1usize << var;
+            let mask = !ELEMENTARY[var];
+            for w in &mut out.words {
+                let lo = *w & mask;
+                *w = lo | (lo << shift);
+            }
+        } else {
+            let block = 1usize << (var - 6);
+            let total = out.words.len();
+            let mut i = 0;
+            while i < total {
+                for k in 0..block {
+                    out.words[i + block + k] = self.words[i + k];
+                }
+                i += 2 * block;
+            }
+        }
+        out.mask();
+        out
+    }
+
+    /// Returns `true` if the function depends on variable `var`.
+    pub fn depends_on(&self, var: usize) -> bool {
+        self.cofactor0(var) != self.cofactor1(var)
+    }
+
+    /// Returns the number of variables the function actually depends on
+    /// (its true support size).
+    pub fn support_size(&self) -> usize {
+        (0..self.num_vars).filter(|&v| self.depends_on(v)).count()
+    }
+
+    /// Returns `self & !other` (difference of ON-sets).
+    pub fn and_not(&self, other: &Self) -> Self {
+        assert_eq!(self.num_vars, other.num_vars);
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & !b)
+            .collect();
+        TruthTable {
+            num_vars: self.num_vars,
+            words,
+        }
+    }
+
+    /// Returns `true` if the ON-set of `self` is a subset of the ON-set of `other`.
+    pub fn implies(&self, other: &Self) -> bool {
+        self.and_not(other).is_zero()
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for &TruthTable {
+            type Output = TruthTable;
+            fn $method(self, rhs: &TruthTable) -> TruthTable {
+                assert_eq!(self.num_vars, rhs.num_vars, "variable counts differ");
+                let words = self
+                    .words
+                    .iter()
+                    .zip(&rhs.words)
+                    .map(|(a, b)| a $op b)
+                    .collect();
+                let mut t = TruthTable { num_vars: self.num_vars, words };
+                t.mask();
+                t
+            }
+        }
+    };
+}
+
+impl_binop!(BitAnd, bitand, &);
+impl_binop!(BitOr, bitor, |);
+impl_binop!(BitXor, bitxor, ^);
+
+impl Not for &TruthTable {
+    type Output = TruthTable;
+    fn not(self) -> TruthTable {
+        let words = self.words.iter().map(|w| !w).collect();
+        let mut t = TruthTable {
+            num_vars: self.num_vars,
+            words,
+        };
+        t.mask();
+        t
+    }
+}
+
+impl fmt::Display for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x")?;
+        for w in self.words.iter().rev() {
+            write!(f, "{w:016x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_and_vars() {
+        let z = TruthTable::zeros(3);
+        let o = TruthTable::ones(3);
+        assert!(z.is_zero());
+        assert!(o.is_one());
+        assert_eq!(o.count_ones(), 8);
+        let a = TruthTable::var(0, 3);
+        assert_eq!(a.count_ones(), 4);
+        assert!(a.get_bit(0b001));
+        assert!(!a.get_bit(0b110));
+    }
+
+    #[test]
+    fn boolean_operations() {
+        let a = TruthTable::var(0, 3);
+        let b = TruthTable::var(1, 3);
+        let and = &a & &b;
+        let or = &a | &b;
+        let xor = &a ^ &b;
+        assert_eq!(and.count_ones(), 2);
+        assert_eq!(or.count_ones(), 6);
+        assert_eq!(xor.count_ones(), 4);
+        assert_eq!(&(!&and) & &and, TruthTable::zeros(3));
+        assert!(and.implies(&or));
+        assert!(!or.implies(&and));
+    }
+
+    #[test]
+    fn cofactors_small_variable() {
+        // f = a XOR b over 2 vars.
+        let a = TruthTable::var(0, 2);
+        let b = TruthTable::var(1, 2);
+        let f = &a ^ &b;
+        assert_eq!(f.cofactor0(0), b);
+        assert_eq!(f.cofactor1(0), !&b);
+        assert!(f.depends_on(0));
+        assert!(f.depends_on(1));
+        assert_eq!(f.support_size(), 2);
+        let g = &a & &(!&a);
+        assert_eq!(g.support_size(), 0);
+    }
+
+    #[test]
+    fn cofactors_large_variable() {
+        // 8 variables forces multi-word tables; check var 7.
+        let a = TruthTable::var(7, 8);
+        let b = TruthTable::var(0, 8);
+        let f = &a & &b;
+        assert_eq!(f.cofactor1(7), b);
+        assert_eq!(f.cofactor0(7), TruthTable::zeros(8));
+        assert!(!f.cofactor1(7).depends_on(7));
+    }
+
+    #[test]
+    fn from_fn_matches_get_bit() {
+        let f = TruthTable::from_fn(4, |m| (m.count_ones() % 2) == 1);
+        for m in 0..16 {
+            assert_eq!(f.get_bit(m), m.count_ones() % 2 == 1);
+        }
+        assert_eq!(f.count_ones(), 8);
+    }
+
+    #[test]
+    fn masking_of_partial_words() {
+        let t = TruthTable::ones(2);
+        assert_eq!(t.words()[0], 0b1111);
+        let n = !&TruthTable::zeros(1);
+        assert_eq!(n.words()[0], 0b11);
+        assert!(n.is_one());
+    }
+
+    #[test]
+    #[should_panic(expected = "variable index out of range")]
+    fn var_out_of_range_panics() {
+        let _ = TruthTable::var(3, 3);
+    }
+}

@@ -1,0 +1,93 @@
+//! Explainability of the ELF classifier: the feature study of Section IV-D.
+//!
+//! Trains the classifier on an arithmetic circuit, embeds the cut-feature
+//! space with t-SNE (Figure 3) and attributes predictions to the six
+//! features with exact Shapley values (Figure 4).
+//!
+//! Run with `cargo run --release --example explainability`.
+
+use elf::aig::FEATURE_NAMES;
+use elf::analysis::{shap_summary, tsne, TsneConfig};
+use elf::circuits::epfl::{arithmetic_circuit, Scale};
+use elf::core::{collect_labeled_cuts, cuts_to_dataset, ElfClassifier};
+use elf::nn::TrainConfig;
+use elf::opt::RefactorParams;
+
+fn main() {
+    let circuit = arithmetic_circuit("sqrt", Scale::Tiny);
+    let params = RefactorParams::default();
+    let cuts = collect_labeled_cuts(&circuit, &params);
+    let data = cuts_to_dataset(&cuts);
+    println!(
+        "collected {} labelled cuts from `{}`",
+        data.len(),
+        circuit.name()
+    );
+
+    let (classifier, _) = ElfClassifier::fit(
+        &data,
+        &TrainConfig {
+            epochs: 15,
+            ..Default::default()
+        },
+        3,
+    );
+
+    // --- Figure 3: t-SNE of the feature space -------------------------------
+    let sample: Vec<Vec<f64>> = cuts
+        .iter()
+        .take(400)
+        .map(|c| c.features.to_array().iter().map(|&v| v as f64).collect())
+        .collect();
+    let embedding = tsne(
+        &sample,
+        &TsneConfig {
+            iterations: 200,
+            perplexity: 20.0,
+            ..Default::default()
+        },
+    );
+    let refactored = cuts.iter().take(400).filter(|c| c.committed).count();
+    println!(
+        "t-SNE embedded {} cuts ({} refactored); first points:",
+        embedding.len(),
+        refactored
+    );
+    for (point, cut) in embedding.iter().zip(cuts.iter()).take(5) {
+        println!(
+            "  ({:>8.3}, {:>8.3})  label={}",
+            point[0], point[1], cut.committed
+        );
+    }
+
+    // --- Figure 4: SHAP values ----------------------------------------------
+    let background: Vec<Vec<f32>> = cuts
+        .iter()
+        .step_by((cuts.len() / 32).max(1))
+        .take(32)
+        .map(|c| c.features.to_array().to_vec())
+        .collect();
+    let instances: Vec<Vec<f32>> = cuts
+        .iter()
+        .take(64)
+        .map(|c| c.features.to_array().to_vec())
+        .collect();
+    let model = |rows: &[Vec<f32>]| -> Vec<f32> {
+        let arrays: Vec<[f32; 6]> = rows
+            .iter()
+            .map(|r| [r[0], r[1], r[2], r[3], r[4], r[5]])
+            .collect();
+        classifier.predict_batch(&arrays)
+    };
+    let summary = shap_summary(&model, &instances, &background);
+    println!();
+    println!("mean |SHAP| per feature (importance):");
+    let mut ranked: Vec<(usize, f64)> = summary.mean_abs.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite SHAP values"));
+    for (feature, importance) in ranked {
+        println!(
+            "  {:<20} {:>10.5}  (mean signed {:+.5})",
+            FEATURE_NAMES[feature], importance, summary.mean[feature]
+        );
+    }
+}

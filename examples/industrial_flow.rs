@@ -1,0 +1,93 @@
+//! Industrial-style flow: generate control-dominated netlists matched to the
+//! paper's Table II profiles, train on most of them, and accelerate
+//! refactoring of the held-out design.  Also demonstrates AIGER export and
+//! classifier persistence.
+//!
+//! Run with `cargo run --release --example industrial_flow`.
+
+use elf::aig::aiger;
+use elf::circuits::industrial::{generate_industrial, TABLE2_PROFILES};
+use elf::core::{
+    circuit_dataset, collect_labeled_cuts, cuts_to_arrays, ElfClassifier, ElfConfig, ElfRefactor,
+};
+use elf::nn::{Dataset, TrainConfig};
+use elf::opt::{Refactor, RefactorParams};
+
+fn main() {
+    // Small-scale versions of the ten Table II designs (~1/500th of the
+    // published gate counts) keep this example interactive.
+    let scale = 0.002;
+    let designs: Vec<_> = TABLE2_PROFILES
+        .iter()
+        .enumerate()
+        .map(|(index, profile)| {
+            (
+                profile.name,
+                generate_industrial(profile, scale, 1000 + index as u64),
+            )
+        })
+        .collect();
+
+    let params = RefactorParams::default();
+    let held_out = 4; // "design 5", the most redundant profile
+
+    // Train on every design except the held-out one.
+    let mut training = Dataset::new();
+    for (index, (_, aig)) in designs.iter().enumerate() {
+        if index != held_out {
+            training.extend_from(&circuit_dataset(aig, &params));
+        }
+    }
+    println!(
+        "training on {} cuts from {} designs",
+        training.len(),
+        designs.len() - 1
+    );
+    let (classifier, _) = ElfClassifier::fit(
+        &training,
+        &TrainConfig {
+            epochs: 15,
+            ..Default::default()
+        },
+        7,
+    );
+
+    // Persist and reload the classifier, as a deployment inside a synthesis
+    // tool would.
+    let serialized = classifier.to_text();
+    let classifier = ElfClassifier::from_text(&serialized).expect("classifier round-trips");
+    println!("serialized classifier: {} bytes", serialized.len());
+
+    // Evaluate on the held-out design.
+    let (name, target) = &designs[held_out];
+    let cuts = collect_labeled_cuts(target, &params);
+    let (features, labels) = cuts_to_arrays(&cuts);
+    let confusion = classifier.evaluate(&features, &labels, true);
+    println!(
+        "{name}: recall {:.1}%, accuracy {:.1}% over {} cuts",
+        confusion.recall() * 100.0,
+        confusion.accuracy() * 100.0,
+        confusion.total()
+    );
+
+    let mut baseline_aig = target.clone();
+    let baseline = Refactor::new(params).run(&mut baseline_aig);
+    let mut elf_aig = target.clone();
+    let elf = ElfRefactor::new(classifier, ElfConfig::default());
+    let stats = elf.run(&mut elf_aig);
+    println!(
+        "baseline: {} -> {} ANDs in {:?}; ELF: {} -> {} ANDs in {:?} ({:.1}% pruned)",
+        target.num_reachable_ands(),
+        baseline_aig.num_reachable_ands(),
+        baseline.runtime,
+        target.num_reachable_ands(),
+        elf_aig.num_reachable_ands(),
+        stats.total_time,
+        stats.prune_rate() * 100.0,
+    );
+
+    // Export the optimized design as ASCII AIGER.
+    let out_path = std::env::temp_dir().join("elf_industrial_design.aag");
+    aiger::write_ascii_file(&elf_aig, &out_path).expect("write AIGER file");
+    println!("optimized design written to {}", out_path.display());
+}

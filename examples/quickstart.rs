@@ -1,0 +1,70 @@
+//! Quickstart: train the ELF classifier on one circuit and use it to prune
+//! refactoring of another.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use elf::aig::check_equivalence;
+use elf::circuits::epfl::{arithmetic_circuit, Scale};
+use elf::core::{circuit_dataset, ElfClassifier, ElfConfig, ElfRefactor};
+use elf::nn::TrainConfig;
+use elf::opt::{Refactor, RefactorParams};
+
+fn main() {
+    // 1. Generate a training circuit and label its cuts by running the
+    //    baseline refactor operator in recording mode.
+    let trainer = arithmetic_circuit("square", Scale::Tiny);
+    let params = RefactorParams::default();
+    let data = circuit_dataset(&trainer, &params);
+    let (negatives, positives) = data.class_counts();
+    println!(
+        "training data: {} cuts ({} refactored, {} not) from `{}`",
+        data.len(),
+        positives,
+        negatives,
+        trainer.name()
+    );
+
+    // 2. Train the 325-parameter classifier.
+    let train_config = TrainConfig {
+        epochs: 15,
+        ..Default::default()
+    };
+    let (classifier, report) = ElfClassifier::fit(&data, &train_config, 42);
+    println!(
+        "trained for {} epochs, validation recall {:.1}%, accuracy {:.1}%",
+        report.epochs_run,
+        report.validation_metrics.recall() * 100.0,
+        report.validation_metrics.accuracy() * 100.0
+    );
+
+    // 3. Apply ELF to an unseen circuit and compare with the baseline.
+    let target = arithmetic_circuit("multiplier", Scale::Tiny);
+    let golden = target.clone();
+
+    let mut baseline_aig = target.clone();
+    let baseline = Refactor::new(params).run(&mut baseline_aig);
+
+    let mut elf_aig = target.clone();
+    let elf = ElfRefactor::new(classifier, ElfConfig::default());
+    let stats = elf.run(&mut elf_aig);
+
+    println!();
+    println!("target circuit `{}`:", target.name());
+    println!(
+        "  baseline refactor: {:>6} -> {:>6} AND gates in {:?}",
+        target.num_reachable_ands(),
+        baseline_aig.num_reachable_ands(),
+        baseline.runtime
+    );
+    println!(
+        "  ELF:               {:>6} -> {:>6} AND gates in {:?} (pruned {:.1}% of cuts)",
+        target.num_reachable_ands(),
+        elf_aig.num_reachable_ands(),
+        stats.total_time,
+        stats.prune_rate() * 100.0
+    );
+
+    // 4. ELF never changes circuit functionality.
+    let equivalence = check_equivalence(&golden, &elf_aig, 32, 2025);
+    println!("  functional equivalence after ELF: {equivalence:?}");
+}

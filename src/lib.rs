@@ -1,0 +1,55 @@
+//! # elf
+//!
+//! Facade crate of the ELF reproduction: **E**fficient **L**ogic synthesis by
+//! pruning redundancy in re**F**actoring (Tsaras et al., DAC 2025).
+//!
+//! ELF observes that the ABC `refactor` operator wastes ~98 % of its time
+//! resynthesizing cuts that never improve, and prunes those cuts with a
+//! 325-parameter classifier over six structural cut features, obtaining a
+//! multi-x speed-up at negligible area cost.  This workspace re-builds the
+//! whole stack from scratch in Rust:
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`aig`] (`elf-aig`) | And-Inverter Graph, structural hashing, MFFC, simulation, AIGER I/O, reconvergence-driven cuts and cut features |
+//! | [`sop`] (`elf-sop`) | Truth tables, irredundant SOP (Minato–Morreale), algebraic factoring |
+//! | [`opt`] (`elf-opt`) | The refactor baseline plus rewrite and resubstitution |
+//! | [`nn`] (`elf-nn`) | Minimal MLP framework (Adam, cosine warm restarts, MixUp, metrics) |
+//! | [`core`] (`elf-core`) | The ELF classifier, pruned operator and experiment protocol |
+//! | [`circuits`] (`elf-circuits`) | EPFL-style arithmetic, industrial-like and synthetic workload generators |
+//! | [`analysis`] (`elf-analysis`) | t-SNE, exact Shapley values, PCA |
+//!
+//! # Examples
+//!
+//! Accelerate refactoring of a freshly generated multiplier:
+//!
+//! ```
+//! use elf::circuits::epfl::{arithmetic_circuit, Scale};
+//! use elf::core::{circuit_dataset, ElfClassifier, ElfConfig, ElfRefactor};
+//! use elf::nn::TrainConfig;
+//! use elf::opt::RefactorParams;
+//!
+//! // Train on a small squarer, prune refactoring of a small multiplier.
+//! let trainer = arithmetic_circuit("square", Scale::Tiny);
+//! let data = circuit_dataset(&trainer, &RefactorParams::default());
+//! let (classifier, _) = ElfClassifier::fit(
+//!     &data,
+//!     &TrainConfig { epochs: 3, ..Default::default() },
+//!     7,
+//! );
+//!
+//! let mut target = arithmetic_circuit("multiplier", Scale::Tiny);
+//! let elf = ElfRefactor::new(classifier, ElfConfig::default());
+//! let stats = elf.run(&mut target);
+//! assert!(stats.prune_rate() >= 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use elf_aig as aig;
+pub use elf_analysis as analysis;
+pub use elf_circuits as circuits;
+pub use elf_core as core;
+pub use elf_nn as nn;
+pub use elf_opt as opt;
+pub use elf_sop as sop;

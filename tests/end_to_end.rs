@@ -1,0 +1,197 @@
+//! End-to-end integration tests spanning every crate: workload generation,
+//! baseline refactoring, classifier training, ELF pruning, and quality
+//! verification.
+
+use elf::aig::check_equivalence;
+use elf::circuits::epfl::{arithmetic_circuit, arithmetic_suite, Scale};
+use elf::circuits::industrial::{generate_industrial, IndustrialProfile};
+use elf::core::experiment::{circuit_stats, compare_on_circuit, quality_on_circuit, ExperimentConfig};
+use elf::core::{
+    circuit_dataset, leave_one_out_dataset, train_leave_one_out, BenchCircuit, ElfClassifier,
+    ElfConfig, ElfRefactor,
+};
+use elf::nn::TrainConfig;
+use elf::opt::{Refactor, RefactorParams};
+
+fn quick_experiment_config() -> ExperimentConfig {
+    ExperimentConfig {
+        train: TrainConfig {
+            epochs: 8,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn tiny_suite() -> Vec<BenchCircuit> {
+    arithmetic_suite(Scale::Tiny)
+        .into_iter()
+        .map(|(name, aig)| BenchCircuit::new(name, aig))
+        .collect()
+}
+
+#[test]
+fn refactor_preserves_functionality_on_arithmetic_circuits() {
+    for (name, aig) in arithmetic_suite(Scale::Tiny) {
+        let golden = aig.clone();
+        let mut optimized = aig;
+        let stats = Refactor::new(RefactorParams::default()).run(&mut optimized);
+        assert!(
+            optimized.check_invariants().is_empty(),
+            "{name}: {:?}",
+            optimized.check_invariants()
+        );
+        assert!(
+            check_equivalence(&golden, &optimized, 32, 11).holds(),
+            "{name}: refactor changed the function"
+        );
+        assert!(
+            stats.cuts_formed > 0,
+            "{name}: no cuts were formed by refactor"
+        );
+    }
+}
+
+#[test]
+fn redundancy_statistics_match_the_papers_premise() {
+    // The paper's core observation (Fig. 1): the overwhelming majority of
+    // cuts fail to be refactored.
+    let mut total_cuts = 0usize;
+    let mut total_commits = 0usize;
+    for (_, aig) in arithmetic_suite(Scale::Tiny) {
+        let mut copy = aig;
+        let stats = Refactor::new(RefactorParams::default()).run(&mut copy);
+        total_cuts += stats.cuts_formed;
+        total_commits += stats.cuts_committed;
+    }
+    let commit_rate = total_commits as f64 / total_cuts as f64;
+    assert!(
+        commit_rate < 0.25,
+        "commit rate {commit_rate} is too high for the pruning premise to hold"
+    );
+}
+
+#[test]
+fn leave_one_out_flow_preserves_function_and_prunes() {
+    let circuits = tiny_suite();
+    let config = quick_experiment_config();
+    // Hold out the multiplier (index of "multiplier" in the suite).
+    let held_out = circuits
+        .iter()
+        .position(|c| c.name == "multiplier")
+        .expect("multiplier exists");
+    let classifier = train_leave_one_out(&circuits, held_out, &config);
+
+    let golden = circuits[held_out].aig.clone();
+    let mut optimized = circuits[held_out].aig.clone();
+    let elf = ElfRefactor::new(classifier, config.elf);
+    let stats = elf.run(&mut optimized);
+
+    assert!(optimized.check_invariants().is_empty());
+    assert!(check_equivalence(&golden, &optimized, 32, 5).holds());
+    // The classifier must actually prune something on an unseen circuit.
+    assert!(stats.pruned > 0, "classifier pruned nothing");
+    assert!(optimized.num_reachable_ands() <= golden.num_reachable_ands());
+}
+
+#[test]
+fn comparison_and_quality_rows_are_consistent() {
+    let circuits = tiny_suite();
+    let config = quick_experiment_config();
+    let classifier = train_leave_one_out(&circuits, 0, &config);
+    let row = compare_on_circuit(&circuits[0], &classifier, &config);
+    assert_eq!(row.name, circuits[0].name);
+    assert!(row.baseline_ands <= row.nodes_before);
+    assert!(row.elf_ands <= row.nodes_before);
+
+    let quality = quality_on_circuit(&circuits[0], &classifier, &config);
+    let stats = circuit_stats(&circuits[0], &config.elf.refactor);
+    assert_eq!(quality.confusion.total(), stats.cuts);
+    // True positives + false negatives equals the number of refactorable cuts.
+    assert_eq!(
+        quality.confusion.true_positives + quality.confusion.false_negatives,
+        stats.refactored
+    );
+}
+
+#[test]
+fn elf_quality_loss_is_bounded_when_recall_is_perfect() {
+    // With threshold 0 the classifier keeps everything: quality must match
+    // the baseline exactly, which bounds the quality loss attributable to
+    // the flow itself (as opposed to classification errors).
+    let circuit = arithmetic_circuit("square", Scale::Tiny);
+    let data = circuit_dataset(&circuit, &RefactorParams::default());
+    let (mut classifier, _) = ElfClassifier::fit(
+        &data,
+        &TrainConfig {
+            epochs: 3,
+            ..Default::default()
+        },
+        5,
+    );
+    classifier.set_threshold(0.0);
+
+    let mut baseline_aig = circuit.clone();
+    Refactor::new(RefactorParams::default()).run(&mut baseline_aig);
+    let mut elf_aig = circuit.clone();
+    ElfRefactor::new(classifier, ElfConfig::default()).run(&mut elf_aig);
+    assert_eq!(
+        baseline_aig.num_reachable_ands(),
+        elf_aig.num_reachable_ands()
+    );
+}
+
+#[test]
+fn industrial_designs_work_through_the_whole_pipeline() {
+    let profile = IndustrialProfile {
+        name: "integration",
+        inputs: 96,
+        outputs: 32,
+        target_ands: 3000,
+        target_depth: 45,
+        redundancy: 0.08,
+    };
+    let designs: Vec<BenchCircuit> = (0..3)
+        .map(|i| {
+            BenchCircuit::new(
+                format!("design {i}"),
+                generate_industrial(&profile, 1.0, 50 + i),
+            )
+        })
+        .collect();
+    let params = RefactorParams::default();
+    let data = leave_one_out_dataset(&designs, 0, &params);
+    assert!(data.len() > 100);
+    let (classifier, _) = ElfClassifier::fit(
+        &data,
+        &TrainConfig {
+            epochs: 8,
+            ..Default::default()
+        },
+        11,
+    );
+    let golden = designs[0].aig.clone();
+    let mut optimized = designs[0].aig.clone();
+    let stats = ElfRefactor::new(classifier, ElfConfig::default()).run(&mut optimized);
+    assert!(stats.pruned + stats.kept > 0);
+    assert!(check_equivalence(&golden, &optimized, 24, 3).holds());
+    assert!(optimized.check_invariants().is_empty());
+}
+
+#[test]
+fn double_application_never_hurts_area() {
+    let circuits = tiny_suite();
+    let config = ExperimentConfig {
+        applications: 2,
+        ..quick_experiment_config()
+    };
+    let classifier = train_leave_one_out(&circuits, 1, &config);
+    let single_config = ExperimentConfig {
+        applications: 1,
+        ..config
+    };
+    let twice = compare_on_circuit(&circuits[1], &classifier, &config);
+    let once = compare_on_circuit(&circuits[1], &classifier, &single_config);
+    assert!(twice.elf_ands <= once.elf_ands);
+    assert_eq!(twice.elf_passes.len(), 2);
+}
