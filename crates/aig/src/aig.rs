@@ -871,11 +871,7 @@ impl Aig {
                 problems.push(format!("hash table key mismatch for node {id}"));
             }
         }
-        let live_ands = self
-            .nodes
-            .iter()
-            .filter(|n| !n.dead && n.is_and())
-            .count();
+        let live_ands = self.nodes.iter().filter(|n| !n.dead && n.is_and()).count();
         if live_ands != self.num_ands {
             problems.push(format!(
                 "num_ands counter is {} but {} live AND nodes exist",

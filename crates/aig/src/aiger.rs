@@ -35,7 +35,11 @@ impl ParseAigerError {
 
 impl fmt::Display for ParseAigerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid AIGER input at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "invalid AIGER input at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -107,10 +111,7 @@ pub fn from_ascii(text: &str) -> Result<Aig, ParseAigerError> {
         .ok_or_else(|| ParseAigerError::new("empty input", 0))?;
     let fields: Vec<&str> = header.split_whitespace().collect();
     if fields.len() != 6 || fields[0] != "aag" {
-        return Err(ParseAigerError::new(
-            "header must be `aag M I L O A`",
-            1,
-        ));
+        return Err(ParseAigerError::new("header must be `aag M I L O A`", 1));
     }
     let parse = |s: &str, line: usize| {
         s.parse::<u32>()
@@ -151,12 +152,18 @@ pub fn from_ascii(text: &str) -> Result<Aig, ParseAigerError> {
         let (line_no, line) = take_line(&mut lines)?;
         let raw = parse(&line, line_no)?;
         if raw % 2 != 0 || raw == 0 {
-            return Err(ParseAigerError::new("input literal must be even and nonzero", line_no));
+            return Err(ParseAigerError::new(
+                "input literal must be even and nonzero",
+                line_no,
+            ));
         }
         let lit = aig.add_input();
         let var = (raw / 2) as usize;
         if var >= lit_of_var.len() || lit_of_var[var].is_some() {
-            return Err(ParseAigerError::new("duplicate or out-of-range input", line_no));
+            return Err(ParseAigerError::new(
+                "duplicate or out-of-range input",
+                line_no,
+            ));
         }
         lit_of_var[var] = Some(lit);
     }
@@ -173,13 +180,19 @@ pub fn from_ascii(text: &str) -> Result<Aig, ParseAigerError> {
         let (line_no, line) = take_line(&mut lines)?;
         let nums: Vec<&str> = line.split_whitespace().collect();
         if nums.len() != 3 {
-            return Err(ParseAigerError::new("AND line must have three literals", line_no));
+            return Err(ParseAigerError::new(
+                "AND line must have three literals",
+                line_no,
+            ));
         }
         let lhs = parse(nums[0], line_no)?;
         let rhs0 = parse(nums[1], line_no)?;
         let rhs1 = parse(nums[2], line_no)?;
         if lhs % 2 != 0 {
-            return Err(ParseAigerError::new("AND output literal must be even", line_no));
+            return Err(ParseAigerError::new(
+                "AND output literal must be even",
+                line_no,
+            ));
         }
         let resolve = |raw: u32| -> Result<Lit, ParseAigerError> {
             let var = (raw / 2) as usize;
@@ -197,7 +210,10 @@ pub fn from_ascii(text: &str) -> Result<Aig, ParseAigerError> {
         let lit = aig.and(a, b);
         let var = (lhs / 2) as usize;
         if var >= lit_of_var.len() || lit_of_var[var].is_some() {
-            return Err(ParseAigerError::new("duplicate or out-of-range AND definition", line_no));
+            return Err(ParseAigerError::new(
+                "duplicate or out-of-range AND definition",
+                line_no,
+            ));
         }
         lit_of_var[var] = Some(lit);
     }
@@ -209,7 +225,9 @@ pub fn from_ascii(text: &str) -> Result<Aig, ParseAigerError> {
             .copied()
             .flatten()
             .map(|lit| lit.complement_if(raw % 2 == 1))
-            .ok_or_else(|| ParseAigerError::new(format!("undefined output literal {raw}"), line_no))?;
+            .ok_or_else(|| {
+                ParseAigerError::new(format!("undefined output literal {raw}"), line_no)
+            })?;
         aig.add_output(lit);
     }
 

@@ -408,7 +408,6 @@ mod tests {
         aig.add_output(e2);
 
         let params = CutParams::with_max_leaves(4);
-        let mut aig = aig;
         let cut = aig.reconvergence_cut(root.node(), &params);
         let features = aig.cut_features(&cut);
         assert_eq!(features.leaves, 4.0);

@@ -51,6 +51,4 @@ pub use aig::{Aig, Fanout};
 pub use cut::{Cut, CutFeatures, CutParams, FEATURE_NAMES, NUM_FEATURES};
 pub use lit::{Lit, NodeId};
 pub use node::{Node, NodeKind};
-pub use sim::{
-    check_equivalence, elementary_word, EquivalenceResult, MAX_EXHAUSTIVE_INPUTS,
-};
+pub use sim::{check_equivalence, elementary_word, EquivalenceResult, MAX_EXHAUSTIVE_INPUTS};

@@ -56,7 +56,10 @@ impl Aig {
     ///
     /// Panics if `inputs.len()` differs from the number of primary inputs.
     pub fn evaluate(&self, inputs: &[bool]) -> Vec<bool> {
-        let words: Vec<u64> = inputs.iter().map(|&b| if b { !0u64 } else { 0u64 }).collect();
+        let words: Vec<u64> = inputs
+            .iter()
+            .map(|&b| if b { !0u64 } else { 0u64 })
+            .collect();
         self.simulate_word(&words)
             .into_iter()
             .map(|w| w & 1 == 1)

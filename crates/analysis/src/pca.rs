@@ -90,7 +90,13 @@ impl Pca {
         for component_index in 0..num_components.min(dims) {
             // Power iteration on the deflated covariance.
             let mut vector: Vec<f64> = (0..dims)
-                .map(|i| if i == component_index % dims { 1.0 } else { 0.1 })
+                .map(|i| {
+                    if i == component_index % dims {
+                        1.0
+                    } else {
+                        0.1
+                    }
+                })
                 .collect();
             let mut eigenvalue = 0.0;
             for _ in 0..200 {
@@ -147,7 +153,9 @@ mod tests {
 
     #[test]
     fn standardize_produces_zero_mean_unit_variance() {
-        let points: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, 3.0 * i as f64 + 1.0]).collect();
+        let points: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, 3.0 * i as f64 + 1.0])
+            .collect();
         let (transformed, mean, std) = standardize(&points);
         assert_eq!(mean.len(), 2);
         assert!(std[1] > std[0]);

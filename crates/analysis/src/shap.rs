@@ -38,7 +38,10 @@ pub fn shapley_values(
     background: &[Vec<f32>],
 ) -> Vec<f64> {
     let num_features = instance.len();
-    assert!(num_features <= 20, "exact Shapley supports at most 20 features");
+    assert!(
+        num_features <= 20,
+        "exact Shapley supports at most 20 features"
+    );
     assert!(!background.is_empty(), "background set must not be empty");
     assert!(
         background.iter().all(|row| row.len() == num_features),
@@ -51,7 +54,13 @@ pub fn shapley_values(
             .iter()
             .map(|b| {
                 (0..num_features)
-                    .map(|f| if mask >> f & 1 == 1 { instance[f] } else { b[f] })
+                    .map(|f| {
+                        if mask >> f & 1 == 1 {
+                            instance[f]
+                        } else {
+                            b[f]
+                        }
+                    })
                     .collect()
             })
             .collect();
@@ -170,7 +179,7 @@ mod tests {
         ];
         let instance = vec![0.7, 0.9, 0.1];
         let values = shapley_values(&model, &instance, &background);
-        let fx = model(&[instance.clone()])[0] as f64;
+        let fx = model(std::slice::from_ref(&instance))[0] as f64;
         let ef: f64 =
             model(&background).iter().map(|&v| v as f64).sum::<f64>() / background.len() as f64;
         let total: f64 = values.iter().sum();
@@ -179,8 +188,7 @@ mod tests {
 
     #[test]
     fn irrelevant_feature_gets_zero_attribution() {
-        let model =
-            |rows: &[Vec<f32>]| -> Vec<f32> { rows.iter().map(|r| r[0] * 3.0).collect() };
+        let model = |rows: &[Vec<f32>]| -> Vec<f32> { rows.iter().map(|r| r[0] * 3.0).collect() };
         let background = vec![vec![0.0, 7.0], vec![1.0, -3.0]];
         let values = shapley_values(&model, &[2.0, 100.0], &background);
         assert!(values[1].abs() < 1e-6);
@@ -189,8 +197,7 @@ mod tests {
 
     #[test]
     fn summary_aggregates_instances() {
-        let model =
-            |rows: &[Vec<f32>]| -> Vec<f32> { rows.iter().map(|r| r[0] - r[1]).collect() };
+        let model = |rows: &[Vec<f32>]| -> Vec<f32> { rows.iter().map(|r| r[0] - r[1]).collect() };
         let background = vec![vec![0.0, 0.0]];
         let instances = vec![vec![1.0, 0.0], vec![-1.0, 0.0]];
         let summary = shap_summary(&model, &instances, &background);

@@ -185,8 +185,7 @@ pub fn tsne(points: &[Vec<f64>], config: &TsneConfig) -> Vec<[f64; 2]> {
                 grad[1] += factor * (embedding[i][1] - embedding[j][1]);
             }
             for d in 0..2 {
-                velocity[i][d] =
-                    config.momentum * velocity[i][d] - config.learning_rate * grad[d];
+                velocity[i][d] = config.momentum * velocity[i][d] - config.learning_rate * grad[d];
             }
         }
         for i in 0..n {

@@ -117,5 +117,10 @@ fn bench_refactor_params(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_threshold, bench_batching, bench_refactor_params);
+criterion_group!(
+    benches,
+    bench_threshold,
+    bench_batching,
+    bench_refactor_params
+);
 criterion_main!(benches);

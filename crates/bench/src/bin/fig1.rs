@@ -49,15 +49,17 @@ fn main() {
     report(&epfl_rows);
     println!();
 
-    println!("Industrial circuits (size scale {}):", options.industrial_scale);
+    println!(
+        "Industrial circuits (size scale {}):",
+        options.industrial_scale
+    );
     let industrial = CachedSuite::new(options.industrial_circuits(), options.experiment_config(1));
     let industrial_rows = flow_rows(&industrial);
     report(&industrial_rows);
     println!();
 
     let all: Vec<&(String, f64, f64)> = epfl_rows.iter().chain(&industrial_rows).collect();
-    let mean_failure =
-        1.0 - all.iter().map(|(_, c, _)| c).sum::<f64>() / all.len().max(1) as f64;
+    let mean_failure = 1.0 - all.iter().map(|(_, c, _)| c).sum::<f64>() / all.len().max(1) as f64;
     let mean_pruned = all.iter().map(|(_, _, p)| p).sum::<f64>() / all.len().max(1) as f64;
     println!(
         "Measured: {:.1} % of cuts fail to improve on average; ELF prunes {:.1} % of cuts.",

@@ -41,7 +41,7 @@ fn main() {
     );
     let summary = shap_summary(&model, &instances, &background);
 
-    let mut csv = String::from(FEATURE_NAMES.join(","));
+    let mut csv = FEATURE_NAMES.join(",");
     csv.push('\n');
     for row in &summary.per_instance {
         let cells: Vec<String> = row.iter().map(|v| format!("{v:.6}")).collect();

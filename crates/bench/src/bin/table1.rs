@@ -8,7 +8,10 @@ fn main() {
     let options = HarnessOptions::from_args();
     let config = options.experiment_config(1);
     let circuits = options.epfl_circuits();
-    println!("Table I: arithmetic circuit statistics (scale {:?})", options.scale);
+    println!(
+        "Table I: arithmetic circuit statistics (scale {:?})",
+        options.scale
+    );
     println!(
         "{:<14} {:>9} {:>7} {:>6} {:>6} {:>18}",
         "Design", "And", "Level", "PIs", "POs", "Refactored"
@@ -27,8 +30,6 @@ fn main() {
         );
     }
     println!();
-    println!(
-        "Paper reference: refactored fraction ranges from 0.50 % (div) to 7.34 % (sqrt);"
-    );
+    println!("Paper reference: refactored fraction ranges from 0.50 % (div) to 7.34 % (sqrt);");
     println!("the reproduction should land in the same sub-10 % regime.");
 }

@@ -268,9 +268,7 @@ pub fn print_comparison_table(title: &str, rows: &[ComparisonRow]) {
         .iter()
         .map(ComparisonRow::and_difference_percent)
         .fold(0.0, f64::max);
-    println!(
-        "-- mean speed-up {mean_speedup:.2}x, worst-case And increase {worst:+.2}% --"
-    );
+    println!("-- mean speed-up {mean_speedup:.2}x, worst-case And increase {worst:+.2}% --");
 }
 
 /// Prints a classifier-quality table in the layout of Tables VII/VIII.

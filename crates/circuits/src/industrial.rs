@@ -32,16 +32,86 @@ pub struct IndustrialProfile {
 
 /// The ten industrial-design profiles of Table II.
 pub const TABLE2_PROFILES: [IndustrialProfile; 10] = [
-    IndustrialProfile { name: "design 1", inputs: 13135, outputs: 13127, target_ands: 384_971, target_depth: 65, redundancy: 0.010 },
-    IndustrialProfile { name: "design 2", inputs: 27800, outputs: 20603, target_ands: 267_358, target_depth: 49, redundancy: 0.015 },
-    IndustrialProfile { name: "design 3", inputs: 35552, outputs: 34480, target_ands: 628_777, target_depth: 36, redundancy: 0.008 },
-    IndustrialProfile { name: "design 4", inputs: 35784, outputs: 34712, target_ands: 159_763, target_depth: 44, redundancy: 0.025 },
-    IndustrialProfile { name: "design 5", inputs: 52344, outputs: 51283, target_ands: 428_904, target_depth: 51, redundancy: 0.180 },
-    IndustrialProfile { name: "design 6", inputs: 26292, outputs: 25220, target_ands: 507_027, target_depth: 35, redundancy: 0.004 },
-    IndustrialProfile { name: "design 7", inputs: 20228, outputs: 19148, target_ands: 305_218, target_depth: 72, redundancy: 0.009 },
-    IndustrialProfile { name: "design 8", inputs: 18357, outputs: 18325, target_ands: 77_130, target_depth: 40, redundancy: 0.002 },
-    IndustrialProfile { name: "design 9", inputs: 26168, outputs: 26139, target_ands: 190_600, target_depth: 71, redundancy: 0.013 },
-    IndustrialProfile { name: "design 10", inputs: 42257, outputs: 33849, target_ands: 423_661, target_depth: 40, redundancy: 0.090 },
+    IndustrialProfile {
+        name: "design 1",
+        inputs: 13135,
+        outputs: 13127,
+        target_ands: 384_971,
+        target_depth: 65,
+        redundancy: 0.010,
+    },
+    IndustrialProfile {
+        name: "design 2",
+        inputs: 27800,
+        outputs: 20603,
+        target_ands: 267_358,
+        target_depth: 49,
+        redundancy: 0.015,
+    },
+    IndustrialProfile {
+        name: "design 3",
+        inputs: 35552,
+        outputs: 34480,
+        target_ands: 628_777,
+        target_depth: 36,
+        redundancy: 0.008,
+    },
+    IndustrialProfile {
+        name: "design 4",
+        inputs: 35784,
+        outputs: 34712,
+        target_ands: 159_763,
+        target_depth: 44,
+        redundancy: 0.025,
+    },
+    IndustrialProfile {
+        name: "design 5",
+        inputs: 52344,
+        outputs: 51283,
+        target_ands: 428_904,
+        target_depth: 51,
+        redundancy: 0.180,
+    },
+    IndustrialProfile {
+        name: "design 6",
+        inputs: 26292,
+        outputs: 25220,
+        target_ands: 507_027,
+        target_depth: 35,
+        redundancy: 0.004,
+    },
+    IndustrialProfile {
+        name: "design 7",
+        inputs: 20228,
+        outputs: 19148,
+        target_ands: 305_218,
+        target_depth: 72,
+        redundancy: 0.009,
+    },
+    IndustrialProfile {
+        name: "design 8",
+        inputs: 18357,
+        outputs: 18325,
+        target_ands: 77_130,
+        target_depth: 40,
+        redundancy: 0.002,
+    },
+    IndustrialProfile {
+        name: "design 9",
+        inputs: 26168,
+        outputs: 26139,
+        target_ands: 190_600,
+        target_depth: 71,
+        redundancy: 0.013,
+    },
+    IndustrialProfile {
+        name: "design 10",
+        inputs: 42257,
+        outputs: 33849,
+        target_ands: 423_661,
+        target_depth: 40,
+        redundancy: 0.090,
+    },
 ];
 
 /// Generates an industrial-like AIG from a profile.
@@ -252,8 +322,14 @@ mod tests {
         };
         let low = rate(0.0);
         let high = rate(0.25);
-        assert!(high > low, "more redundant motifs should raise the commit rate");
-        assert!(high > 0.005, "high-redundancy circuit should be refactorable");
+        assert!(
+            high > low,
+            "more redundant motifs should raise the commit rate"
+        );
+        assert!(
+            high > 0.005,
+            "high-redundancy circuit should be refactorable"
+        );
     }
 
     #[test]

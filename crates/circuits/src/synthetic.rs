@@ -22,9 +22,18 @@ pub struct SyntheticSpec {
 
 /// The three Table VI benchmarks.
 pub const TABLE6_SPECS: [SyntheticSpec; 3] = [
-    SyntheticSpec { name: "sixteen", full_ands: 16_216_836 },
-    SyntheticSpec { name: "twenty", full_ands: 20_732_893 },
-    SyntheticSpec { name: "twentythree", full_ands: 23_339_737 },
+    SyntheticSpec {
+        name: "sixteen",
+        full_ands: 16_216_836,
+    },
+    SyntheticSpec {
+        name: "twenty",
+        full_ands: 20_732_893,
+    },
+    SyntheticSpec {
+        name: "twentythree",
+        full_ands: 23_339_737,
+    },
 ];
 
 /// Generates one synthetic benchmark at `scale` (1.0 = full size).

@@ -112,7 +112,7 @@ pub fn multiply(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Word {
 
 /// Squarer: the full `2 * a.len()`-bit square of a word.
 pub fn square(aig: &mut Aig, a: &[Lit]) -> Word {
-    multiply(aig, a, &a.to_vec())
+    multiply(aig, a, a)
 }
 
 /// Restoring divider: returns (quotient, remainder) of `dividend / divisor`
@@ -141,7 +141,7 @@ pub fn divide(aig: &mut Aig, dividend: &[Lit], divisor: &[Lit]) -> (Word, Word) 
 /// `width`-bit radicand (width must be even).
 pub fn isqrt(aig: &mut Aig, radicand: &[Lit]) -> Word {
     let width = radicand.len();
-    assert!(width % 2 == 0, "radicand width must be even");
+    assert!(width.is_multiple_of(2), "radicand width must be even");
     let half = width / 2;
     let ext = width + 2;
     let radicand_ext = resize(aig, radicand, ext);
@@ -188,10 +188,9 @@ mod tests {
 
     fn eval_word(aig: &Aig, outputs: &[usize], inputs: &[bool]) -> u64 {
         let values = aig.evaluate(inputs);
-        outputs
-            .iter()
-            .enumerate()
-            .fold(0u64, |acc, (bit, &index)| acc | (u64::from(values[index]) << bit))
+        outputs.iter().enumerate().fold(0u64, |acc, (bit, &index)| {
+            acc | (u64::from(values[index]) << bit)
+        })
     }
 
     /// Builds a circuit computing `op` on two `width`-bit inputs and checks it
@@ -268,7 +267,7 @@ mod tests {
     fn multiplication_matches_integer_product() {
         check_binary_op(
             6,
-            |aig, a, b| multiply(aig, a, b),
+            multiply,
             |x, y| x * y,
             &[(0, 7), (3, 5), (63, 63), (21, 2), (17, 13)],
         );
@@ -279,7 +278,7 @@ mod tests {
         check_binary_op(
             6,
             |aig, a, b| divide(aig, a, b).0,
-            |x, y| if y == 0 { (1 << 6) - 1 } else { x / y },
+            |x, y| x.checked_div(y).unwrap_or((1 << 6) - 1),
             &[(42, 7), (63, 9), (5, 9), (17, 1), (40, 6)],
         );
         check_binary_op(
@@ -329,7 +328,9 @@ mod tests {
             let got = pos_indices
                 .iter()
                 .enumerate()
-                .fold(0u64, |acc, (bit, &index)| acc | (u64::from(values[index]) << bit));
+                .fold(0u64, |acc, (bit, &index)| {
+                    acc | (u64::from(values[index]) << bit)
+                });
             if x == 0 {
                 assert!(!values[found_index]);
             } else {

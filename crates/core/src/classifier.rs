@@ -215,7 +215,11 @@ impl ElfClassifier {
     }
 
     /// Convenience for classifying [`CutFeatures`] values.
-    pub fn classify_cut_features(&self, features: &[CutFeatures], self_normalize: bool) -> Vec<bool> {
+    pub fn classify_cut_features(
+        &self,
+        features: &[CutFeatures],
+        self_normalize: bool,
+    ) -> Vec<bool> {
         let arrays: Vec<[f32; NUM_FEATURES]> = features.iter().map(CutFeatures::to_array).collect();
         if self_normalize {
             self.classify_batch_self_normalized(&arrays)
@@ -244,8 +248,18 @@ impl ElfClassifier {
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("threshold {}\n", self.threshold));
-        let mean: Vec<String> = self.normalizer.mean().iter().map(|v| format!("{v:e}")).collect();
-        let std: Vec<String> = self.normalizer.std().iter().map(|v| format!("{v:e}")).collect();
+        let mean: Vec<String> = self
+            .normalizer
+            .mean()
+            .iter()
+            .map(|v| format!("{v:e}"))
+            .collect();
+        let std: Vec<String> = self
+            .normalizer
+            .std()
+            .iter()
+            .map(|v| format!("{v:e}"))
+            .collect();
         out.push_str(&format!("mean {}\n", mean.join(" ")));
         out.push_str(&format!("std {}\n", std.join(" ")));
         out.push_str(&model_to_text(&self.model));
@@ -272,8 +286,14 @@ impl ElfClassifier {
                 .map(|s| s.parse().map_err(|_| parse_err("bad normalizer value")))
                 .collect()
         };
-        let mean = parse_vec(lines.next().ok_or_else(|| parse_err("missing mean"))?, "mean ")?;
-        let std = parse_vec(lines.next().ok_or_else(|| parse_err("missing std"))?, "std ")?;
+        let mean = parse_vec(
+            lines.next().ok_or_else(|| parse_err("missing mean"))?,
+            "mean ",
+        )?;
+        let std = parse_vec(
+            lines.next().ok_or_else(|| parse_err("missing std"))?,
+            "std ",
+        )?;
         let rest: Vec<&str> = lines.collect();
         let model = model_from_text(&rest.join("\n"))
             .map_err(|e| ParseClassifierError::new(format!("model section: {e}")))?;

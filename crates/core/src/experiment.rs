@@ -7,9 +7,7 @@ use elf_nn::{ConfusionMatrix, TrainConfig};
 use elf_opt::{Refactor, RefactorParams, RefactorStats};
 
 use crate::classifier::ElfClassifier;
-use crate::dataset::{
-    collect_labeled_cuts, cuts_to_arrays, leave_one_out_dataset, BenchCircuit,
-};
+use crate::dataset::{collect_labeled_cuts, cuts_to_arrays, leave_one_out_dataset, BenchCircuit};
 use crate::flow::{ElfConfig, ElfRefactor, ElfStats};
 
 /// Everything configurable about a paper-style experiment.
@@ -143,7 +141,10 @@ impl ComparisonRow {
         if self.elf_passes.is_empty() {
             0.0
         } else {
-            self.elf_passes.iter().map(ElfStats::prune_rate).sum::<f64>()
+            self.elf_passes
+                .iter()
+                .map(ElfStats::prune_rate)
+                .sum::<f64>()
                 / self.elf_passes.len() as f64
         }
     }
@@ -273,7 +274,10 @@ impl SuiteResult {
         if self.qualities.is_empty() {
             return 1.0;
         }
-        self.qualities.iter().map(|q| q.confusion.recall()).sum::<f64>()
+        self.qualities
+            .iter()
+            .map(|q| q.confusion.recall())
+            .sum::<f64>()
             / self.qualities.len() as f64
     }
 

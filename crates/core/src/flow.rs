@@ -124,8 +124,7 @@ impl ElfRefactor {
 
         // Phase 2: classify all cuts in a single batch.
         let classify_start = Instant::now();
-        let arrays: Vec<[f32; NUM_FEATURES]> =
-            features.iter().map(|(_, f)| f.to_array()).collect();
+        let arrays: Vec<[f32; NUM_FEATURES]> = features.iter().map(|(_, f)| f.to_array()).collect();
         let decisions = if self.config.self_normalize {
             self.classifier.classify_batch_self_normalized(&arrays)
         } else {
@@ -236,7 +235,10 @@ mod tests {
         let baseline = Refactor::new(RefactorParams::default()).run(&mut baseline_aig);
         assert_eq!(stats.pruned, 0);
         assert_eq!(stats.refactor.cuts_committed, baseline.cuts_committed);
-        assert_eq!(elf_aig.num_reachable_ands(), baseline_aig.num_reachable_ands());
+        assert_eq!(
+            elf_aig.num_reachable_ands(),
+            baseline_aig.num_reachable_ands()
+        );
     }
 
     #[test]

@@ -130,7 +130,10 @@ impl Normalizer {
     ///
     /// Panics if the dataset is empty.
     pub fn fit(dataset: &Dataset) -> Self {
-        assert!(!dataset.is_empty(), "cannot fit a normalizer on an empty dataset");
+        assert!(
+            !dataset.is_empty(),
+            "cannot fit a normalizer on an empty dataset"
+        );
         let dims = dataset.num_features();
         let n = dataset.len() as f32;
         let mut mean = vec![0.0; dims];
@@ -148,10 +151,7 @@ impl Normalizer {
                 *v += (x - m) * (x - m);
             }
         }
-        let std = var
-            .into_iter()
-            .map(|v| (v / n).sqrt().max(1e-6))
-            .collect();
+        let std = var.into_iter().map(|v| (v / n).sqrt().max(1e-6)).collect();
         Normalizer { mean, std }
     }
 
@@ -410,10 +410,7 @@ mod tests {
         let sampler = WeightedRandomSampler::balanced(&data);
         let mut rng = StdRng::seed_from_u64(9);
         let indices = sampler.sample(4000, &mut rng);
-        let positives = indices
-            .iter()
-            .filter(|&&i| data.labels()[i] >= 0.5)
-            .count();
+        let positives = indices.iter().filter(|&&i| data.labels()[i] >= 0.5).count();
         let fraction = positives as f64 / indices.len() as f64;
         assert!(
             (fraction - 0.5).abs() < 0.08,

@@ -55,7 +55,12 @@ pub struct Dense {
 impl Dense {
     /// Creates a layer with Xavier-uniform initialized weights and zero biases
     /// (the initialization used in the paper).
-    pub fn xavier(inputs: usize, outputs: usize, activation: Activation, rng: &mut impl Rng) -> Self {
+    pub fn xavier(
+        inputs: usize,
+        outputs: usize,
+        activation: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
         let limit = (6.0f32 / (inputs + outputs) as f32).sqrt();
         let mut weights = Matrix::zeros(inputs, outputs);
         for value in weights.data_mut() {
@@ -142,7 +147,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let layer = Dense::xavier(6, 12, Activation::Relu, &mut rng);
         let limit = (6.0f32 / 18.0).sqrt();
-        assert!(layer.weights().data().iter().all(|w| w.abs() <= limit + 1e-6));
+        assert!(layer
+            .weights()
+            .data()
+            .iter()
+            .all(|w| w.abs() <= limit + 1e-6));
         assert!(layer.bias().iter().all(|&b| b == 0.0));
         assert_eq!(layer.num_params(), 6 * 12 + 12);
         assert_eq!(layer.inputs(), 6);

@@ -10,9 +10,10 @@ use crate::matrix::Matrix;
 const EPS: f32 = 1e-6;
 
 /// A binary classification loss over sigmoid probabilities.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Loss {
     /// Standard binary cross entropy.
+    #[default]
     BinaryCrossEntropy,
     /// Binary cross entropy where positive examples are weighted by
     /// `pos_weight` (used to counter class imbalance).
@@ -28,12 +29,6 @@ pub enum Loss {
         /// Weight of the positive class in `[0, 1]`.
         alpha: f32,
     },
-}
-
-impl Default for Loss {
-    fn default() -> Self {
-        Loss::BinaryCrossEntropy
-    }
 }
 
 impl Loss {
@@ -55,7 +50,11 @@ impl Loss {
     ///
     /// Panics if the number of predictions and targets differ.
     pub fn value(&self, probs: &Matrix, targets: &[f32]) -> f32 {
-        assert_eq!(probs.rows(), targets.len(), "prediction/target size mismatch");
+        assert_eq!(
+            probs.rows(),
+            targets.len(),
+            "prediction/target size mismatch"
+        );
         let n = targets.len().max(1) as f32;
         let mut total = 0.0;
         for (i, &t) in targets.iter().enumerate() {
@@ -67,7 +66,11 @@ impl Loss {
 
     /// Gradient of the mean loss with respect to the predicted probabilities.
     pub fn gradient(&self, probs: &Matrix, targets: &[f32]) -> Matrix {
-        assert_eq!(probs.rows(), targets.len(), "prediction/target size mismatch");
+        assert_eq!(
+            probs.rows(),
+            targets.len(),
+            "prediction/target size mismatch"
+        );
         let n = targets.len().max(1) as f32;
         let mut grad = Matrix::zeros(probs.rows(), 1);
         for (i, &t) in targets.iter().enumerate() {
@@ -96,8 +99,8 @@ impl Loss {
             Loss::BinaryCrossEntropy => -(t / p) + (1.0 - t) / (1.0 - p),
             Loss::WeightedBce { pos_weight } => -(pos_weight * t / p) + (1.0 - t) / (1.0 - p),
             Loss::Focal { gamma, alpha } => {
-                let d_pos =
-                    alpha * (gamma * (1.0 - p).powf(gamma - 1.0) * p.ln() - (1.0 - p).powf(gamma) / p);
+                let d_pos = alpha
+                    * (gamma * (1.0 - p).powf(gamma - 1.0) * p.ln() - (1.0 - p).powf(gamma) / p);
                 let d_neg = (1.0 - alpha)
                     * (p.powf(gamma) / (1.0 - p) - gamma * p.powf(gamma - 1.0) * (1.0 - p).ln());
                 t * d_pos + (1.0 - t) * d_neg
@@ -129,7 +132,10 @@ mod tests {
         for loss in [
             Loss::BinaryCrossEntropy,
             Loss::WeightedBce { pos_weight: 5.0 },
-            Loss::Focal { gamma: 2.0, alpha: 0.25 },
+            Loss::Focal {
+                gamma: 2.0,
+                alpha: 0.25,
+            },
         ] {
             assert!(loss.value(&probs, &targets) < 1e-3, "{loss:?}");
         }
@@ -141,7 +147,10 @@ mod tests {
         for loss in [
             Loss::BinaryCrossEntropy,
             Loss::WeightedBce { pos_weight: 3.0 },
-            Loss::Focal { gamma: 2.0, alpha: 0.25 },
+            Loss::Focal {
+                gamma: 2.0,
+                alpha: 0.25,
+            },
         ] {
             for &p0 in &[0.3f32, 0.7] {
                 let probs = column(&[p0, 0.4]);
@@ -183,7 +192,10 @@ mod tests {
     fn focal_downweights_easy_examples() {
         let easy = column(&[0.95]);
         let hard = column(&[0.55]);
-        let focal = Loss::Focal { gamma: 2.0, alpha: 0.5 };
+        let focal = Loss::Focal {
+            gamma: 2.0,
+            alpha: 0.5,
+        };
         let bce = Loss::BinaryCrossEntropy;
         let ratio_focal = focal.value(&hard, &[1.0]) / focal.value(&easy, &[1.0]);
         let ratio_bce = bce.value(&hard, &[1.0]) / bce.value(&easy, &[1.0]);

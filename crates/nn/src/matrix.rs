@@ -224,9 +224,12 @@ impl Matrix {
     /// Panics if `bias.len() != self.cols()`.
     pub fn add_row_broadcast(&mut self, bias: &[f32]) {
         assert_eq!(bias.len(), self.cols);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                self.data[i * self.cols + j] += bias[j];
+        if self.cols == 0 {
+            return;
+        }
+        for row in self.data.chunks_exact_mut(self.cols) {
+            for (value, b) in row.iter_mut().zip(bias) {
+                *value += b;
             }
         }
     }
@@ -234,9 +237,12 @@ impl Matrix {
     /// Sums the rows, returning one value per column.
     pub fn column_sums(&self) -> Vec<f32> {
         let mut sums = vec![0.0; self.cols];
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                sums[j] += self.get(i, j);
+        if self.cols == 0 {
+            return sums;
+        }
+        for row in self.data.chunks_exact(self.cols) {
+            for (sum, value) in sums.iter_mut().zip(row) {
+                *sum += value;
             }
         }
         sums

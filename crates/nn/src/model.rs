@@ -48,7 +48,10 @@ impl Mlp {
     ///
     /// Panics if fewer than two sizes are provided.
     pub fn new(sizes: &[usize], hidden: Activation, output: Activation, seed: u64) -> Self {
-        assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        assert!(
+            sizes.len() >= 2,
+            "an MLP needs at least input and output sizes"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut layers = Vec::with_capacity(sizes.len() - 1);
         for window in sizes.windows(2) {
@@ -62,7 +65,12 @@ impl Mlp {
     /// The exact architecture used by the paper: `6 -> 12 -> 12 -> 6 -> 1`
     /// (325 parameters), ReLU hidden activations, sigmoid output.
     pub fn paper_architecture(seed: u64) -> Self {
-        Self::new(&[6, 12, 12, 6, 1], Activation::Relu, Activation::Sigmoid, seed)
+        Self::new(
+            &[6, 12, 12, 6, 1],
+            Activation::Relu,
+            Activation::Sigmoid,
+            seed,
+        )
     }
 
     /// Builds a model from pre-constructed layers.

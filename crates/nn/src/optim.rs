@@ -200,7 +200,10 @@ mod tests {
         assert!((start - 0.1).abs() < 1e-6);
         assert!(middle < start && middle > end);
         assert!(end < 0.01);
-        assert!((restarted - 0.1).abs() < 1e-3, "restart should reset the LR");
+        assert!(
+            (restarted - 0.1).abs() < 1e-3,
+            "restart should reset the LR"
+        );
         // Second period is twice as long: epoch 20 is mid-period, not a restart.
         let mid_second = schedule.learning_rate_at(20.0);
         assert!(mid_second < 0.1 && mid_second > 0.001);

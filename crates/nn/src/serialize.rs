@@ -48,7 +48,9 @@ fn activation_from_name(name: &str) -> Result<Activation, ParseModelError> {
         "relu" => Ok(Activation::Relu),
         "sigmoid" => Ok(Activation::Sigmoid),
         "identity" => Ok(Activation::Identity),
-        other => Err(ParseModelError::new(format!("unknown activation `{other}`"))),
+        other => Err(ParseModelError::new(format!(
+            "unknown activation `{other}`"
+        ))),
     }
 }
 
@@ -104,7 +106,9 @@ pub fn model_from_text(text: &str) -> Result<Mlp, ParseModelError> {
             .ok_or_else(|| ParseModelError::new("missing layer header"))?;
         let fields: Vec<&str> = meta.split_whitespace().collect();
         if fields.len() != 4 || fields[0] != "layer" {
-            return Err(ParseModelError::new("layer header must be `layer IN OUT ACT`"));
+            return Err(ParseModelError::new(
+                "layer header must be `layer IN OUT ACT`",
+            ));
         }
         let inputs: usize = fields[1]
             .parse()
@@ -140,9 +144,7 @@ pub fn model_from_text(text: &str) -> Result<Mlp, ParseModelError> {
 
 fn parse_floats(line: &str) -> Result<Vec<f32>, ParseModelError> {
     line.split_whitespace()
-        .map(|s| {
-            f32::from_str(s).map_err(|_| ParseModelError::new(format!("bad float `{s}`")))
-        })
+        .map(|s| f32::from_str(s).map_err(|_| ParseModelError::new(format!("bad float `{s}`"))))
         .collect()
 }
 

@@ -135,7 +135,12 @@ pub fn train(model: &mut Mlp, data: &Dataset, config: &TrainConfig) -> TrainRepo
             };
             if let Some(alpha) = config.mixup_alpha {
                 let extra = ((train_set.len() as f32) * config.mixup_fraction) as usize;
-                let mixed = mixup(&train_set, extra, alpha, config.seed.wrapping_add(epoch as u64));
+                let mixed = mixup(
+                    &train_set,
+                    extra,
+                    alpha,
+                    config.seed.wrapping_add(epoch as u64),
+                );
                 pool.extend_from(&mixed);
             }
             pool
@@ -222,7 +227,11 @@ mod tests {
         };
         let report = train(&mut model, &data, &config);
         assert!(report.epochs_run >= 5);
-        assert!(report.validation_metrics.recall() > 0.6, "{:?}", report.validation_metrics);
+        assert!(
+            report.validation_metrics.recall() > 0.6,
+            "{:?}",
+            report.validation_metrics
+        );
         assert!(report.validation_metrics.accuracy() > 0.7);
         // Loss curves should exist for every epoch run.
         assert_eq!(report.train_losses.len(), report.epochs_run);

@@ -111,8 +111,8 @@ fn count_rec(
                             // Nodes in the dereferenced MFFC (refs == 0) and
                             // the root itself will be deleted by the commit,
                             // so reusing them still costs one node.
-                            let doomed = Some(node) == root
-                                || (aig.is_and(node) && aig.refs(node) == 0);
+                            let doomed =
+                                Some(node) == root || (aig.is_and(node) && aig.refs(node) == 0);
                             if doomed {
                                 *new_nodes += 1;
                             }
@@ -256,7 +256,10 @@ mod tests {
         assert_eq!(
             build_expr(
                 &mut aig,
-                &FactoredForm::Literal { var: 0, negated: true },
+                &FactoredForm::Literal {
+                    var: 0,
+                    negated: true
+                },
                 &leaf_lits
             ),
             !a

@@ -44,5 +44,5 @@ mod rewrite;
 
 pub use build::{build_expr, count_new_nodes, cut_truth_table, ImplementationCost};
 pub use refactor::{LabeledCut, NodeOutcome, Refactor, RefactorParams, RefactorStats};
-pub use resub::{Resubstitution, ResubParams, ResubStats};
+pub use resub::{ResubParams, ResubStats, Resubstitution};
 pub use rewrite::{Rewrite, RewriteParams, RewriteStats};

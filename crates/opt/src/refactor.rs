@@ -373,7 +373,10 @@ mod tests {
         let before = aig.num_reachable_ands();
         let stats = Refactor::new(RefactorParams::default()).run(&mut aig);
         let after = aig.num_reachable_ands();
-        assert!(after < before, "expected node count to drop: {before} -> {after}");
+        assert!(
+            after < before,
+            "expected node count to drop: {before} -> {after}"
+        );
         assert!(stats.cuts_committed >= 1);
         assert_eq!(stats.total_gain, (before - after) as i64);
         assert_eq!(
@@ -411,8 +414,8 @@ mod tests {
     #[test]
     fn filter_prunes_resynthesis() {
         let mut aig = shared_literal_circuit();
-        let stats = Refactor::new(RefactorParams::default())
-            .run_with_filter(&mut aig, |_, _| false);
+        let stats =
+            Refactor::new(RefactorParams::default()).run_with_filter(&mut aig, |_, _| false);
         assert_eq!(stats.cuts_resynthesized, 0);
         assert_eq!(stats.cuts_pruned, stats.cuts_formed);
         assert_eq!(stats.cuts_committed, 0);

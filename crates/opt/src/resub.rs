@@ -78,16 +78,13 @@ impl Resubstitution {
                 continue;
             }
             stats.nodes_visited += 1;
-            match self.resub_node(aig, node) {
-                Some((added, gain)) => {
-                    if added == 0 {
-                        stats.zero_resubs += 1;
-                    } else {
-                        stats.one_resubs += 1;
-                    }
-                    stats.total_gain += gain;
+            if let Some((added, gain)) = self.resub_node(aig, node) {
+                if added == 0 {
+                    stats.zero_resubs += 1;
+                } else {
+                    stats.one_resubs += 1;
                 }
-                None => {}
+                stats.total_gain += gain;
             }
         }
         stats.runtime = start.elapsed();
@@ -171,9 +168,9 @@ impl Resubstitution {
                 for (ca, cb) in [(false, false), (true, false), (false, true), (true, true)] {
                     let ta = if ca { !tt_a } else { tt_a.clone() };
                     let tb = if cb { !tt_b } else { tt_b.clone() };
-                    let candidate = if &(&ta & &tb) == &root_tt {
+                    let candidate = if (&ta & &tb) == root_tt {
                         Some(false)
-                    } else if &(&ta | &tb) == &root_tt {
+                    } else if (&ta | &tb) == root_tt {
                         Some(true)
                     } else {
                         None

@@ -123,7 +123,7 @@ impl Rewrite {
                     continue;
                 }
                 let gain = saved - cost.new_nodes as i64;
-                if best.as_ref().map_or(true, |(_, _, _, g)| gain > *g) {
+                if best.as_ref().is_none_or(|(_, _, _, g)| gain > *g) {
                     best = Some((cut.clone(), expr, complemented, gain));
                 }
             }

@@ -52,10 +52,7 @@ fn build_random_circuit(num_inputs: usize, script: &[(u8, usize, usize, usize)])
 }
 
 fn script_strategy(len: usize) -> impl Strategy<Value = Vec<(u8, usize, usize, usize)>> {
-    prop::collection::vec(
-        (any::<u8>(), 0usize..128, 0usize..128, 0usize..128),
-        4..len,
-    )
+    prop::collection::vec((any::<u8>(), 0usize..128, 0usize..128, 0usize..128), 4..len)
 }
 
 proptest! {

@@ -191,10 +191,7 @@ impl Sop {
         let num_vars = function.num_vars();
         let (cubes, cover) = isop_rec(function, function, num_vars);
         debug_assert_eq!(&cover, function, "ISOP must reproduce the function exactly");
-        Sop {
-            num_vars,
-            cubes,
-        }
+        Sop { num_vars, cubes }
     }
 }
 

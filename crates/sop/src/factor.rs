@@ -49,9 +49,7 @@ impl FactoredForm {
         match self {
             FactoredForm::Const(_) => 0,
             FactoredForm::Literal { .. } => 1,
-            FactoredForm::And(a, b) | FactoredForm::Or(a, b) => {
-                a.num_literals() + b.num_literals()
-            }
+            FactoredForm::And(a, b) | FactoredForm::Or(a, b) => a.num_literals() + b.num_literals(),
         }
     }
 
@@ -127,7 +125,7 @@ fn factor_cubes(cubes: &[Cube], num_vars: usize) -> FactoredForm {
     if cubes.is_empty() {
         return FactoredForm::Const(false);
     }
-    if cubes.iter().any(|c| *c == Cube::TAUTOLOGY) {
+    if cubes.contains(&Cube::TAUTOLOGY) {
         return FactoredForm::Const(true);
     }
     if cubes.len() == 1 {
@@ -138,7 +136,7 @@ fn factor_cubes(cubes: &[Cube], num_vars: usize) -> FactoredForm {
     for var in 0..num_vars {
         for positive in [true, false] {
             let count = cubes.iter().filter(|c| c.contains(var, positive)).count();
-            if count >= 2 && best.map_or(true, |(_, _, c)| count > c) {
+            if count >= 2 && best.is_none_or(|(_, _, c)| count > c) {
                 best = Some((var, positive, count));
             }
         }
@@ -173,7 +171,10 @@ fn factor_cubes(cubes: &[Cube], num_vars: usize) -> FactoredForm {
     if remainder.is_empty() {
         product
     } else {
-        FactoredForm::Or(Box::new(product), Box::new(factor_cubes(&remainder, num_vars)))
+        FactoredForm::Or(
+            Box::new(product),
+            Box::new(factor_cubes(&remainder, num_vars)),
+        )
     }
 }
 
@@ -241,10 +242,7 @@ mod tests {
 
     #[test]
     fn factor_constants() {
-        assert_eq!(
-            factor(&Sop::new(3)),
-            FactoredForm::Const(false),
-        );
+        assert_eq!(factor(&Sop::new(3)), FactoredForm::Const(false),);
         let ones = check_factor(&TruthTable::ones(3));
         assert_eq!(ones, FactoredForm::Const(true));
     }

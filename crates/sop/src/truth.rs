@@ -59,7 +59,10 @@ impl TruthTable {
     ///
     /// Panics if `num_vars > MAX_VARS`.
     pub fn zeros(num_vars: usize) -> Self {
-        assert!(num_vars <= MAX_VARS, "at most {MAX_VARS} variables supported");
+        assert!(
+            num_vars <= MAX_VARS,
+            "at most {MAX_VARS} variables supported"
+        );
         TruthTable {
             num_vars,
             words: vec![0; Self::word_count(num_vars)],

@@ -5,9 +5,8 @@ use proptest::prelude::*;
 
 fn arbitrary_truth_table(num_vars: usize) -> impl Strategy<Value = TruthTable> {
     let bits = 1usize << num_vars;
-    prop::collection::vec(any::<bool>(), bits).prop_map(move |values| {
-        TruthTable::from_fn(num_vars, |m| values[m])
-    })
+    prop::collection::vec(any::<bool>(), bits)
+        .prop_map(move |values| TruthTable::from_fn(num_vars, |m| values[m]))
 }
 
 proptest! {

@@ -5,7 +5,9 @@
 use elf::aig::check_equivalence;
 use elf::circuits::epfl::{arithmetic_circuit, arithmetic_suite, Scale};
 use elf::circuits::industrial::{generate_industrial, IndustrialProfile};
-use elf::core::experiment::{circuit_stats, compare_on_circuit, quality_on_circuit, ExperimentConfig};
+use elf::core::experiment::{
+    circuit_stats, compare_on_circuit, quality_on_circuit, ExperimentConfig,
+};
 use elf::core::{
     circuit_dataset, leave_one_out_dataset, train_leave_one_out, BenchCircuit, ElfClassifier,
     ElfConfig, ElfRefactor,

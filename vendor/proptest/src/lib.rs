@@ -1,0 +1,128 @@
+//! Vendored stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The workspace must build without registry access, so this crate
+//! re-implements the subset of proptest that the ELF test suites use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map`,
+//! * [`any`], integer-range strategies, tuple strategies,
+//!   [`collection::vec`] and [`prop_oneof!`].
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics immediately with the case
+//!   number and the generated inputs, which — together with the fixed
+//!   seeding below — is enough to reproduce and debug a failure.
+//! * **Deterministic seeding.** Every test case derives its RNG seed from
+//!   the test-function name and the case index (no entropy, no
+//!   wall-clock), so suites pass or fail identically on every run.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The proptest prelude: everything the `proptest!` suites need in scope.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, BoxedStrategy, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests.
+///
+/// Each `fn name(arg in strategy, ..) { body }` item becomes a zero-argument
+/// test that draws `config.cases` input tuples from the strategies and runs
+/// the body on each.  A panicking body fails the test immediately, printing
+/// the case index and the generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (
+        ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng =
+                        $crate::test_runner::case_rng(stringify!($name), case);
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&$strategy, &mut rng);
+                    )+
+                    let result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| { $body }),
+                    );
+                    if let ::std::result::Result::Err(payload) = result {
+                        ::std::eprintln!(
+                            "proptest case {case}/{} of `{}` failed with inputs:",
+                            config.cases,
+                            stringify!($name),
+                        );
+                        $(
+                            ::std::eprintln!(
+                                "  {} = {:?}",
+                                stringify!($arg),
+                                $arg,
+                            );
+                        )+
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { ::std::assert!($($args)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { ::std::assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { ::std::assert_ne!($($args)*) };
+}
+
+/// Picks uniformly between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
