@@ -6,7 +6,7 @@ use crate::lit::{Lit, NodeId};
 use crate::node::Node;
 
 /// A structural fanout reference: either another AND node or a primary output.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Fanout {
     /// The node is a fanin of this AND node.
     Node(NodeId),
@@ -50,6 +50,9 @@ pub struct Aig {
     travid_counter: u32,
     levels_valid: bool,
     name: String,
+    /// Reusable DFS stack for traversals on the hot path (cut computation);
+    /// always left empty between public calls.
+    scratch_stack: Vec<NodeId>,
 }
 
 impl Default for Aig {
@@ -71,7 +74,21 @@ impl Aig {
             travid_counter: 0,
             levels_valid: true,
             name: String::new(),
+            scratch_stack: Vec::new(),
         }
+    }
+
+    /// Takes the reusable DFS scratch stack out of the graph (so traversal
+    /// code can push to it while also borrowing the graph mutably).  Return
+    /// it with [`Aig::put_scratch_stack`] to keep its capacity for the next
+    /// traversal.
+    pub(crate) fn take_scratch_stack(&mut self) -> Vec<NodeId> {
+        std::mem::take(&mut self.scratch_stack)
+    }
+
+    /// Returns the scratch stack taken by [`Aig::take_scratch_stack`].
+    pub(crate) fn put_scratch_stack(&mut self, stack: Vec<NodeId>) {
+        self.scratch_stack = stack;
     }
 
     /// Creates an empty AIG with a design name (used in reports and AIGER files).
@@ -820,6 +837,25 @@ impl Aig {
     pub fn check_invariants(&self) -> Vec<String> {
         let mut problems = Vec::new();
         let mut expected_refs = vec![0u32; self.nodes.len()];
+        // Collect every recorded fanout edge once (a multiset keyed by
+        // `(source, consumer)`), so membership checks below are O(1) hash
+        // lookups instead of per-edge scans of the fanout lists.
+        let mut recorded_edges: HashMap<(NodeId, Fanout), u32> = HashMap::new();
+        for (idx, fanouts) in self.fanouts.iter().enumerate() {
+            let source = NodeId::new(idx as u32);
+            for &fanout in fanouts {
+                *recorded_edges.entry((source, fanout)).or_insert(0) += 1;
+            }
+        }
+        let mut consume_edge = |source: NodeId, fanout: Fanout| -> bool {
+            match recorded_edges.get_mut(&(source, fanout)) {
+                Some(count) if *count > 0 => {
+                    *count -= 1;
+                    true
+                }
+                _ => false,
+            }
+        };
         for (idx, node) in self.nodes.iter().enumerate() {
             if node.dead {
                 continue;
@@ -830,9 +866,7 @@ impl Aig {
                     if self.nodes[fanin.node().as_usize()].dead {
                         problems.push(format!("node n{idx} has dead fanin {}", fanin.node()));
                     }
-                    if !self.fanouts[fanin.node().as_usize()]
-                        .contains(&Fanout::Node(NodeId::new(idx as u32)))
-                    {
+                    if !consume_edge(fanin.node(), Fanout::Node(NodeId::new(idx as u32))) {
                         problems.push(format!(
                             "fanout list of {} is missing consumer n{idx}",
                             fanin.node()
@@ -848,6 +882,20 @@ impl Aig {
             expected_refs[out.node().as_usize()] += 1;
             if self.nodes[out.node().as_usize()].dead {
                 problems.push(format!("output {index} drives dead node {}", out.node()));
+            }
+            if !consume_edge(out.node(), Fanout::Output(index as u32)) {
+                problems.push(format!(
+                    "fanout list of {} is missing output {index}",
+                    out.node()
+                ));
+            }
+        }
+        for ((source, _), count) in recorded_edges {
+            if count > 0 {
+                problems.push(format!(
+                    "fanout list of {source} holds {count} stale entr{}",
+                    if count == 1 { "y" } else { "ies" }
+                ));
             }
         }
         for (idx, node) in self.nodes.iter().enumerate() {

@@ -30,6 +30,16 @@ pub struct Cut {
 }
 
 impl Cut {
+    /// Creates an empty cut rooted at the constant node, intended as a
+    /// reusable buffer for [`Aig::reconvergence_cut_into`].
+    pub fn empty() -> Self {
+        Cut {
+            root: NodeId::CONST0,
+            leaves: Vec::new(),
+            cone: Vec::new(),
+        }
+    }
+
     /// Number of leaves of the cut.
     pub fn num_leaves(&self) -> usize {
         self.leaves.len()
@@ -158,12 +168,33 @@ impl Aig {
     ///
     /// Panics if `root` is not a live AND node or if `params.max_leaves < 2`.
     pub fn reconvergence_cut(&mut self, root: NodeId, params: &CutParams) -> Cut {
+        let mut cut = Cut::empty();
+        self.reconvergence_cut_into(root, params, &mut cut);
+        cut
+    }
+
+    /// Computes a reconvergence-driven cut rooted at `root`, reusing the
+    /// buffers of `cut`.
+    ///
+    /// This is the allocation-free variant of [`Aig::reconvergence_cut`] used
+    /// by the per-node loops of the operators: passing the same `Cut` across
+    /// calls recycles its `leaves`/`cone` vectors (and an internal DFS
+    /// scratch stack), so steady-state cut computation performs no heap
+    /// allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is not a live AND node or if `params.max_leaves < 2`.
+    pub fn reconvergence_cut_into(&mut self, root: NodeId, params: &CutParams, cut: &mut Cut) {
         assert!(self.is_and(root), "cut root must be a live AND node");
         assert!(params.max_leaves >= 2, "a cut needs at least two leaves");
+        cut.root = root;
+        cut.leaves.clear();
+        cut.cone.clear();
         self.new_traversal();
         self.mark_visited(root);
         let (f0, f1) = self.fanins(root);
-        let mut leaves: Vec<NodeId> = Vec::with_capacity(params.max_leaves);
+        let leaves = &mut cut.leaves;
         for fanin in [f0.node(), f1.node()] {
             if !self.is_visited(fanin) {
                 self.mark_visited(fanin);
@@ -200,8 +231,7 @@ impl Aig {
                 }
             }
         }
-        let cone = self.collect_cone(root, &leaves);
-        Cut { root, leaves, cone }
+        self.collect_cone_into(root, cut);
     }
 
     /// Cost of expanding `leaf`: the number of its fanins that are not yet in
@@ -223,20 +253,22 @@ impl Aig {
     }
 
     /// Collects the internal nodes (root included) of the cone rooted at
-    /// `root` bounded by `leaves`.
-    fn collect_cone(&mut self, root: NodeId, leaves: &[NodeId]) -> Vec<NodeId> {
+    /// `root` bounded by `cut.leaves` into `cut.cone`, reusing the graph's
+    /// scratch DFS stack.
+    fn collect_cone_into(&mut self, root: NodeId, cut: &mut Cut) {
         self.new_traversal();
-        for &leaf in leaves {
+        for &leaf in &cut.leaves {
             self.mark_visited(leaf);
         }
-        let mut cone = Vec::new();
-        let mut stack = vec![root];
+        let mut stack = self.take_scratch_stack();
+        stack.clear();
+        stack.push(root);
         while let Some(id) = stack.pop() {
             if self.is_visited(id) {
                 continue;
             }
             self.mark_visited(id);
-            cone.push(id);
+            cut.cone.push(id);
             let (f0, f1) = self.fanins(id);
             for fanin in [f0.node(), f1.node()] {
                 if !self.is_visited(fanin) {
@@ -244,7 +276,7 @@ impl Aig {
                 }
             }
         }
-        cone
+        self.put_scratch_stack(stack);
     }
 
     /// Computes the six ELF cut features for an already-computed cut.

@@ -34,6 +34,13 @@ fn bench_cut_pipeline(c: &mut Criterion) {
     group.bench_function("reconvergence_cut", |b| {
         b.iter(|| std::hint::black_box(aig.reconvergence_cut(mid, &params)))
     });
+    let mut reusable = elf_aig::Cut::empty();
+    group.bench_function("reconvergence_cut_into", |b| {
+        b.iter(|| {
+            aig.reconvergence_cut_into(mid, &params, &mut reusable);
+            std::hint::black_box(reusable.root)
+        })
+    });
     let cut = aig.reconvergence_cut(mid, &params);
     group.bench_function("cut_features", |b| {
         b.iter(|| std::hint::black_box(aig.cut_features(&cut)))

@@ -72,6 +72,13 @@ impl HarnessOptions {
         let mut index = 1;
         while index < args.len() {
             match args[index].as_str() {
+                // Cheapest possible smoke-test configuration (used by CI).
+                "--quick" => {
+                    options.scale = Scale::Tiny;
+                    options.industrial_scale = 0.002;
+                    options.synthetic_scale = 0.0005;
+                    options.epochs = 3;
+                }
                 "--scale" if index + 1 < args.len() => {
                     options.scale = match args[index + 1].as_str() {
                         "tiny" => Scale::Tiny,

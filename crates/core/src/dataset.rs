@@ -1,9 +1,16 @@
 //! Training-data collection: label every cut of a circuit with the baseline
 //! operator's decision.
+//!
+//! The collection functions are generic over any
+//! [`PrunableOperator`]: the `*_with` variants take the operator whose
+//! commits define the labels, so a rewrite (or resubstitution) classifier
+//! trains through exactly the same machinery as the paper's refactor
+//! classifier.  The parameter-taking functions are refactor-specific
+//! conveniences kept for the original API.
 
 use elf_aig::{Aig, NUM_FEATURES};
 use elf_nn::{Dataset, Normalizer};
-use elf_opt::{LabeledCut, Refactor, RefactorParams};
+use elf_opt::{LabeledCut, PrunableOperator, Refactor, RefactorParams};
 
 /// A named circuit used for training or evaluation.
 #[derive(Debug, Clone)]
@@ -24,12 +31,19 @@ impl BenchCircuit {
     }
 }
 
+/// Runs a baseline operator on a *copy* of the circuit and returns one
+/// labelled sample per visited cut (the paper's training-data collection,
+/// generalized to any [`PrunableOperator`]).
+pub fn collect_labeled_cuts_with<O: PrunableOperator>(operator: &O, aig: &Aig) -> Vec<LabeledCut> {
+    let mut copy = aig.clone();
+    let (_, samples) = operator.run_recording(&mut copy);
+    samples
+}
+
 /// Runs the baseline refactor on a *copy* of the circuit and returns one
 /// labelled sample per visited cut (the paper's training-data collection).
 pub fn collect_labeled_cuts(aig: &Aig, params: &RefactorParams) -> Vec<LabeledCut> {
-    let mut copy = aig.clone();
-    let (_, samples) = Refactor::new(*params).run_recording(&mut copy);
-    samples
+    collect_labeled_cuts_with(&Refactor::new(*params), aig)
 }
 
 /// Converts labelled cuts into an [`elf_nn::Dataset`].
@@ -41,9 +55,14 @@ pub fn cuts_to_dataset(cuts: &[LabeledCut]) -> Dataset {
     data
 }
 
-/// Collects a dataset directly from a circuit.
+/// Collects a dataset directly from a circuit, labelled by `operator`.
+pub fn circuit_dataset_with<O: PrunableOperator>(operator: &O, aig: &Aig) -> Dataset {
+    cuts_to_dataset(&collect_labeled_cuts_with(operator, aig))
+}
+
+/// Collects a dataset directly from a circuit (refactor labels).
 pub fn circuit_dataset(aig: &Aig, params: &RefactorParams) -> Dataset {
-    cuts_to_dataset(&collect_labeled_cuts(aig, params))
+    circuit_dataset_with(&Refactor::new(*params), aig)
 }
 
 /// Standardizes a circuit's feature dataset with its own statistics.
@@ -61,14 +80,42 @@ pub fn standardize_per_circuit(dataset: &Dataset) -> Dataset {
     Normalizer::fit(dataset).transform(dataset)
 }
 
-/// Collects the per-circuit standardized dataset of a circuit.
-pub fn circuit_dataset_standardized(aig: &Aig, params: &RefactorParams) -> Dataset {
-    standardize_per_circuit(&circuit_dataset(aig, params))
+/// Collects the per-circuit standardized dataset of a circuit, labelled by
+/// `operator`.
+pub fn circuit_dataset_standardized_with<O: PrunableOperator>(operator: &O, aig: &Aig) -> Dataset {
+    standardize_per_circuit(&circuit_dataset_with(operator, aig))
 }
 
-/// Builds the leave-one-out training set: samples from every circuit except
-/// the one at `held_out`, each circuit standardized individually, then
-/// concatenated.
+/// Collects the per-circuit standardized dataset of a circuit (refactor
+/// labels).
+pub fn circuit_dataset_standardized(aig: &Aig, params: &RefactorParams) -> Dataset {
+    circuit_dataset_standardized_with(&Refactor::new(*params), aig)
+}
+
+/// Builds the leave-one-out training set labelled by `operator`: samples
+/// from every circuit except the one at `held_out`, each circuit
+/// standardized individually, then concatenated.
+///
+/// # Panics
+///
+/// Panics if `held_out` is out of range.
+pub fn leave_one_out_dataset_with<O: PrunableOperator>(
+    operator: &O,
+    circuits: &[BenchCircuit],
+    held_out: usize,
+) -> Dataset {
+    assert!(held_out < circuits.len(), "held-out index out of range");
+    let mut data = Dataset::new();
+    for (index, circuit) in circuits.iter().enumerate() {
+        if index == held_out {
+            continue;
+        }
+        data.extend_from(&circuit_dataset_standardized_with(operator, &circuit.aig));
+    }
+    data
+}
+
+/// Builds the refactor-labelled leave-one-out training set.
 ///
 /// # Panics
 ///
@@ -78,15 +125,7 @@ pub fn leave_one_out_dataset(
     held_out: usize,
     params: &RefactorParams,
 ) -> Dataset {
-    assert!(held_out < circuits.len(), "held-out index out of range");
-    let mut data = Dataset::new();
-    for (index, circuit) in circuits.iter().enumerate() {
-        if index == held_out {
-            continue;
-        }
-        data.extend_from(&circuit_dataset_standardized(&circuit.aig, params));
-    }
-    data
+    leave_one_out_dataset_with(&Refactor::new(*params), circuits, held_out)
 }
 
 /// Extracts feature arrays and labels from labelled cuts (for evaluation).
@@ -160,5 +199,21 @@ mod tests {
         let nodes_before = aig.num_ands();
         let _ = collect_labeled_cuts(&aig, &RefactorParams::default());
         assert_eq!(aig.num_ands(), nodes_before);
+    }
+
+    #[test]
+    fn rewrite_labels_flow_through_the_generic_machinery() {
+        use elf_opt::Rewrite;
+        let aig = redundant_circuit(4);
+        let operator = Rewrite::default();
+        let cuts = collect_labeled_cuts_with(&operator, &aig);
+        let mut copy = aig.clone();
+        let stats = operator.run(&mut copy);
+        assert_eq!(cuts.len(), stats.nodes_visited);
+        let committed = cuts.iter().filter(|c| c.committed).count();
+        assert_eq!(committed, stats.nodes_rewritten);
+        let data = circuit_dataset_with(&operator, &aig);
+        assert_eq!(data.len(), cuts.len());
+        assert_eq!(data.num_features(), NUM_FEATURES);
     }
 }

@@ -4,11 +4,14 @@
 use std::time::Duration;
 
 use elf_nn::{ConfusionMatrix, TrainConfig};
-use elf_opt::{Refactor, RefactorParams, RefactorStats};
+use elf_opt::{PrunableOperator, Refactor, RefactorParams, RefactorStats};
 
 use crate::classifier::ElfClassifier;
-use crate::dataset::{collect_labeled_cuts, cuts_to_arrays, leave_one_out_dataset, BenchCircuit};
-use crate::flow::{ElfConfig, ElfRefactor, ElfStats};
+use crate::dataset::{
+    collect_labeled_cuts, collect_labeled_cuts_with, cuts_to_arrays, leave_one_out_dataset_with,
+    BenchCircuit,
+};
+use crate::flow::{Elf, ElfConfig, ElfRefactor, ElfStats};
 
 /// Everything configurable about a paper-style experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -159,6 +162,21 @@ pub struct QualityRow {
     pub confusion: ConfusionMatrix,
 }
 
+/// Trains a classifier for any [`PrunableOperator`], leaving out circuit
+/// `held_out` (the paper's evaluation protocol, operator-generic: labels are
+/// produced by `operator`'s own commits).
+pub fn train_leave_one_out_with<O: PrunableOperator>(
+    operator: &O,
+    circuits: &[BenchCircuit],
+    held_out: usize,
+    train: &TrainConfig,
+    seed: u64,
+) -> ElfClassifier {
+    let data = leave_one_out_dataset_with(operator, circuits, held_out);
+    let (classifier, _report) = ElfClassifier::fit(&data, train, seed);
+    classifier
+}
+
 /// Trains the ELF classifier leaving out circuit `held_out` (the paper's
 /// evaluation protocol: the test circuit is never part of training).
 pub fn train_leave_one_out(
@@ -166,9 +184,13 @@ pub fn train_leave_one_out(
     held_out: usize,
     config: &ExperimentConfig,
 ) -> ElfClassifier {
-    let data = leave_one_out_dataset(circuits, held_out, &config.elf.refactor);
-    let (classifier, _report) = ElfClassifier::fit(&data, &config.train, config.seed);
-    classifier
+    train_leave_one_out_with(
+        &Refactor::new(config.elf.refactor),
+        circuits,
+        held_out,
+        &config.train,
+        config.seed,
+    )
 }
 
 /// Trains the ELF classifier on every circuit in `circuits` (used when the
@@ -186,23 +208,27 @@ pub fn train_on_all(circuits: &[BenchCircuit], config: &ExperimentConfig) -> Elf
     classifier
 }
 
-/// Runs baseline refactor and ELF on (copies of) one circuit and returns the
-/// comparison row.
-pub fn compare_on_circuit(
+/// Runs a baseline operator and its pruned counterpart on (copies of) one
+/// circuit and returns the comparison row.  This is the operator-generic
+/// core of [`compare_on_circuit`]; `table_rewrite` uses it with [`Rewrite`]
+/// to evaluate pruned rewriting through the identical protocol.
+///
+/// [`Rewrite`]: elf_opt::Rewrite
+pub fn compare_with_operator<O: PrunableOperator>(
     circuit: &BenchCircuit,
-    classifier: &ElfClassifier,
-    config: &ExperimentConfig,
+    baseline: &O,
+    elf: &Elf<O>,
+    applications: usize,
 ) -> ComparisonRow {
     // Baseline.
     let mut baseline_aig = circuit.aig.clone();
-    let baseline_stats = Refactor::new(config.elf.refactor).run(&mut baseline_aig);
+    let baseline_stats: RefactorStats = baseline.run(&mut baseline_aig).into();
     let baseline_ands = baseline_aig.num_reachable_ands();
     let baseline_level = baseline_aig.depth();
 
-    // ELF (possibly applied multiple times).
+    // Pruned operator (possibly applied multiple times).
     let mut elf_aig = circuit.aig.clone();
-    let elf = ElfRefactor::new(classifier.clone(), config.elf);
-    let elf_passes = elf.run_repeated(&mut elf_aig, config.applications.max(1));
+    let elf_passes = elf.run_repeated(&mut elf_aig, applications.max(1));
     let elf_runtime = elf_passes.iter().map(|p| p.total_time).sum();
     let elf_ands = elf_aig.num_reachable_ands();
     let elf_level = elf_aig.depth();
@@ -221,8 +247,40 @@ pub fn compare_on_circuit(
     }
 }
 
+/// Runs baseline refactor and ELF on (copies of) one circuit and returns the
+/// comparison row.
+pub fn compare_on_circuit(
+    circuit: &BenchCircuit,
+    classifier: &ElfClassifier,
+    config: &ExperimentConfig,
+) -> ComparisonRow {
+    compare_with_operator(
+        circuit,
+        &Refactor::new(config.elf.refactor),
+        &ElfRefactor::new(classifier.clone(), config.elf),
+        config.applications,
+    )
+}
+
+/// Evaluates classifier quality against labels produced by any baseline
+/// [`PrunableOperator`].
+pub fn quality_with_operator<O: PrunableOperator>(
+    circuit: &BenchCircuit,
+    operator: &O,
+    classifier: &ElfClassifier,
+    self_normalize: bool,
+) -> QualityRow {
+    let cuts = collect_labeled_cuts_with(operator, &circuit.aig);
+    let (features, labels) = cuts_to_arrays(&cuts);
+    let confusion = classifier.evaluate(&features, &labels, self_normalize);
+    QualityRow {
+        name: circuit.name.clone(),
+        confusion,
+    }
+}
+
 /// Evaluates classifier quality (recall, accuracy, confusion matrix) on one
-/// circuit, against labels produced by the baseline operator.
+/// circuit, against labels produced by the baseline refactor operator.
 pub fn quality_on_circuit(
     circuit: &BenchCircuit,
     classifier: &ElfClassifier,

@@ -1,14 +1,19 @@
 //! The ELF operator (paper Algorithm 2): batch feature collection, batch
-//! classification, and pruned refactoring.
+//! classification, and pruned execution of any [`PrunableOperator`].
+//!
+//! The paper instantiates the flow for `refactor` only; this module keeps
+//! that operator as the [`ElfRefactor`] type alias while generalizing the
+//! machinery to [`Elf<O>`], so the conclusion's first extension target —
+//! pruned `rewrite` — and any future operator reuse the exact same code.
 
 use std::time::{Duration, Instant};
 
 use elf_aig::{Aig, NodeId, NUM_FEATURES};
-use elf_opt::{Refactor, RefactorParams, RefactorStats};
+use elf_opt::{OpStats, PrunableOperator, Refactor, RefactorParams};
 
 use crate::classifier::ElfClassifier;
 
-/// Configuration of the ELF operator.
+/// Configuration of the classic refactor-based ELF operator.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ElfConfig {
     /// Parameters of the underlying refactor operator.
@@ -32,11 +37,38 @@ impl Default for ElfConfig {
     }
 }
 
+/// Operator-independent options of the pruning flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElfOptions {
+    /// Standardize each circuit's feature batch with its own statistics.
+    pub self_normalize: bool,
+    /// Classify all cuts in one batch up front instead of per node.
+    pub batch_classification: bool,
+}
+
+impl Default for ElfOptions {
+    fn default() -> Self {
+        ElfOptions {
+            self_normalize: true,
+            batch_classification: true,
+        }
+    }
+}
+
+impl From<ElfConfig> for ElfOptions {
+    fn from(config: ElfConfig) -> Self {
+        ElfOptions {
+            self_normalize: config.self_normalize,
+            batch_classification: config.batch_classification,
+        }
+    }
+}
+
 /// Statistics of one ELF pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ElfStats {
-    /// Statistics of the underlying (pruned) refactor pass.
-    pub refactor: RefactorStats,
+    /// Core statistics of the underlying (pruned) operator pass.
+    pub op: OpStats,
     /// Time spent collecting features for every cut.
     pub feature_time: Duration,
     /// Time spent in batched classifier inference.
@@ -61,7 +93,12 @@ impl ElfStats {
     }
 }
 
-/// The ELF operator: a trained classifier wrapped around [`Refactor`].
+/// A pruned operator: a trained classifier wrapped around any
+/// [`PrunableOperator`] (Algorithm 2 of the paper, generalized).
+///
+/// [`ElfRefactor`] (= `Elf<Refactor>`) is the paper's operator;
+/// `Elf<Rewrite>` is the conclusion's first extension target and trains
+/// through the same dataset machinery ([`crate::circuit_dataset_with`]).
 ///
 /// # Examples
 ///
@@ -77,15 +114,41 @@ impl ElfStats {
 /// println!("pruned {:.1}% of cuts", stats.prune_rate() * 100.0);
 /// ```
 #[derive(Debug, Clone)]
-pub struct ElfRefactor {
+pub struct Elf<O: PrunableOperator> {
     classifier: ElfClassifier,
-    config: ElfConfig,
+    operator: O,
+    options: ElfOptions,
 }
 
+/// The paper's ELF operator: classifier-pruned refactoring.
+pub type ElfRefactor = Elf<Refactor>;
+
 impl ElfRefactor {
-    /// Creates an ELF operator from a trained classifier.
+    /// Creates the classic refactor-based ELF operator from a trained
+    /// classifier (the paper's configuration surface).
     pub fn new(classifier: ElfClassifier, config: ElfConfig) -> Self {
-        ElfRefactor { classifier, config }
+        Elf::with_operator(classifier, Refactor::new(config.refactor), config.into())
+    }
+
+    /// The operator configuration.
+    pub fn config(&self) -> ElfConfig {
+        ElfConfig {
+            refactor: *self.operator.params(),
+            self_normalize: self.options.self_normalize,
+            batch_classification: self.options.batch_classification,
+        }
+    }
+}
+
+impl<O: PrunableOperator> Elf<O> {
+    /// Wraps `operator` with a trained classifier: the classifier decides,
+    /// per node, whether the operator is worth attempting.
+    pub fn with_operator(classifier: ElfClassifier, operator: O, options: ElfOptions) -> Self {
+        Elf {
+            classifier,
+            operator,
+            options,
+        }
     }
 
     /// The wrapped classifier.
@@ -93,14 +156,19 @@ impl ElfRefactor {
         &self.classifier
     }
 
-    /// The operator configuration.
-    pub fn config(&self) -> &ElfConfig {
-        &self.config
+    /// The wrapped operator.
+    pub fn operator(&self) -> &O {
+        &self.operator
+    }
+
+    /// The operator-independent flow options.
+    pub fn options(&self) -> ElfOptions {
+        self.options
     }
 
     /// Runs one ELF pass over the graph (Algorithm 2).
     pub fn run(&self, aig: &mut Aig) -> ElfStats {
-        if self.config.batch_classification {
+        if self.options.batch_classification {
             self.run_batched(aig)
         } else {
             self.run_per_node(aig)
@@ -115,26 +183,25 @@ impl ElfRefactor {
 
     fn run_batched(&self, aig: &mut Aig) -> ElfStats {
         let start = Instant::now();
-        let refactor = Refactor::new(self.config.refactor);
 
         // Phase 1: collect the cut features of every node in one sweep.
         let feature_start = Instant::now();
-        let features = refactor.collect_features(aig);
+        let features = self.operator.collect_features(aig);
         let feature_time = feature_start.elapsed();
 
         // Phase 2: classify all cuts in a single batch.
         let classify_start = Instant::now();
         let arrays: Vec<[f32; NUM_FEATURES]> = features.iter().map(|(_, f)| f.to_array()).collect();
-        let decisions = if self.config.self_normalize {
+        let decisions = if self.options.self_normalize {
             self.classifier.classify_batch_self_normalized(&arrays)
         } else {
             self.classifier.classify_batch(&arrays)
         };
         let classify_time = classify_start.elapsed();
 
-        // Phase 3: refactor only the nodes the classifier kept.
-        let mut stats = RefactorStats::default();
-        let refactor_start = Instant::now();
+        // Phase 3: resynthesize only the nodes the classifier kept.
+        let mut stats = OpStats::default();
+        let op_start = Instant::now();
         let mut pruned = 0usize;
         let mut kept = 0usize;
         for ((node, _), keep) in features.iter().zip(&decisions) {
@@ -150,17 +217,18 @@ impl ElfRefactor {
                 continue;
             }
             kept += 1;
-            let outcome = refactor.refactor_node(aig, node);
             stats.cuts_resynthesized += 1;
-            if outcome.committed {
+            // Fast path: the node's features were already collected in
+            // phase 1, so the operator skips feature extraction entirely.
+            if let Some(gain) = self.operator.apply_node_fast(aig, node) {
                 stats.cuts_committed += 1;
-                stats.total_gain += outcome.gain;
+                stats.total_gain += gain;
             }
         }
-        stats.runtime = refactor_start.elapsed();
+        stats.runtime = op_start.elapsed();
 
         ElfStats {
-            refactor: stats,
+            op: stats,
             feature_time,
             classify_time,
             pruned,
@@ -171,21 +239,23 @@ impl ElfRefactor {
 
     fn run_per_node(&self, aig: &mut Aig) -> ElfStats {
         let start = Instant::now();
-        let refactor = Refactor::new(self.config.refactor);
         let mut pruned = 0usize;
         let mut kept = 0usize;
         let classifier = &self.classifier;
-        let stats = refactor.run_with_filter(aig, |_, features| {
-            let keep = classifier.classify_batch(&[features.to_array()])[0];
-            if keep {
-                kept += 1;
-            } else {
-                pruned += 1;
-            }
-            keep
-        });
+        let stats = self
+            .operator
+            .run_with_filter(aig, &mut |_, features| {
+                let keep = classifier.classify_batch(&[features.to_array()])[0];
+                if keep {
+                    kept += 1;
+                } else {
+                    pruned += 1;
+                }
+                keep
+            })
+            .into();
         ElfStats {
-            refactor: stats,
+            op: stats,
             feature_time: Duration::ZERO,
             classify_time: Duration::ZERO,
             pruned,
@@ -201,6 +271,7 @@ mod tests {
     use crate::classifier::DEFAULT_THRESHOLD;
     use elf_aig::{check_equivalence, EquivalenceResult, Lit};
     use elf_nn::{Dataset, Mlp, Normalizer};
+    use elf_opt::{Rewrite, RewriteParams};
 
     /// Builds a classifier with hand-set normalizer statistics and an
     /// untrained (random) network — sufficient for exercising the flow.
@@ -234,7 +305,7 @@ mod tests {
         let stats = elf.run(&mut elf_aig);
         let baseline = Refactor::new(RefactorParams::default()).run(&mut baseline_aig);
         assert_eq!(stats.pruned, 0);
-        assert_eq!(stats.refactor.cuts_committed, baseline.cuts_committed);
+        assert_eq!(stats.op.cuts_committed, baseline.cuts_committed);
         assert_eq!(
             elf_aig.num_reachable_ands(),
             baseline_aig.num_reachable_ands()
@@ -248,7 +319,7 @@ mod tests {
         let elf = ElfRefactor::new(dummy_classifier(1.1), ElfConfig::default());
         let stats = elf.run(&mut aig);
         assert_eq!(stats.kept, 0);
-        assert_eq!(stats.refactor.cuts_committed, 0);
+        assert_eq!(stats.op.cuts_committed, 0);
         assert!((stats.prune_rate() - 1.0).abs() < 1e-9);
         assert_eq!(golden.num_ands(), aig.num_ands());
     }
@@ -276,7 +347,7 @@ mod tests {
         };
         let elf = ElfRefactor::new(dummy_classifier(DEFAULT_THRESHOLD), config);
         let stats = elf.run(&mut aig);
-        assert_eq!(stats.pruned + stats.kept, stats.refactor.cuts_formed);
+        assert_eq!(stats.pruned + stats.kept, stats.op.cuts_formed);
         assert_eq!(
             check_equivalence(&golden, &aig, 8, 78),
             EquivalenceResult::Equivalent
@@ -290,7 +361,18 @@ mod tests {
         let passes = elf.run_repeated(&mut aig, 2);
         assert_eq!(passes.len(), 2);
         // The second pass cannot commit more gain than remains.
-        assert!(passes[1].refactor.total_gain <= passes[0].refactor.total_gain);
+        assert!(passes[1].op.total_gain <= passes[0].op.total_gain);
+    }
+
+    #[test]
+    fn config_round_trips_through_the_alias() {
+        let config = ElfConfig {
+            self_normalize: false,
+            ..Default::default()
+        };
+        let elf = ElfRefactor::new(dummy_classifier(0.3), config);
+        assert_eq!(elf.config(), config);
+        assert_eq!(elf.options(), ElfOptions::from(config));
     }
 
     /// Trained end-to-end smoke test: train on one circuit, apply to another.
@@ -318,10 +400,53 @@ mod tests {
         let golden = target.clone();
         let elf = ElfRefactor::new(classifier, ElfConfig::default());
         let stats = elf.run(&mut target);
-        assert_eq!(stats.pruned + stats.kept, stats.refactor.cuts_formed);
+        assert_eq!(stats.pruned + stats.kept, stats.op.cuts_formed);
         assert_eq!(
             check_equivalence(&golden, &target, 8, 80),
             EquivalenceResult::Equivalent
         );
+    }
+
+    #[test]
+    fn elf_rewrite_with_always_keep_matches_plain_rewrite() {
+        let mut pruned_aig = redundant_circuit();
+        let mut plain_aig = redundant_circuit();
+        let elf = Elf::with_operator(
+            dummy_classifier(0.0),
+            Rewrite::default(),
+            ElfOptions::default(),
+        );
+        let stats = elf.run(&mut pruned_aig);
+        let plain = Rewrite::default().run(&mut plain_aig);
+        assert_eq!(stats.pruned, 0);
+        assert_eq!(stats.op.cuts_committed, plain.nodes_rewritten);
+        assert_eq!(
+            pruned_aig.num_reachable_ands(),
+            plain_aig.num_reachable_ands()
+        );
+    }
+
+    #[test]
+    fn elf_rewrite_preserves_functionality_in_both_modes() {
+        for batch in [true, false] {
+            let mut aig = redundant_circuit();
+            let golden = aig.clone();
+            let elf = Elf::with_operator(
+                dummy_classifier(DEFAULT_THRESHOLD),
+                Rewrite::new(RewriteParams::default()),
+                ElfOptions {
+                    batch_classification: batch,
+                    ..Default::default()
+                },
+            );
+            let stats = elf.run(&mut aig);
+            assert_eq!(stats.pruned + stats.kept, stats.op.cuts_formed);
+            assert!(aig.check_invariants().is_empty());
+            assert_eq!(
+                check_equivalence(&golden, &aig, 8, 81),
+                EquivalenceResult::Equivalent,
+                "batch={batch}"
+            );
+        }
     }
 }

@@ -3,9 +3,9 @@
 //! ELF — Efficient Logic synthesis by pruning redundancy in reFactoring.
 //!
 //! This crate is the paper's primary contribution: a lightweight learned
-//! classifier that predicts, from six structural cut features, whether the
-//! refactor operator will succeed at a node, and an operator wrapper that
-//! skips (prunes) the nodes predicted to fail.  Because only ~0.05–10.8 % of
+//! classifier that predicts, from six structural cut features, whether an
+//! operator will succeed at a node, and an operator wrapper that skips
+//! (prunes) the nodes predicted to fail.  Because only ~0.05–10.8 % of
 //! cuts are ever committed, pruning the rest removes most of the operator's
 //! runtime at negligible quality cost.
 //!
@@ -13,13 +13,21 @@
 //!
 //! * [`ElfClassifier`] — mean–variance normalization fused with the paper's
 //!   325-parameter MLP, trained and evaluated in batch;
-//! * [`circuit_dataset`] / [`leave_one_out_dataset`] — training-data
-//!   collection by running the baseline operator in recording mode;
-//! * [`ElfRefactor`] — the pruned operator (Algorithm 2): collect features for
-//!   every cut, classify the whole batch once, then resynthesize only the
-//!   surviving nodes;
+//! * [`circuit_dataset_with`] / [`leave_one_out_dataset_with`] —
+//!   operator-generic training-data collection by running any baseline
+//!   [`elf_opt::PrunableOperator`] in recording mode (plus the original
+//!   refactor-specific conveniences [`circuit_dataset`] /
+//!   [`leave_one_out_dataset`]);
+//! * [`Elf`] — the pruned operator (Algorithm 2), generic over the wrapped
+//!   operator: collect features for every cut, classify the whole batch
+//!   once, then resynthesize only the surviving nodes.  [`ElfRefactor`]
+//!   (= `Elf<Refactor>`) is the paper's instantiation; `Elf<Rewrite>` is the
+//!   conclusion's first extension target;
+//! * [`Flow`] — script-style pipelines (`rf; rw; rs`) mixing plain and
+//!   classifier-pruned stages, with uniform per-stage [`FlowStats`];
 //! * [`experiment`] — the leave-one-out protocol, baseline-vs-ELF comparison
-//!   rows and classifier quality metrics that regenerate the paper's tables.
+//!   rows and classifier quality metrics that regenerate the paper's tables,
+//!   with operator-generic cores (`compare_with_operator`).
 //!
 //! # Examples
 //!
@@ -47,7 +55,24 @@
 //! let mut target = train_aig.clone();
 //! let elf = ElfRefactor::new(classifier, ElfConfig::default());
 //! let stats = elf.run(&mut target);
-//! assert_eq!(stats.pruned + stats.kept, stats.refactor.cuts_formed);
+//! assert_eq!(stats.pruned + stats.kept, stats.op.cuts_formed);
+//! ```
+//!
+//! Compose a script-style pipeline mixing plain and pruned operators:
+//!
+//! ```
+//! use elf_aig::Aig;
+//! use elf_core::Flow;
+//!
+//! let mut aig = Aig::new();
+//! let inputs = aig.add_inputs(3);
+//! let t0 = aig.and(inputs[0], inputs[1]);
+//! let t1 = aig.and(inputs[0], inputs[2]);
+//! let f = aig.or(t0, t1);
+//! aig.add_output(f);
+//!
+//! let stats = Flow::from_script("rf; rw; rs").unwrap().run(&mut aig);
+//! assert!(stats.ands_after <= stats.ands_before);
 //! ```
 
 #![warn(missing_docs)]
@@ -57,14 +82,19 @@ mod classifier;
 mod dataset;
 pub mod experiment;
 mod flow;
+mod pipeline;
 
-pub use classifier::{ElfClassifier, ParseClassifierError, DEFAULT_THRESHOLD};
+pub use classifier::{ElfClassifier, ParseClassifierError, DEFAULT_THRESHOLD, RECALL_TARGET};
 pub use dataset::{
-    circuit_dataset, circuit_dataset_standardized, collect_labeled_cuts, cuts_to_arrays,
-    cuts_to_dataset, leave_one_out_dataset, standardize_per_circuit, BenchCircuit,
+    circuit_dataset, circuit_dataset_standardized, circuit_dataset_standardized_with,
+    circuit_dataset_with, collect_labeled_cuts, collect_labeled_cuts_with, cuts_to_arrays,
+    cuts_to_dataset, leave_one_out_dataset, leave_one_out_dataset_with, standardize_per_circuit,
+    BenchCircuit,
 };
 pub use experiment::{
-    circuit_stats, compare_on_circuit, quality_on_circuit, run_suite, train_leave_one_out,
-    train_on_all, CircuitStatsRow, ComparisonRow, ExperimentConfig, QualityRow, SuiteResult,
+    circuit_stats, compare_on_circuit, compare_with_operator, quality_on_circuit,
+    quality_with_operator, run_suite, train_leave_one_out, train_leave_one_out_with, train_on_all,
+    CircuitStatsRow, ComparisonRow, ExperimentConfig, QualityRow, SuiteResult,
 };
-pub use flow::{ElfConfig, ElfRefactor, ElfStats};
+pub use flow::{Elf, ElfConfig, ElfOptions, ElfRefactor, ElfStats};
+pub use pipeline::{Flow, FlowStats, ParseFlowError, StageStats};

@@ -1,0 +1,360 @@
+//! Script-style optimization pipelines: the [`Flow`] builder.
+//!
+//! ABC users compose operators with scripts like `rf; rw; rs` (`resyn2` is
+//! such a pipeline).  [`Flow`] reproduces that composition surface over this
+//! crate's operators — plain *and* classifier-pruned — and reports uniform
+//! per-stage statistics ([`FlowStats`]) thanks to the shared
+//! [`OpStats`] core of the [`elf_opt::AigOperator`] abstraction.
+//!
+//! # Examples
+//!
+//! ```
+//! use elf_aig::Aig;
+//! use elf_core::Flow;
+//! use elf_opt::{RefactorParams, ResubParams, RewriteParams};
+//!
+//! let mut aig = Aig::new();
+//! let inputs = aig.add_inputs(4);
+//! let ab = aig.and(inputs[0], inputs[1]);
+//! let cd = aig.and(inputs[2], inputs[3]);
+//! let abcd = aig.and(ab, cd);
+//! let f = aig.or(ab, abcd);
+//! aig.add_output(f);
+//!
+//! let flow = Flow::new()
+//!     .refactor(RefactorParams::default())
+//!     .rewrite(RewriteParams::default())
+//!     .resub(ResubParams::default());
+//! let stats = flow.run(&mut aig);
+//! assert_eq!(stats.stages.len(), 3);
+//! assert!(stats.ands_after <= stats.ands_before);
+//!
+//! // The same pipeline, ABC-script style:
+//! let scripted = Flow::from_script("rf; rw; rs").unwrap();
+//! assert_eq!(scripted.len(), 3);
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use elf_aig::Aig;
+use elf_opt::{
+    AigOperator, OpStats, Refactor, RefactorParams, ResubParams, Resubstitution, Rewrite,
+    RewriteParams,
+};
+
+use crate::flow::{Elf, ElfStats};
+
+/// One stage of a [`Flow`].
+#[derive(Debug, Clone)]
+enum Stage {
+    Refactor(RefactorParams),
+    Rewrite(RewriteParams),
+    Resub(ResubParams),
+    ElfRefactor(Box<Elf<Refactor>>),
+    ElfRewrite(Box<Elf<Rewrite>>),
+    ElfResub(Box<Elf<Resubstitution>>),
+}
+
+impl Stage {
+    fn name(&self) -> &'static str {
+        match self {
+            Stage::Refactor(_) => Refactor::NAME,
+            Stage::Rewrite(_) => Rewrite::NAME,
+            Stage::Resub(_) => Resubstitution::NAME,
+            Stage::ElfRefactor(_) => "elf-refactor",
+            Stage::ElfRewrite(_) => "elf-rewrite",
+            Stage::ElfResub(_) => "elf-resub",
+        }
+    }
+}
+
+/// Statistics of one executed [`Flow`] stage.
+#[derive(Debug, Clone)]
+pub struct StageStats {
+    /// Stage name (`"refactor"`, `"elf-rewrite"`, ...).
+    pub name: &'static str,
+    /// Core operator statistics of the stage.
+    pub op: OpStats,
+    /// Pruning-flow statistics when the stage was classifier-pruned.
+    pub elf: Option<ElfStats>,
+    /// Reachable AND count after the stage.
+    pub ands_after: usize,
+    /// Wall-clock time of the stage.
+    pub runtime: Duration,
+}
+
+/// Statistics of a full [`Flow`] run.
+#[derive(Debug, Clone, Default)]
+pub struct FlowStats {
+    /// Per-stage statistics, in execution order.
+    pub stages: Vec<StageStats>,
+    /// Reachable AND count before the first stage.
+    pub ands_before: usize,
+    /// Reachable AND count after the last stage.
+    pub ands_after: usize,
+    /// Total wall-clock time of the pipeline.
+    pub runtime: Duration,
+}
+
+impl FlowStats {
+    /// Total node gain over all stages.
+    pub fn total_gain(&self) -> i64 {
+        self.ands_before as i64 - self.ands_after as i64
+    }
+}
+
+/// Error returned when parsing a flow script fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFlowError {
+    token: String,
+}
+
+impl fmt::Display for ParseFlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown flow operator `{}` (expected rf/refactor, rw/rewrite or rs/resub)",
+            self.token
+        )
+    }
+}
+
+impl Error for ParseFlowError {}
+
+/// A composable sequence of plain and classifier-pruned operators.
+///
+/// Build with the chaining methods ([`Flow::refactor`], [`Flow::elf_rewrite`],
+/// ...) or parse an ABC-style script with [`Flow::from_script`], then execute
+/// with [`Flow::run`].
+#[derive(Debug, Clone, Default)]
+pub struct Flow {
+    stages: Vec<Stage>,
+}
+
+impl Flow {
+    /// Creates an empty flow.
+    pub fn new() -> Self {
+        Flow::default()
+    }
+
+    /// Parses an ABC-style script of plain operators, e.g. `"rf; rw; rs"`.
+    ///
+    /// Recognized tokens (separated by `;`, `,` or whitespace):
+    /// `rf`/`refactor`, `rw`/`rewrite`, `rs`/`resub`, each added with default
+    /// parameters.  Classifier-pruned stages carry a trained model and are
+    /// therefore added through the builder methods instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseFlowError`] naming the first unknown token.
+    pub fn from_script(script: &str) -> Result<Self, ParseFlowError> {
+        let mut flow = Flow::new();
+        for token in script.split([';', ',']) {
+            for word in token.split_whitespace() {
+                flow = match word {
+                    "rf" | "refactor" => flow.refactor(RefactorParams::default()),
+                    "rw" | "rewrite" => flow.rewrite(RewriteParams::default()),
+                    "rs" | "resub" => flow.resub(ResubParams::default()),
+                    unknown => {
+                        return Err(ParseFlowError {
+                            token: unknown.to_string(),
+                        })
+                    }
+                };
+            }
+        }
+        Ok(flow)
+    }
+
+    /// Appends a plain refactor stage.
+    pub fn refactor(mut self, params: RefactorParams) -> Self {
+        self.stages.push(Stage::Refactor(params));
+        self
+    }
+
+    /// Appends a plain rewrite stage.
+    pub fn rewrite(mut self, params: RewriteParams) -> Self {
+        self.stages.push(Stage::Rewrite(params));
+        self
+    }
+
+    /// Appends a plain resubstitution stage.
+    pub fn resub(mut self, params: ResubParams) -> Self {
+        self.stages.push(Stage::Resub(params));
+        self
+    }
+
+    /// Appends a classifier-pruned refactor stage.
+    pub fn elf_refactor(mut self, elf: Elf<Refactor>) -> Self {
+        self.stages.push(Stage::ElfRefactor(Box::new(elf)));
+        self
+    }
+
+    /// Appends a classifier-pruned rewrite stage.
+    pub fn elf_rewrite(mut self, elf: Elf<Rewrite>) -> Self {
+        self.stages.push(Stage::ElfRewrite(Box::new(elf)));
+        self
+    }
+
+    /// Appends a classifier-pruned resubstitution stage.
+    pub fn elf_resub(mut self, elf: Elf<Resubstitution>) -> Self {
+        self.stages.push(Stage::ElfResub(Box::new(elf)));
+        self
+    }
+
+    /// Number of stages in the flow.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Returns `true` if the flow has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Stage names in execution order.
+    pub fn stage_names(&self) -> Vec<&'static str> {
+        self.stages.iter().map(Stage::name).collect()
+    }
+
+    /// Runs every stage in order over `aig`, returning per-stage statistics.
+    pub fn run(&self, aig: &mut Aig) -> FlowStats {
+        let start = Instant::now();
+        let ands_before = aig.num_reachable_ands();
+        let mut stages = Vec::with_capacity(self.stages.len());
+        for stage in &self.stages {
+            let stage_start = Instant::now();
+            let (op, elf): (OpStats, Option<ElfStats>) = match stage {
+                Stage::Refactor(params) => (Refactor::new(*params).run(aig), None),
+                Stage::Rewrite(params) => (Rewrite::new(*params).run(aig).into(), None),
+                Stage::Resub(params) => (Resubstitution::new(*params).run(aig).into(), None),
+                Stage::ElfRefactor(elf) => {
+                    let stats = elf.run(aig);
+                    (stats.op, Some(stats))
+                }
+                Stage::ElfRewrite(elf) => {
+                    let stats = elf.run(aig);
+                    (stats.op, Some(stats))
+                }
+                Stage::ElfResub(elf) => {
+                    let stats = elf.run(aig);
+                    (stats.op, Some(stats))
+                }
+            };
+            stages.push(StageStats {
+                name: stage.name(),
+                op,
+                elf,
+                ands_after: aig.num_reachable_ands(),
+                runtime: stage_start.elapsed(),
+            });
+        }
+        FlowStats {
+            stages,
+            ands_before,
+            ands_after: aig.num_reachable_ands(),
+            runtime: start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::ElfClassifier;
+    use crate::flow::ElfOptions;
+    use elf_aig::{check_equivalence, EquivalenceResult};
+    use elf_nn::{Mlp, Normalizer};
+
+    fn always_keep_classifier() -> ElfClassifier {
+        let normalizer = Normalizer::from_stats(vec![2.0; 6], vec![1.0; 6]);
+        ElfClassifier::from_parts(normalizer, Mlp::paper_architecture(5), 0.0)
+    }
+
+    fn redundant_circuit() -> Aig {
+        let mut aig = Aig::new();
+        let inputs = aig.add_inputs(6);
+        let mut acc = inputs[5];
+        for w in inputs.windows(3) {
+            let t0 = aig.and(w[0], w[1]);
+            let t1 = aig.and(w[0], w[2]);
+            let or = aig.or(t0, t1);
+            acc = aig.and(acc, or);
+        }
+        aig.add_output(acc);
+        aig.cleanup();
+        aig
+    }
+
+    #[test]
+    fn script_parses_abc_aliases() {
+        let flow = Flow::from_script("rf; rw; rs").unwrap();
+        assert_eq!(flow.stage_names(), vec!["refactor", "rewrite", "resub"]);
+        let flow = Flow::from_script("refactor rewrite, resub").unwrap();
+        assert_eq!(flow.len(), 3);
+        assert!(Flow::from_script("").unwrap().is_empty());
+        let err = Flow::from_script("rf; balance").unwrap_err();
+        assert!(err.to_string().contains("balance"));
+    }
+
+    #[test]
+    fn plain_pipeline_is_sound_and_monotone() {
+        let mut aig = redundant_circuit();
+        let golden = aig.clone();
+        let stats = Flow::from_script("rf; rw; rs").unwrap().run(&mut aig);
+        assert_eq!(stats.stages.len(), 3);
+        assert!(stats.ands_after <= stats.ands_before);
+        assert_eq!(
+            stats.total_gain(),
+            stats.ands_before as i64 - stats.ands_after as i64
+        );
+        for window in stats.stages.windows(2) {
+            assert!(window[1].ands_after <= window[0].ands_after);
+        }
+        assert_eq!(
+            check_equivalence(&golden, &aig, 8, 41),
+            EquivalenceResult::Equivalent
+        );
+        assert!(aig.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn mixed_pipeline_runs_pruned_and_plain_stages() {
+        let mut aig = redundant_circuit();
+        let golden = aig.clone();
+        let elf_rewrite = Elf::with_operator(
+            always_keep_classifier(),
+            Rewrite::default(),
+            ElfOptions::default(),
+        );
+        let stats = Flow::new()
+            .refactor(RefactorParams::default())
+            .elf_rewrite(elf_rewrite)
+            .resub(ResubParams::default())
+            .run(&mut aig);
+        assert_eq!(
+            stats.stages.iter().map(|s| s.name).collect::<Vec<_>>(),
+            vec!["refactor", "elf-rewrite", "resub"]
+        );
+        let pruned_stage = &stats.stages[1];
+        assert!(pruned_stage.elf.is_some());
+        assert_eq!(pruned_stage.elf.as_ref().unwrap().pruned, 0);
+        assert_eq!(
+            check_equivalence(&golden, &aig, 8, 42),
+            EquivalenceResult::Equivalent
+        );
+    }
+
+    #[test]
+    fn empty_flow_is_a_no_op() {
+        let mut aig = redundant_circuit();
+        let before = aig.num_reachable_ands();
+        let stats = Flow::new().run(&mut aig);
+        assert!(stats.stages.is_empty());
+        assert_eq!(stats.ands_before, before);
+        assert_eq!(stats.ands_after, before);
+        assert_eq!(stats.total_gain(), 0);
+    }
+}

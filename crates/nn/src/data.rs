@@ -5,6 +5,14 @@ use rand::{Rng, SeedableRng};
 
 use crate::matrix::Matrix;
 
+/// In-place seeded Fisher–Yates shuffle of example indices.
+fn shuffle_indices(indices: &mut [usize], rng: &mut StdRng) {
+    for i in (1..indices.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        indices.swap(i, j);
+    }
+}
+
 /// A labelled binary-classification dataset with dense feature rows.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Dataset {
@@ -76,10 +84,7 @@ impl Dataset {
     pub fn split(&self, validation_fraction: f32, seed: u64) -> (Dataset, Dataset) {
         let mut indices: Vec<usize> = (0..self.len()).collect();
         let mut rng = StdRng::seed_from_u64(seed);
-        for i in (1..indices.len()).rev() {
-            let j = rng.gen_range(0..=i);
-            indices.swap(i, j);
-        }
+        shuffle_indices(&mut indices, &mut rng);
         let valid_count = ((self.len() as f32) * validation_fraction).round() as usize;
         let (valid_idx, train_idx) = indices.split_at(valid_count.min(self.len()));
         let pick = |idx: &[usize]| {
@@ -89,6 +94,47 @@ impl Dataset {
             )
         };
         (pick(train_idx), pick(valid_idx))
+    }
+
+    /// Splits the dataset into (train, validation) preserving the class
+    /// balance of both sides (stratified split), after a seeded per-class
+    /// shuffle.
+    ///
+    /// Unlike [`Dataset::split`], a heavily imbalanced dataset is guaranteed
+    /// to keep at least one example of every represented class on each side
+    /// (whenever the class has two or more examples and the fraction is
+    /// non-zero), so validation recall is never undefined just because the
+    /// shuffle dropped every positive from the validation slice.
+    pub fn split_stratified(&self, validation_fraction: f32, seed: u64) -> (Dataset, Dataset) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut negatives: Vec<usize> = Vec::new();
+        let mut positives: Vec<usize> = Vec::new();
+        for (index, &label) in self.labels.iter().enumerate() {
+            if label >= 0.5 {
+                positives.push(index);
+            } else {
+                negatives.push(index);
+            }
+        }
+        let mut train_idx = Vec::with_capacity(self.len());
+        let mut valid_idx = Vec::new();
+        for class in [&mut negatives, &mut positives] {
+            shuffle_indices(class, &mut rng);
+            let rounded = ((class.len() as f32) * validation_fraction).round() as usize;
+            let valid_count = if class.len() >= 2 && validation_fraction > 0.0 {
+                rounded.clamp(1, class.len() - 1)
+            } else {
+                rounded.min(class.len())
+            };
+            let (valid, train) = class.split_at(valid_count);
+            valid_idx.extend_from_slice(valid);
+            train_idx.extend_from_slice(train);
+        }
+        // Re-shuffle the concatenated per-class runs so downstream
+        // sequential mini-batching never sees class-sorted data.
+        shuffle_indices(&mut train_idx, &mut rng);
+        shuffle_indices(&mut valid_idx, &mut rng);
+        (self.select(&train_idx), self.select(&valid_idx))
     }
 
     /// Packs the features into a single matrix (one row per example), the
@@ -387,6 +433,44 @@ mod tests {
         let (train, valid) = data.split(0.25, 3);
         assert_eq!(train.len() + valid.len(), data.len());
         assert_eq!(valid.len(), 5);
+    }
+
+    #[test]
+    fn stratified_split_keeps_positives_on_both_sides() {
+        // 2 positives in 50 examples: a plain 10% shuffle split frequently
+        // drops every positive from validation; the stratified split never
+        // does.
+        let mut data = Dataset::new();
+        for i in 0..50 {
+            data.push(vec![i as f32], i < 2);
+        }
+        for seed in 0..20 {
+            let (train, valid) = data.split_stratified(0.1, seed);
+            assert_eq!(train.len() + valid.len(), data.len());
+            assert!(valid.class_counts().1 >= 1, "seed {seed}: no positive");
+            assert!(train.class_counts().1 >= 1, "seed {seed}: no positive");
+        }
+    }
+
+    #[test]
+    fn stratified_split_handles_degenerate_classes() {
+        // A single positive stays in training (recall would otherwise train
+        // on zero positives).
+        let mut data = Dataset::new();
+        for i in 0..10 {
+            data.push(vec![i as f32], i == 0);
+        }
+        let (train, valid) = data.split_stratified(0.2, 7);
+        assert_eq!(train.class_counts().1, 1);
+        assert_eq!(valid.class_counts().1, 0);
+        // All-negative data still splits cleanly.
+        let mut negatives = Dataset::new();
+        for i in 0..10 {
+            negatives.push(vec![i as f32], false);
+        }
+        let (train, valid) = negatives.split_stratified(0.2, 7);
+        assert_eq!(train.len() + valid.len(), 10);
+        assert_eq!(valid.len(), 2);
     }
 
     #[test]

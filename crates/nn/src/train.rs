@@ -96,7 +96,11 @@ pub fn train(model: &mut Mlp, data: &Dataset, config: &TrainConfig) -> TrainRepo
         "dataset width must match the model input size"
     );
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let (train_set, valid_set) = data.split(config.validation_fraction, config.seed);
+    // Stratified: the cut-classification task is heavily imbalanced, and a
+    // plain shuffle split can leave the validation slice without a single
+    // positive (making recall-driven early stopping and reporting
+    // meaningless, e.g. the quickstart's 0 % recall at Tiny scale).
+    let (train_set, valid_set) = data.split_stratified(config.validation_fraction, config.seed);
     let (train_set, valid_set) = if valid_set.is_empty() || train_set.is_empty() {
         (data.clone(), data.clone())
     } else {

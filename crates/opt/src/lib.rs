@@ -11,9 +11,13 @@
 //!   first extension target mentioned in the paper's conclusion);
 //! * [`Resubstitution`] — window-based resubstitution.
 //!
-//! Every operator exposes per-node entry points in addition to a whole-graph
-//! `run`, so higher layers (the ELF flow in `elf-core`) can interleave
-//! classification and resynthesis.
+//! All three implement the unified [`AigOperator`] trait (whole-graph `run`,
+//! uniform per-node [`AigOperator::apply_node`], stats convertible into the
+//! shared [`OpStats`] core) and the [`PrunableOperator`] sub-trait (batch
+//! feature collection, labelled-sample recording, filtered execution), so
+//! higher layers — the generic ELF flow `elf_core::Elf<O>`, script-style
+//! pipelines — can interleave classification and resynthesis with any of
+//! them.
 //!
 //! # Examples
 //!
@@ -38,11 +42,15 @@
 #![warn(missing_debug_implementations)]
 
 mod build;
+mod operator;
 mod refactor;
 mod resub;
 mod rewrite;
 
 pub use build::{build_expr, count_new_nodes, cut_truth_table, ImplementationCost};
-pub use refactor::{LabeledCut, NodeOutcome, Refactor, RefactorParams, RefactorStats};
+pub use operator::{
+    collect_cut_features, AigOperator, LabeledCut, NodeOutcome, OpStats, PrunableOperator,
+};
+pub use refactor::{Refactor, RefactorParams, RefactorStats};
 pub use resub::{ResubParams, ResubStats, Resubstitution};
 pub use rewrite::{Rewrite, RewriteParams, RewriteStats};

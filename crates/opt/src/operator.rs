@@ -1,0 +1,397 @@
+//! The unified operator abstraction: [`AigOperator`] and [`PrunableOperator`].
+//!
+//! Every logic-optimization operator in this crate ([`Refactor`],
+//! [`Rewrite`], [`Resubstitution`]) used to expose its own ad-hoc
+//! `run`/`*_node` surface.  This module unifies them behind two traits so
+//! that higher layers (the ELF flow in `elf-core`, script-style pipelines,
+//! future serving layers) can be written once and instantiated for any
+//! operator:
+//!
+//! * [`AigOperator`] — construction from a `Params` type, a whole-graph
+//!   `run` returning operator-specific `Stats`, and a uniform per-node entry
+//!   point [`AigOperator::apply_node`];
+//! * [`PrunableOperator`] — the three hooks ELF-style classifier pruning
+//!   needs: batch cut-feature collection ([`PrunableOperator::collect_features`]),
+//!   labelled-sample recording ([`PrunableOperator::run_recording`]) and
+//!   filtered execution ([`PrunableOperator::run_with_filter`]).
+//!
+//! Operator-specific statistics all convert into the shared [`OpStats`]
+//! core (`Stats: Into<OpStats>`), so pipelines can aggregate heterogeneous
+//! stages uniformly.
+//!
+//! [`Refactor`]: crate::Refactor
+//! [`Rewrite`]: crate::Rewrite
+//! [`Resubstitution`]: crate::Resubstitution
+
+use std::time::Duration;
+
+use elf_aig::{Aig, Cut, CutFeatures, CutParams, NodeId};
+
+/// The statistics core shared by every [`AigOperator`].
+///
+/// Each operator's own stats type ([`RefactorStats`](crate::RefactorStats)
+/// is this type, [`RewriteStats`](crate::RewriteStats) and
+/// [`ResubStats`](crate::ResubStats) convert into it) exposes the same
+/// cuts-formed / committed / pruned counters, node delta and timing, which
+/// is what flows and benchmark tables aggregate.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpStats {
+    /// Nodes visited by the pass.
+    pub nodes_visited: usize,
+    /// Cuts formed (equal to nodes visited unless nodes died mid-pass).
+    pub cuts_formed: usize,
+    /// Cuts that went through full resynthesis.
+    pub cuts_resynthesized: usize,
+    /// Cuts whose resynthesis was pruned (skipped) by a filter.
+    pub cuts_pruned: usize,
+    /// Cuts whose resynthesized implementation was committed.
+    pub cuts_committed: usize,
+    /// Total gain: AND nodes removed minus AND nodes added.
+    pub total_gain: i64,
+    /// Wall-clock time of the pass.
+    pub runtime: Duration,
+}
+
+impl OpStats {
+    /// Fraction of formed cuts that were committed (the paper's "Refactored"
+    /// column and the right-hand side of Figure 1).
+    pub fn commit_rate(&self) -> f64 {
+        if self.cuts_formed == 0 {
+            0.0
+        } else {
+            self.cuts_committed as f64 / self.cuts_formed as f64
+        }
+    }
+
+    /// Fraction of formed cuts that were pruned before resynthesis.
+    pub fn prune_rate(&self) -> f64 {
+        if self.cuts_formed == 0 {
+            0.0
+        } else {
+            self.cuts_pruned as f64 / self.cuts_formed as f64
+        }
+    }
+
+    /// Accumulates another pass's counters into this one (runtimes add).
+    pub fn absorb(&mut self, other: &OpStats) {
+        self.nodes_visited += other.nodes_visited;
+        self.cuts_formed += other.cuts_formed;
+        self.cuts_resynthesized += other.cuts_resynthesized;
+        self.cuts_pruned += other.cuts_pruned;
+        self.cuts_committed += other.cuts_committed;
+        self.total_gain += other.total_gain;
+        self.runtime += other.runtime;
+    }
+}
+
+/// What happened when an operator was applied at a single node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeOutcome {
+    /// The node that was processed.
+    pub node: NodeId,
+    /// Structural features of the node's cut.
+    pub features: CutFeatures,
+    /// Whether a full resynthesis (truth table, ISOP, factoring, gain
+    /// evaluation) was performed.
+    pub resynthesized: bool,
+    /// Whether a change was committed to the graph.
+    pub committed: bool,
+    /// Achieved gain (nodes removed minus nodes added); zero when nothing was
+    /// committed.
+    pub gain: i64,
+}
+
+/// A labeled cut sample recorded while running a baseline operator.
+///
+/// These samples are the training data of the ELF classifier: the label is
+/// `true` exactly when the baseline operator committed a change at the node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabeledCut {
+    /// The node whose cut was examined.
+    pub node: NodeId,
+    /// Structural features of the cut.
+    pub features: CutFeatures,
+    /// Whether the baseline operator committed a change at this node.
+    pub committed: bool,
+}
+
+/// A logic-optimization operator over And-Inverter Graphs.
+///
+/// Implementors are cheap, immutable handles around a parameter set; all
+/// graph state lives in the [`Aig`] passed to each call.
+///
+/// # Examples
+///
+/// Generic code can drive any operator through the trait:
+///
+/// ```
+/// use elf_aig::Aig;
+/// use elf_opt::{AigOperator, OpStats, Refactor, Rewrite};
+///
+/// fn optimize<O: AigOperator>(op: &O, aig: &mut Aig) -> OpStats {
+///     op.run(aig).into()
+/// }
+///
+/// let mut aig = Aig::new();
+/// let inputs = aig.add_inputs(3);
+/// let t0 = aig.and(inputs[0], inputs[1]);
+/// let t1 = aig.and(inputs[0], inputs[2]);
+/// let f = aig.or(t0, t1);
+/// aig.add_output(f);
+///
+/// let stats = optimize(&Refactor::default(), &mut aig);
+/// assert_eq!(stats.cuts_formed, stats.nodes_visited);
+/// let stats = optimize(&Rewrite::default(), &mut aig);
+/// assert!(stats.total_gain >= 0);
+/// ```
+pub trait AigOperator {
+    /// Operator parameters.
+    type Params: Clone + std::fmt::Debug;
+    /// Operator-specific pass statistics, convertible into the shared core.
+    type Stats: Clone + std::fmt::Debug + Into<OpStats>;
+
+    /// Short lower-case operator name (used by pipelines and reports).
+    const NAME: &'static str;
+
+    /// Creates the operator from its parameters.
+    fn from_params(params: Self::Params) -> Self
+    where
+        Self: Sized;
+
+    /// Runs the operator over every live AND node of the graph.
+    fn run(&self, aig: &mut Aig) -> Self::Stats;
+
+    /// Applies the operator at a single node: forms the node's cut, attempts
+    /// resynthesis and commits the result when it improves the graph.
+    fn apply_node(&self, aig: &mut Aig, node: NodeId) -> NodeOutcome;
+
+    /// Applies the operator at a single node without extracting cut features,
+    /// returning `Some(gain)` when a change was committed.
+    ///
+    /// This is the hot-path entry for batched pruning flows that already
+    /// collected every node's features up front and only need the outcome;
+    /// the default delegates to [`AigOperator::apply_node`], operators whose
+    /// feature window is separate from their resynthesis cut override it to
+    /// skip the redundant window computation.
+    fn apply_node_fast(&self, aig: &mut Aig, node: NodeId) -> Option<i64> {
+        let outcome = self.apply_node(aig, node);
+        outcome.committed.then_some(outcome.gain)
+    }
+}
+
+/// A keep/prune decision callback consulted per node: returning `true` lets
+/// the operator resynthesize the node, `false` prunes it.
+pub type KeepFn<'a> = &'a mut dyn FnMut(NodeId, &CutFeatures) -> bool;
+
+/// An [`AigOperator`] that supports ELF-style classifier pruning.
+///
+/// The three hooks mirror the phases of the paper's Algorithm 2: collect the
+/// cut features of every node in one sweep, optionally record labelled
+/// training samples by running the baseline, and execute the pass with a
+/// keep-filter consulted before each resynthesis.
+pub trait PrunableOperator: AigOperator {
+    /// The cut parameters used for feature extraction.
+    fn feature_cut_params(&self) -> CutParams;
+
+    /// Collects the cut features of every live AND node without
+    /// resynthesizing anything (phase 1 of the ELF flow).
+    fn collect_features(&self, aig: &mut Aig) -> Vec<(NodeId, CutFeatures)> {
+        collect_cut_features(aig, &self.feature_cut_params())
+    }
+
+    /// Runs the baseline operator, recording a labeled sample for every
+    /// visited cut.  The labels reflect the baseline behaviour (every cut is
+    /// resynthesized), so the recorded samples are exactly the training data
+    /// described in the paper.
+    fn run_recording(&self, aig: &mut Aig) -> (Self::Stats, Vec<LabeledCut>);
+
+    /// Runs the operator but consults `keep` before resynthesizing each cut:
+    /// when `keep` returns `false` the cut is pruned (counted but not
+    /// resynthesized).
+    fn run_with_filter(
+        &self,
+        aig: &mut Aig,
+        keep: &mut dyn FnMut(NodeId, &CutFeatures) -> bool,
+    ) -> Self::Stats;
+}
+
+/// Shared driver of the filtered / recording passes behind every
+/// [`PrunableOperator`]: walks the live AND nodes, extracts window features
+/// only when a filter or recorder observes them (the plain pass stays
+/// feature-free and allocation-free), consults `keep`, applies the operator
+/// through `apply` (which returns whether it committed a change) and records
+/// one labelled sample per applied node.
+///
+/// Returns `(nodes_visited, nodes_pruned)`.
+pub(crate) fn drive_filtered_pass(
+    aig: &mut Aig,
+    window: &CutParams,
+    mut keep: Option<KeepFn<'_>>,
+    mut samples: Option<&mut Vec<LabeledCut>>,
+    mut apply: impl FnMut(&mut Aig, NodeId) -> bool,
+) -> (usize, usize) {
+    let targets: Vec<NodeId> = aig.and_ids().collect();
+    let mut cut = Cut::empty();
+    let mut visited = 0usize;
+    let mut pruned = 0usize;
+    for node in targets {
+        if !aig.is_and(node) || aig.refs(node) == 0 {
+            continue;
+        }
+        visited += 1;
+        let features = if keep.is_some() || samples.is_some() {
+            aig.reconvergence_cut_into(node, window, &mut cut);
+            Some(aig.cut_features(&cut))
+        } else {
+            None
+        };
+        if let (Some(keep), Some(features)) = (keep.as_deref_mut(), &features) {
+            if !keep(node, features) {
+                pruned += 1;
+                continue;
+            }
+        }
+        let committed = apply(aig, node);
+        if let (Some(samples), Some(features)) = (samples.as_deref_mut(), &features) {
+            samples.push(LabeledCut {
+                node,
+                features: *features,
+                committed,
+            });
+        }
+    }
+    (visited, pruned)
+}
+
+/// Collects the reconvergence-driven cut features of every live AND node.
+///
+/// This is the shared phase-1 sweep of every [`PrunableOperator`]; a single
+/// [`Cut`] buffer is reused across nodes so the sweep performs no per-node
+/// allocations.
+pub fn collect_cut_features(aig: &mut Aig, params: &CutParams) -> Vec<(NodeId, CutFeatures)> {
+    let targets: Vec<NodeId> = aig.and_ids().collect();
+    let mut result = Vec::with_capacity(targets.len());
+    let mut cut = Cut::empty();
+    for node in targets {
+        if !aig.is_and(node) || aig.refs(node) == 0 {
+            continue;
+        }
+        aig.reconvergence_cut_into(node, params, &mut cut);
+        let features = aig.cut_features(&cut);
+        result.push((node, features));
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Refactor, RefactorParams, Resubstitution, Rewrite};
+    use elf_aig::{check_equivalence, EquivalenceResult};
+
+    fn redundant_circuit() -> Aig {
+        let mut aig = Aig::new();
+        let inputs = aig.add_inputs(4);
+        let ab = aig.and(inputs[0], inputs[1]);
+        let cd = aig.and(inputs[2], inputs[3]);
+        let abcd = aig.and(ab, cd);
+        let f = aig.or(ab, abcd);
+        aig.add_output(f);
+        aig
+    }
+
+    fn run_generic<O: AigOperator>(op: &O, aig: &mut Aig) -> OpStats {
+        op.run(aig).into()
+    }
+
+    #[test]
+    fn all_three_operators_run_through_the_trait() {
+        for name in ["refactor", "rewrite", "resub"] {
+            let mut aig = redundant_circuit();
+            let golden = aig.clone();
+            let stats = match name {
+                "refactor" => run_generic(&Refactor::default(), &mut aig),
+                "rewrite" => run_generic(&Rewrite::default(), &mut aig),
+                _ => run_generic(&Resubstitution::default(), &mut aig),
+            };
+            assert!(stats.nodes_visited > 0, "{name}");
+            assert_eq!(
+                check_equivalence(&golden, &aig, 8, 3),
+                EquivalenceResult::Equivalent,
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn operator_names_are_distinct() {
+        assert_eq!(Refactor::NAME, "refactor");
+        assert_eq!(Rewrite::NAME, "rewrite");
+        assert_eq!(Resubstitution::NAME, "resub");
+    }
+
+    #[test]
+    fn collect_features_is_uniform_across_operators() {
+        let mut aig = redundant_circuit();
+        let live = aig.num_reachable_ands();
+        let rf = Refactor::new(RefactorParams::default()).collect_features(&mut aig);
+        let rw = PrunableOperator::collect_features(&Rewrite::default(), &mut aig);
+        let rs = PrunableOperator::collect_features(&Resubstitution::default(), &mut aig);
+        assert_eq!(rf.len(), live);
+        assert_eq!(rw.len(), live);
+        assert_eq!(rs.len(), live);
+        // Refactor and rewrite default to the same feature window.
+        assert_eq!(rf, rw);
+    }
+
+    #[test]
+    fn filtered_run_with_always_keep_matches_plain_run() {
+        let mut plain = redundant_circuit();
+        let mut filtered = redundant_circuit();
+        let rewrite = Rewrite::default();
+        let plain_stats: OpStats = rewrite.run(&mut plain).into();
+        let filtered_stats: OpStats = rewrite
+            .run_with_filter(&mut filtered, |_: NodeId, _: &CutFeatures| true)
+            .into();
+        assert_eq!(plain.num_reachable_ands(), filtered.num_reachable_ands());
+        assert_eq!(plain_stats.cuts_committed, filtered_stats.cuts_committed);
+        assert_eq!(filtered_stats.cuts_pruned, 0);
+    }
+
+    #[test]
+    fn op_stats_rates_and_absorb() {
+        let mut stats = OpStats {
+            cuts_formed: 100,
+            cuts_committed: 2,
+            cuts_pruned: 80,
+            ..Default::default()
+        };
+        assert!((stats.commit_rate() - 0.02).abs() < 1e-9);
+        assert!((stats.prune_rate() - 0.8).abs() < 1e-9);
+        assert_eq!(OpStats::default().commit_rate(), 0.0);
+        let other = OpStats {
+            cuts_formed: 10,
+            cuts_committed: 1,
+            total_gain: 3,
+            ..Default::default()
+        };
+        stats.absorb(&other);
+        assert_eq!(stats.cuts_formed, 110);
+        assert_eq!(stats.cuts_committed, 3);
+        assert_eq!(stats.total_gain, 3);
+    }
+
+    #[test]
+    fn apply_node_reports_outcome_for_each_operator() {
+        let mut aig = redundant_circuit();
+        let node = aig.and_ids().last().expect("an AND node exists");
+        let outcome = Rewrite::default().apply_node(&mut aig, node);
+        assert_eq!(outcome.node, node);
+        assert!(outcome.resynthesized);
+
+        let mut aig = redundant_circuit();
+        let node = aig.and_ids().last().expect("an AND node exists");
+        let outcome = Resubstitution::default().apply_node(&mut aig, node);
+        assert_eq!(outcome.node, node);
+    }
+}

@@ -6,12 +6,15 @@
 //! adds (paper Algorithm 1).  The per-node entry point [`Refactor::refactor_node`]
 //! is exposed so that ELF can drive its own pruned iteration (Algorithm 2).
 
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
-use elf_aig::{Aig, CutFeatures, CutParams, Lit, NodeId};
+use elf_aig::{Aig, Cut, CutFeatures, CutParams, Lit, NodeId};
 use elf_sop::factor_truth_table;
 
 use crate::build::{build_expr, count_new_nodes, cut_truth_table};
+use crate::operator::{
+    collect_cut_features, AigOperator, LabeledCut, NodeOutcome, OpStats, PrunableOperator,
+};
 
 /// Parameters of the refactor operator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,76 +53,11 @@ impl RefactorParams {
     }
 }
 
-/// What happened when refactoring was attempted at a single node.
-#[derive(Debug, Clone, PartialEq)]
-pub struct NodeOutcome {
-    /// The node that was processed.
-    pub node: NodeId,
-    /// Structural features of the node's cut.
-    pub features: CutFeatures,
-    /// Whether a full resynthesis (truth table, ISOP, factoring, gain
-    /// evaluation) was performed.
-    pub resynthesized: bool,
-    /// Whether a change was committed to the graph.
-    pub committed: bool,
-    /// Achieved gain (nodes removed minus nodes added); zero when nothing was
-    /// committed.
-    pub gain: i64,
-}
-
-/// A labeled cut sample recorded while running the baseline operator.
-///
-/// These samples are the training data of the ELF classifier: the label is
-/// `true` exactly when the baseline refactor committed a change at the node.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct LabeledCut {
-    /// The node whose cut was examined.
-    pub node: NodeId,
-    /// Structural features of the cut.
-    pub features: CutFeatures,
-    /// Whether the baseline operator committed a change at this node.
-    pub committed: bool,
-}
-
 /// Aggregate statistics of one refactor pass (baseline or pruned).
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct RefactorStats {
-    /// Nodes visited by the pass.
-    pub nodes_visited: usize,
-    /// Cuts formed (equal to nodes visited unless nodes died mid-pass).
-    pub cuts_formed: usize,
-    /// Cuts that went through full resynthesis.
-    pub cuts_resynthesized: usize,
-    /// Cuts whose resynthesis was pruned (skipped) by a filter.
-    pub cuts_pruned: usize,
-    /// Cuts whose resynthesized implementation was committed.
-    pub cuts_committed: usize,
-    /// Total gain: AND nodes removed minus AND nodes added.
-    pub total_gain: i64,
-    /// Wall-clock time of the pass.
-    pub runtime: Duration,
-}
-
-impl RefactorStats {
-    /// Fraction of formed cuts that were committed (the paper's "Refactored"
-    /// column and the right-hand side of Figure 1).
-    pub fn commit_rate(&self) -> f64 {
-        if self.cuts_formed == 0 {
-            0.0
-        } else {
-            self.cuts_committed as f64 / self.cuts_formed as f64
-        }
-    }
-
-    /// Fraction of formed cuts that were pruned before resynthesis.
-    pub fn prune_rate(&self) -> f64 {
-        if self.cuts_formed == 0 {
-            0.0
-        } else {
-            self.cuts_pruned as f64 / self.cuts_formed as f64
-        }
-    }
-}
+///
+/// The refactor operator's statistics are exactly the shared
+/// [`OpStats`] core used by every [`AigOperator`].
+pub type RefactorStats = OpStats;
 
 /// The refactor operator.
 ///
@@ -196,12 +134,13 @@ impl Refactor {
         let start = Instant::now();
         let mut stats = RefactorStats::default();
         let targets: Vec<NodeId> = aig.and_ids().collect();
+        let mut cut = Cut::empty();
         for node in targets {
             if !aig.is_and(node) || aig.refs(node) == 0 {
                 continue;
             }
             stats.nodes_visited += 1;
-            let outcome = self.refactor_node_filtered(aig, node, &mut keep);
+            let outcome = self.refactor_node_with_cut(aig, node, &mut cut, &mut keep);
             stats.cuts_formed += 1;
             if outcome.resynthesized {
                 stats.cuts_resynthesized += 1;
@@ -227,34 +166,26 @@ impl Refactor {
     /// Collects the cut features of every live AND node without resynthesizing
     /// anything.  This is phase 1 of the ELF flow (batch feature collection).
     pub fn collect_features(&self, aig: &mut Aig) -> Vec<(NodeId, CutFeatures)> {
-        let targets: Vec<NodeId> = aig.and_ids().collect();
-        let mut result = Vec::with_capacity(targets.len());
-        for node in targets {
-            if !aig.is_and(node) || aig.refs(node) == 0 {
-                continue;
-            }
-            let cut = aig.reconvergence_cut(node, &self.params.cut);
-            let features = aig.cut_features(&cut);
-            result.push((node, features));
-        }
-        result
+        collect_cut_features(aig, &self.params.cut)
     }
 
     /// Performs the full refactor step (cut, resynthesis, gain evaluation,
     /// commit) at a single node.
     pub fn refactor_node(&self, aig: &mut Aig, node: NodeId) -> NodeOutcome {
-        self.refactor_node_filtered(aig, node, &mut |_, _| true)
+        let mut cut = Cut::empty();
+        self.refactor_node_with_cut(aig, node, &mut cut, &mut |_, _| true)
     }
 
-    fn refactor_node_filtered(
+    fn refactor_node_with_cut(
         &self,
         aig: &mut Aig,
         node: NodeId,
+        cut: &mut Cut,
         keep: &mut impl FnMut(NodeId, &CutFeatures) -> bool,
     ) -> NodeOutcome {
         debug_assert!(aig.is_and(node));
-        let cut = aig.reconvergence_cut(node, &self.params.cut);
-        let features = aig.cut_features(&cut);
+        aig.reconvergence_cut_into(node, &self.params.cut, cut);
+        let features = aig.cut_features(cut);
         let mut outcome = NodeOutcome {
             node,
             features,
@@ -266,12 +197,22 @@ impl Refactor {
             return outcome;
         }
         outcome.resynthesized = true;
+        if let Some(gain) = self.resynthesize_cut(aig, node, cut) {
+            outcome.committed = true;
+            outcome.gain = gain;
+        }
+        outcome
+    }
+
+    /// Resynthesizes an already-computed cut and commits the winning
+    /// implementation, returning `Some(achieved_gain)` on commit.
+    fn resynthesize_cut(&self, aig: &mut Aig, node: NodeId, cut: &Cut) -> Option<i64> {
         if cut.num_leaves() < self.params.min_leaves {
-            return outcome;
+            return None;
         }
 
         // Resynthesize: truth table -> ISOP -> factored form (both polarities).
-        let truth = cut_truth_table(aig, &cut);
+        let truth = cut_truth_table(aig, cut);
         let leaf_lits: Vec<Lit> = cut.leaves.iter().map(|&l| l.lit()).collect();
         let mut candidates = vec![(factor_truth_table(&truth), false)];
         if self.params.try_complement {
@@ -305,12 +246,10 @@ impl Refactor {
         }
         aig.ref_mffc_bounded(node, &cut.leaves);
 
-        let Some((index, gain)) = best else {
-            return outcome;
-        };
+        let (index, gain) = best?;
         let accept = gain > 0 || (self.params.zero_gain && gain >= 0);
         if !accept {
-            return outcome;
+            return None;
         }
 
         // Build the winning implementation and commit it.
@@ -325,13 +264,55 @@ impl Refactor {
             // Degenerate candidate: it reproduces (or depends on) the node
             // itself.  Drop any speculative nodes and keep the graph unchanged.
             aig.sweep_dangling_from(slot_watermark);
-            return outcome;
+            return None;
         }
         aig.replace(node, new_lit);
-        let achieved = ands_before - aig.num_ands() as i64;
-        outcome.committed = true;
-        outcome.gain = achieved;
-        outcome
+        Some(ands_before - aig.num_ands() as i64)
+    }
+}
+
+impl AigOperator for Refactor {
+    type Params = RefactorParams;
+    type Stats = RefactorStats;
+
+    const NAME: &'static str = "refactor";
+
+    fn from_params(params: RefactorParams) -> Self {
+        Refactor::new(params)
+    }
+
+    fn run(&self, aig: &mut Aig) -> RefactorStats {
+        Refactor::run(self, aig)
+    }
+
+    fn apply_node(&self, aig: &mut Aig, node: NodeId) -> NodeOutcome {
+        self.refactor_node(aig, node)
+    }
+
+    fn apply_node_fast(&self, aig: &mut Aig, node: NodeId) -> Option<i64> {
+        // The resynthesis cut is still needed, but the feature extraction
+        // (an O(cone x fanout) scan) is skipped on this path.
+        let mut cut = Cut::empty();
+        aig.reconvergence_cut_into(node, &self.params.cut, &mut cut);
+        self.resynthesize_cut(aig, node, &cut)
+    }
+}
+
+impl PrunableOperator for Refactor {
+    fn feature_cut_params(&self) -> CutParams {
+        self.params.cut
+    }
+
+    fn run_recording(&self, aig: &mut Aig) -> (RefactorStats, Vec<LabeledCut>) {
+        Refactor::run_recording(self, aig)
+    }
+
+    fn run_with_filter(
+        &self,
+        aig: &mut Aig,
+        keep: &mut dyn FnMut(NodeId, &CutFeatures) -> bool,
+    ) -> RefactorStats {
+        self.run_impl(aig, |node, features| keep(node, features), None)
     }
 }
 

@@ -9,10 +9,11 @@
 
 use std::time::{Duration, Instant};
 
-use elf_aig::{Aig, CutParams, Lit, NodeId};
+use elf_aig::{Aig, CutFeatures, CutParams, Lit, NodeId};
 use elf_sop::TruthTable;
 
 use crate::build::cut_truth_table;
+use crate::operator::{AigOperator, KeepFn, LabeledCut, NodeOutcome, OpStats, PrunableOperator};
 
 /// Parameters of the resubstitution operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +42,8 @@ impl Default for ResubParams {
 pub struct ResubStats {
     /// Nodes visited.
     pub nodes_visited: usize,
+    /// Nodes whose resubstitution was pruned (skipped) by a filter.
+    pub nodes_pruned: usize,
     /// Accepted 0-resubstitutions.
     pub zero_resubs: usize,
     /// Accepted 1-resubstitutions.
@@ -49,6 +52,20 @@ pub struct ResubStats {
     pub total_gain: i64,
     /// Wall-clock time of the pass.
     pub runtime: Duration,
+}
+
+impl From<ResubStats> for OpStats {
+    fn from(stats: ResubStats) -> OpStats {
+        OpStats {
+            nodes_visited: stats.nodes_visited,
+            cuts_formed: stats.nodes_visited,
+            cuts_resynthesized: stats.nodes_visited - stats.nodes_pruned,
+            cuts_pruned: stats.nodes_pruned,
+            cuts_committed: stats.zero_resubs + stats.one_resubs,
+            total_gain: stats.total_gain,
+            runtime: stats.runtime,
+        }
+    }
 }
 
 /// The resubstitution operator.
@@ -70,23 +87,56 @@ impl Resubstitution {
 
     /// Runs resubstitution over every node of the graph.
     pub fn run(&self, aig: &mut Aig) -> ResubStats {
+        self.run_impl(aig, None, None)
+    }
+
+    /// Runs the operator, recording a labeled sample per visited node (label:
+    /// a resubstitution was committed there).
+    pub fn run_recording(&self, aig: &mut Aig) -> (ResubStats, Vec<LabeledCut>) {
+        let mut samples = Vec::new();
+        let stats = self.run_impl(aig, None, Some(&mut samples));
+        (stats, samples)
+    }
+
+    /// Runs the operator but consults `keep` before attempting
+    /// resubstitution at each node.
+    pub fn run_with_filter(
+        &self,
+        aig: &mut Aig,
+        mut keep: impl FnMut(NodeId, &CutFeatures) -> bool,
+    ) -> ResubStats {
+        self.run_impl(aig, Some(&mut keep), None)
+    }
+
+    fn run_impl(
+        &self,
+        aig: &mut Aig,
+        keep: Option<KeepFn<'_>>,
+        samples: Option<&mut Vec<LabeledCut>>,
+    ) -> ResubStats {
         let start = Instant::now();
         let mut stats = ResubStats::default();
-        let targets: Vec<NodeId> = aig.and_ids().collect();
-        for node in targets {
-            if !aig.is_and(node) || aig.refs(node) == 0 {
-                continue;
-            }
-            stats.nodes_visited += 1;
-            if let Some((added, gain)) = self.resub_node(aig, node) {
-                if added == 0 {
-                    stats.zero_resubs += 1;
+        let (visited, pruned) = crate::operator::drive_filtered_pass(
+            aig,
+            &self.params.cut,
+            keep,
+            samples,
+            |aig, node| {
+                if let Some((added, gain)) = self.resub_node(aig, node) {
+                    if added == 0 {
+                        stats.zero_resubs += 1;
+                    } else {
+                        stats.one_resubs += 1;
+                    }
+                    stats.total_gain += gain;
+                    true
                 } else {
-                    stats.one_resubs += 1;
+                    false
                 }
-                stats.total_gain += gain;
-            }
-        }
+            },
+        );
+        stats.nodes_visited = visited;
+        stats.nodes_pruned = pruned;
         stats.runtime = start.elapsed();
         stats
     }
@@ -198,6 +248,57 @@ impl Resubstitution {
             }
         }
         None
+    }
+}
+
+impl AigOperator for Resubstitution {
+    type Params = ResubParams;
+    type Stats = ResubStats;
+
+    const NAME: &'static str = "resub";
+
+    fn from_params(params: ResubParams) -> Self {
+        Resubstitution::new(params)
+    }
+
+    fn run(&self, aig: &mut Aig) -> ResubStats {
+        Resubstitution::run(self, aig)
+    }
+
+    fn apply_node(&self, aig: &mut Aig, node: NodeId) -> NodeOutcome {
+        let cut = aig.reconvergence_cut(node, &self.params.cut);
+        let features = aig.cut_features(&cut);
+        let result = self.resub_node(aig, node);
+        NodeOutcome {
+            node,
+            features,
+            resynthesized: true,
+            committed: result.is_some(),
+            gain: result.map_or(0, |(_, gain)| gain),
+        }
+    }
+
+    fn apply_node_fast(&self, aig: &mut Aig, node: NodeId) -> Option<i64> {
+        // `resub_node` recomputes its own window; skip the feature pass.
+        self.resub_node(aig, node).map(|(_, gain)| gain)
+    }
+}
+
+impl PrunableOperator for Resubstitution {
+    fn feature_cut_params(&self) -> CutParams {
+        self.params.cut
+    }
+
+    fn run_recording(&self, aig: &mut Aig) -> (ResubStats, Vec<LabeledCut>) {
+        Resubstitution::run_recording(self, aig)
+    }
+
+    fn run_with_filter(
+        &self,
+        aig: &mut Aig,
+        keep: &mut dyn FnMut(NodeId, &CutFeatures) -> bool,
+    ) -> ResubStats {
+        self.run_impl(aig, Some(keep), None)
     }
 }
 

@@ -14,10 +14,11 @@
 
 use std::time::{Duration, Instant};
 
-use elf_aig::{Aig, Cut, Lit, NodeId};
+use elf_aig::{Aig, Cut, CutFeatures, CutParams, Lit, NodeId};
 use elf_sop::factor_truth_table;
 
 use crate::build::{build_expr, count_new_nodes, cut_truth_table};
+use crate::operator::{AigOperator, KeepFn, LabeledCut, NodeOutcome, OpStats, PrunableOperator};
 
 /// Parameters of the rewrite operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +31,10 @@ pub struct RewriteParams {
     pub zero_gain: bool,
     /// Reject candidates that would increase the node's level.
     pub preserve_level: bool,
+    /// Reconvergence-driven window used for classifier feature extraction
+    /// (the [`PrunableOperator`] hooks); it does not affect the cuts the
+    /// operator itself enumerates.
+    pub feature_cut: CutParams,
 }
 
 impl Default for RewriteParams {
@@ -39,6 +44,7 @@ impl Default for RewriteParams {
             cuts_per_node: 8,
             zero_gain: false,
             preserve_level: true,
+            feature_cut: CutParams::default(),
         }
     }
 }
@@ -48,6 +54,8 @@ impl Default for RewriteParams {
 pub struct RewriteStats {
     /// Nodes visited.
     pub nodes_visited: usize,
+    /// Nodes whose rewrite was pruned (skipped) by a filter.
+    pub nodes_pruned: usize,
     /// Cuts evaluated (resynthesized and gain-checked).
     pub cuts_evaluated: usize,
     /// Nodes at which a rewrite was committed.
@@ -56,6 +64,20 @@ pub struct RewriteStats {
     pub total_gain: i64,
     /// Wall-clock time of the pass.
     pub runtime: Duration,
+}
+
+impl From<RewriteStats> for OpStats {
+    fn from(stats: RewriteStats) -> OpStats {
+        OpStats {
+            nodes_visited: stats.nodes_visited,
+            cuts_formed: stats.nodes_visited,
+            cuts_resynthesized: stats.nodes_visited - stats.nodes_pruned,
+            cuts_pruned: stats.nodes_pruned,
+            cuts_committed: stats.nodes_rewritten,
+            total_gain: stats.total_gain,
+            runtime: stats.runtime,
+        }
+    }
 }
 
 /// The rewrite operator.
@@ -77,28 +99,67 @@ impl Rewrite {
 
     /// Runs rewriting over every node of the graph.
     pub fn run(&self, aig: &mut Aig) -> RewriteStats {
+        self.run_impl(aig, None, None)
+    }
+
+    /// Runs the operator, recording a labeled sample for every visited node.
+    ///
+    /// The label is `true` exactly when the baseline rewrite committed a
+    /// change at the node; the features describe the node's
+    /// reconvergence-driven window ([`RewriteParams::feature_cut`]).
+    pub fn run_recording(&self, aig: &mut Aig) -> (RewriteStats, Vec<LabeledCut>) {
+        let mut samples = Vec::new();
+        let stats = self.run_impl(aig, None, Some(&mut samples));
+        (stats, samples)
+    }
+
+    /// Runs the operator but consults `keep` before enumerating and
+    /// resynthesizing cuts at each node: when `keep` returns `false` the node
+    /// is pruned (counted but left untouched).
+    pub fn run_with_filter(
+        &self,
+        aig: &mut Aig,
+        mut keep: impl FnMut(NodeId, &CutFeatures) -> bool,
+    ) -> RewriteStats {
+        self.run_impl(aig, Some(&mut keep), None)
+    }
+
+    fn run_impl(
+        &self,
+        aig: &mut Aig,
+        keep: Option<KeepFn<'_>>,
+        samples: Option<&mut Vec<LabeledCut>>,
+    ) -> RewriteStats {
         let start = Instant::now();
         let mut stats = RewriteStats::default();
-        let targets: Vec<NodeId> = aig.and_ids().collect();
-        for node in targets {
-            if !aig.is_and(node) || aig.refs(node) == 0 {
-                continue;
-            }
-            stats.nodes_visited += 1;
-            let (evaluated, gain) = self.rewrite_node(aig, node);
-            stats.cuts_evaluated += evaluated;
-            if gain > 0 {
-                stats.nodes_rewritten += 1;
-                stats.total_gain += gain;
-            }
-        }
+        let (visited, pruned) = crate::operator::drive_filtered_pass(
+            aig,
+            &self.params.feature_cut,
+            keep,
+            samples,
+            |aig, node| {
+                let (evaluated, gain) = self.rewrite_node(aig, node);
+                stats.cuts_evaluated += evaluated;
+                match gain {
+                    Some(gain) => {
+                        stats.nodes_rewritten += 1;
+                        stats.total_gain += gain;
+                        true
+                    }
+                    None => false,
+                }
+            },
+        );
+        stats.nodes_visited = visited;
+        stats.nodes_pruned = pruned;
         stats.runtime = start.elapsed();
         stats
     }
 
     /// Attempts to rewrite a single node.  Returns the number of cuts that
-    /// were evaluated and the achieved gain (zero when nothing was committed).
-    pub fn rewrite_node(&self, aig: &mut Aig, node: NodeId) -> (usize, i64) {
+    /// were evaluated and `Some(achieved_gain)` when a rewrite was committed
+    /// (the gain is zero for accepted zero-gain rewrites).
+    pub fn rewrite_node(&self, aig: &mut Aig, node: NodeId) -> (usize, Option<i64>) {
         let cuts = self.enumerate_cuts(aig, node);
         let mut evaluated = 0;
         let root_level = aig.level(node);
@@ -130,11 +191,11 @@ impl Rewrite {
             aig.ref_mffc_bounded(node, &cut.leaves);
         }
         let Some((cut, expr, complemented, gain)) = best else {
-            return (evaluated, 0);
+            return (evaluated, None);
         };
         let accept = gain > 0 || (self.params.zero_gain && gain >= 0);
         if !accept {
-            return (evaluated, 0);
+            return (evaluated, None);
         }
         let leaf_lits: Vec<Lit> = cut.leaves.iter().map(|&l| l.lit()).collect();
         let watermark = aig.num_slots();
@@ -145,10 +206,10 @@ impl Rewrite {
         }
         if new_lit.node() == node || aig.cone_contains(new_lit.node(), node) {
             aig.sweep_dangling_from(watermark);
-            return (evaluated, 0);
+            return (evaluated, None);
         }
         aig.replace(node, new_lit);
-        (evaluated, before - aig.num_ands() as i64)
+        (evaluated, Some(before - aig.num_ands() as i64))
     }
 
     /// Enumerates k-feasible cuts rooted at `node` by merging fanin cuts
@@ -198,6 +259,58 @@ impl Rewrite {
                 }
             })
             .collect()
+    }
+}
+
+impl AigOperator for Rewrite {
+    type Params = RewriteParams;
+    type Stats = RewriteStats;
+
+    const NAME: &'static str = "rewrite";
+
+    fn from_params(params: RewriteParams) -> Self {
+        Rewrite::new(params)
+    }
+
+    fn run(&self, aig: &mut Aig) -> RewriteStats {
+        Rewrite::run(self, aig)
+    }
+
+    fn apply_node(&self, aig: &mut Aig, node: NodeId) -> NodeOutcome {
+        let cut = aig.reconvergence_cut(node, &self.params.feature_cut);
+        let features = aig.cut_features(&cut);
+        let (_, gain) = self.rewrite_node(aig, node);
+        NodeOutcome {
+            node,
+            features,
+            resynthesized: true,
+            committed: gain.is_some(),
+            gain: gain.unwrap_or(0),
+        }
+    }
+
+    fn apply_node_fast(&self, aig: &mut Aig, node: NodeId) -> Option<i64> {
+        // The feature window is independent of the enumerated rewrite cuts,
+        // so the fast path skips it entirely.
+        self.rewrite_node(aig, node).1
+    }
+}
+
+impl PrunableOperator for Rewrite {
+    fn feature_cut_params(&self) -> CutParams {
+        self.params.feature_cut
+    }
+
+    fn run_recording(&self, aig: &mut Aig) -> (RewriteStats, Vec<LabeledCut>) {
+        Rewrite::run_recording(self, aig)
+    }
+
+    fn run_with_filter(
+        &self,
+        aig: &mut Aig,
+        keep: &mut dyn FnMut(NodeId, &CutFeatures) -> bool,
+    ) -> RewriteStats {
+        self.run_impl(aig, Some(keep), None)
     }
 }
 
@@ -288,6 +401,19 @@ mod tests {
         let stats = Rewrite::default().run(&mut aig);
         assert_eq!(stats.total_gain, 0);
         assert_eq!(aig.num_ands(), before);
+    }
+
+    #[test]
+    fn zero_gain_recording_labels_match_commit_stats() {
+        let mut aig = redundant_circuit();
+        let op = Rewrite::new(RewriteParams {
+            zero_gain: true,
+            ..Default::default()
+        });
+        let (stats, samples) = op.run_recording(&mut aig);
+        let committed = samples.iter().filter(|s| s.committed).count();
+        assert_eq!(committed, stats.nodes_rewritten);
+        assert!(aig.check_invariants().is_empty());
     }
 
     #[test]

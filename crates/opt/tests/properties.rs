@@ -1,8 +1,8 @@
 //! Property-based tests: every optimization operator must preserve the
 //! function of the network and never increase the reachable node count.
 
-use elf_aig::{check_equivalence, Aig, EquivalenceResult, Lit};
-use elf_opt::{Refactor, RefactorParams, Resubstitution, Rewrite};
+use elf_aig::{check_equivalence, Aig, CutFeatures, EquivalenceResult, Lit, NodeId};
+use elf_opt::{AigOperator, PrunableOperator, Refactor, RefactorParams, Resubstitution, Rewrite};
 use proptest::prelude::*;
 
 /// Builds a random redundant circuit from a script of gate choices.
@@ -53,6 +53,42 @@ fn build_random_circuit(num_inputs: usize, script: &[(u8, usize, usize, usize)])
 
 fn script_strategy(len: usize) -> impl Strategy<Value = Vec<(u8, usize, usize, usize)>> {
     prop::collection::vec((any::<u8>(), 0usize..128, 0usize..128, 0usize..128), 4..len)
+}
+
+/// A deterministic pseudo-random keep/prune decision derived from the node id
+/// and a proptest-chosen mask, so filtered runs are reproducible.
+fn pseudo_random_keep(node: NodeId, mask: u64) -> bool {
+    let mut x = node.index() as u64 ^ mask;
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x & 1 == 0
+}
+
+/// Runs `operator` with a pseudo-random prune filter and checks that the
+/// result is combinationally equivalent to the input and structurally sound.
+fn check_filtered_run<O: PrunableOperator>(operator: &O, mut aig: Aig, mask: u64, sim_seed: u64) {
+    let golden = aig.clone();
+    let before = aig.num_reachable_ands();
+    let stats: elf_opt::OpStats = operator
+        .run_with_filter(&mut aig, &mut |node: NodeId, _: &CutFeatures| {
+            pseudo_random_keep(node, mask)
+        })
+        .into();
+    assert!(aig.num_reachable_ands() <= before);
+    assert_eq!(
+        stats.cuts_pruned + stats.cuts_resynthesized,
+        stats.cuts_formed
+    );
+    assert!(
+        aig.check_invariants().is_empty(),
+        "{:?}",
+        aig.check_invariants()
+    );
+    assert_eq!(
+        check_equivalence(&golden, &aig, 16, sim_seed),
+        EquivalenceResult::Equivalent
+    );
 }
 
 proptest! {
@@ -116,6 +152,68 @@ proptest! {
         prop_assert!(aig.check_invariants().is_empty());
         prop_assert_eq!(
             check_equivalence(&golden, &aig, 16, 17),
+            EquivalenceResult::Equivalent
+        );
+    }
+
+    /// Every prunable operator preserves combinational equivalence when an
+    /// arbitrary (pseudo-random) subset of nodes is pruned by a filter —
+    /// the soundness contract the ELF classifier relies on: *which* cuts are
+    /// kept can never change the circuit's function.
+    #[test]
+    fn operators_preserve_function_under_random_filters(
+        script in script_strategy(30),
+        mask in any::<u64>(),
+    ) {
+        check_filtered_run(&Refactor::default(), build_random_circuit(5, &script), mask, 51);
+        check_filtered_run(&Rewrite::default(), build_random_circuit(5, &script), mask, 52);
+        check_filtered_run(&Resubstitution::default(), build_random_circuit(5, &script), mask, 53);
+    }
+
+    /// An always-keep filter is a no-op wrapper: the filtered pass must land
+    /// on exactly the same network as the plain pass, node for node.
+    #[test]
+    fn always_keep_filter_matches_plain_run(script in script_strategy(30)) {
+        let mut plain = build_random_circuit(5, &script);
+        let mut filtered = plain.clone();
+        let rewrite = Rewrite::default();
+        let plain_stats: elf_opt::OpStats = AigOperator::run(&rewrite, &mut plain).into();
+        let filtered_stats: elf_opt::OpStats = rewrite
+            .run_with_filter(&mut filtered, &mut |_: NodeId, _: &CutFeatures| true)
+            .into();
+        prop_assert_eq!(plain_stats.cuts_committed, filtered_stats.cuts_committed);
+        prop_assert_eq!(filtered_stats.cuts_pruned, 0);
+        prop_assert_eq!(plain.num_reachable_ands(), filtered.num_reachable_ands());
+        prop_assert_eq!(
+            check_equivalence(&plain, &filtered, 16, 31),
+            EquivalenceResult::Equivalent
+        );
+    }
+
+    /// `Elf<Rewrite>` with an always-keep classifier (threshold 0) commits
+    /// exactly what the plain rewrite operator commits, node for node.
+    #[test]
+    fn elf_rewrite_with_always_keep_classifier_matches_plain_rewrite(
+        script in script_strategy(24),
+    ) {
+        use elf_core::{Elf, ElfOptions};
+        use elf_nn::{Mlp, Normalizer};
+
+        let mut pruned = build_random_circuit(5, &script);
+        let mut plain = pruned.clone();
+        let classifier = elf_core::ElfClassifier::from_parts(
+            Normalizer::from_stats(vec![2.0; 6], vec![1.0; 6]),
+            Mlp::paper_architecture(5),
+            0.0,
+        );
+        let elf = Elf::with_operator(classifier, Rewrite::default(), ElfOptions::default());
+        let elf_stats = elf.run(&mut pruned);
+        let plain_stats = Rewrite::default().run(&mut plain);
+        prop_assert_eq!(elf_stats.pruned, 0);
+        prop_assert_eq!(elf_stats.op.cuts_committed, plain_stats.nodes_rewritten);
+        prop_assert_eq!(pruned.num_reachable_ands(), plain.num_reachable_ands());
+        prop_assert_eq!(
+            check_equivalence(&plain, &pruned, 16, 37),
             EquivalenceResult::Equivalent
         );
     }

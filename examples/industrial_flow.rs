@@ -1,17 +1,21 @@
 //! Industrial-style flow: generate control-dominated netlists matched to the
 //! paper's Table II profiles, train on most of them, and accelerate
-//! refactoring of the held-out design.  Also demonstrates AIGER export and
-//! classifier persistence.
+//! optimization of the held-out design with a script-style [`Flow`] pipeline
+//! mixing classifier-pruned and plain operators.  Also demonstrates AIGER
+//! export and classifier persistence.
 //!
 //! Run with `cargo run --release --example industrial_flow`.
+//!
+//! [`Flow`]: elf::core::Flow
 
 use elf::aig::aiger;
 use elf::circuits::industrial::{generate_industrial, TABLE2_PROFILES};
 use elf::core::{
     circuit_dataset, collect_labeled_cuts, cuts_to_arrays, ElfClassifier, ElfConfig, ElfRefactor,
+    Flow,
 };
 use elf::nn::{Dataset, TrainConfig};
-use elf::opt::{Refactor, RefactorParams};
+use elf::opt::{RefactorParams, ResubParams, RewriteParams};
 
 fn main() {
     // Small-scale versions of the ten Table II designs (~1/500th of the
@@ -70,21 +74,41 @@ fn main() {
         confusion.total()
     );
 
+    // Baseline: the plain ABC-style script `rf; rw; rs`.
     let mut baseline_aig = target.clone();
-    let baseline = Refactor::new(params).run(&mut baseline_aig);
-    let mut elf_aig = target.clone();
+    let baseline = Flow::from_script("rf; rw; rs")
+        .expect("valid script")
+        .run(&mut baseline_aig);
+
+    // Accelerated: the same pipeline with the refactor stage pruned by the
+    // trained classifier.
     let elf = ElfRefactor::new(classifier, ElfConfig::default());
-    let stats = elf.run(&mut elf_aig);
+    let pruned_flow = Flow::new()
+        .elf_refactor(elf)
+        .rewrite(RewriteParams::default())
+        .resub(ResubParams::default());
+    let mut elf_aig = target.clone();
+    let stats = pruned_flow.run(&mut elf_aig);
+
     println!(
-        "baseline: {} -> {} ANDs in {:?}; ELF: {} -> {} ANDs in {:?} ({:.1}% pruned)",
-        target.num_reachable_ands(),
-        baseline_aig.num_reachable_ands(),
-        baseline.runtime,
-        target.num_reachable_ands(),
-        elf_aig.num_reachable_ands(),
-        stats.total_time,
-        stats.prune_rate() * 100.0,
+        "baseline `rf; rw; rs`: {} -> {} ANDs in {:?}",
+        baseline.ands_before, baseline.ands_after, baseline.runtime,
     );
+    println!(
+        "pruned pipeline:       {} -> {} ANDs in {:?}",
+        stats.ands_before, stats.ands_after, stats.runtime,
+    );
+    for stage in &stats.stages {
+        let pruned = stage
+            .elf
+            .as_ref()
+            .map(|elf| format!(", {:.1}% pruned", elf.prune_rate() * 100.0))
+            .unwrap_or_default();
+        println!(
+            "  {:<14} -> {:>6} ANDs ({} committed of {} cuts{pruned})",
+            stage.name, stage.ands_after, stage.op.cuts_committed, stage.op.cuts_formed,
+        );
+    }
 
     // Export the optimized design as ASCII AIGER.
     let out_path = std::env::temp_dir().join("elf_industrial_design.aag");

@@ -36,6 +36,13 @@ fn main() {
         report.validation_metrics.recall() * 100.0,
         report.validation_metrics.accuracy() * 100.0
     );
+    // The stratified validation split guarantees positives land in the
+    // validation slice, so a healthy run must achieve non-zero recall.
+    assert!(
+        report.validation_metrics.recall() > 0.0,
+        "validation recall collapsed to zero: {:?}",
+        report.validation_metrics
+    );
 
     // 3. Apply ELF to an unseen circuit and compare with the baseline.
     let target = arithmetic_circuit("multiplier", Scale::Tiny);

@@ -13,11 +13,20 @@
 //! |-------|----------|
 //! | [`aig`] (`elf-aig`) | And-Inverter Graph, structural hashing, MFFC, simulation, AIGER I/O, reconvergence-driven cuts and cut features |
 //! | [`sop`] (`elf-sop`) | Truth tables, irredundant SOP (Minato–Morreale), algebraic factoring |
-//! | [`opt`] (`elf-opt`) | The refactor baseline plus rewrite and resubstitution |
-//! | [`nn`] (`elf-nn`) | Minimal MLP framework (Adam, cosine warm restarts, MixUp, metrics) |
-//! | [`core`] (`elf-core`) | The ELF classifier, pruned operator and experiment protocol |
+//! | [`opt`] (`elf-opt`) | Refactor, rewrite and resubstitution behind the unified `AigOperator` / `PrunableOperator` traits with a shared `OpStats` core |
+//! | [`nn`] (`elf-nn`) | Minimal MLP framework (Adam, cosine warm restarts, MixUp, stratified splits, metrics) |
+//! | [`core`] (`elf-core`) | The ELF classifier, the generic pruned operator `Elf<O>`, script-style `Flow` pipelines and the experiment protocol |
 //! | [`circuits`] (`elf-circuits`) | EPFL-style arithmetic, industrial-like and synthetic workload generators |
 //! | [`analysis`] (`elf-analysis`) | t-SNE, exact Shapley values, PCA |
+//!
+//! The operator layer is a small type algebra: every operator implements
+//! `opt::AigOperator` (uniform `run` / per-node `apply_node`, stats that
+//! convert into `opt::OpStats`), pruning-capable operators additionally
+//! implement `opt::PrunableOperator` (feature collection, recording,
+//! filtered execution), `core::Elf<O>` wraps any of them with a trained
+//! classifier (`core::ElfRefactor` = `Elf<Refactor>` is the paper's
+//! operator), and `core::Flow` composes plain and pruned stages into
+//! ABC-script-style pipelines.
 //!
 //! # Examples
 //!
@@ -42,6 +51,29 @@
 //! let elf = ElfRefactor::new(classifier, ElfConfig::default());
 //! let stats = elf.run(&mut target);
 //! assert!(stats.prune_rate() >= 0.0);
+//! ```
+//!
+//! Compose a script-style pipeline, optionally mixing in pruned stages:
+//!
+//! ```
+//! use elf::circuits::epfl::{arithmetic_circuit, Scale};
+//! use elf::core::Flow;
+//! use elf::opt::{RefactorParams, ResubParams, RewriteParams};
+//!
+//! let mut aig = arithmetic_circuit("sqrt", Scale::Tiny);
+//! let before = aig.num_reachable_ands();
+//!
+//! // `rf; rw; rs`, ABC-script style...
+//! let stats = Flow::from_script("rf; rw; rs").unwrap().run(&mut aig);
+//! assert_eq!(stats.ands_before, before);
+//! assert!(stats.ands_after <= before);
+//!
+//! // ...or explicitly, with per-stage parameters.
+//! let flow = Flow::new()
+//!     .refactor(RefactorParams::default())
+//!     .rewrite(RewriteParams::default())
+//!     .resub(ResubParams::default());
+//! assert_eq!(flow.stage_names(), vec!["refactor", "rewrite", "resub"]);
 //! ```
 
 #![warn(missing_docs)]

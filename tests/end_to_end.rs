@@ -6,14 +6,15 @@ use elf::aig::check_equivalence;
 use elf::circuits::epfl::{arithmetic_circuit, arithmetic_suite, Scale};
 use elf::circuits::industrial::{generate_industrial, IndustrialProfile};
 use elf::core::experiment::{
-    circuit_stats, compare_on_circuit, quality_on_circuit, ExperimentConfig,
+    circuit_stats, compare_on_circuit, compare_with_operator, quality_on_circuit,
+    train_leave_one_out_with, ExperimentConfig,
 };
 use elf::core::{
-    circuit_dataset, leave_one_out_dataset, train_leave_one_out, BenchCircuit, ElfClassifier,
-    ElfConfig, ElfRefactor,
+    circuit_dataset, leave_one_out_dataset, train_leave_one_out, BenchCircuit, Elf, ElfClassifier,
+    ElfConfig, ElfOptions, ElfRefactor, Flow,
 };
 use elf::nn::TrainConfig;
-use elf::opt::{Refactor, RefactorParams};
+use elf::opt::{Refactor, RefactorParams, ResubParams, Rewrite, RewriteParams};
 
 fn quick_experiment_config() -> ExperimentConfig {
     ExperimentConfig {
@@ -178,6 +179,64 @@ fn industrial_designs_work_through_the_whole_pipeline() {
     assert!(stats.pruned + stats.kept > 0);
     assert!(check_equivalence(&golden, &optimized, 24, 3).holds());
     assert!(optimized.check_invariants().is_empty());
+}
+
+#[test]
+fn rewrite_classifier_trains_and_prunes_through_shared_machinery() {
+    // The conclusion's extension target: Elf<Rewrite> end-to-end via the same
+    // leave-one-out dataset machinery the refactor classifier uses.
+    let circuits = tiny_suite();
+    let operator = Rewrite::new(RewriteParams::default());
+    let held_out = circuits
+        .iter()
+        .position(|c| c.name == "multiplier")
+        .expect("multiplier exists");
+    let train = TrainConfig {
+        epochs: 8,
+        ..Default::default()
+    };
+    let classifier = train_leave_one_out_with(&operator, &circuits, held_out, &train, 0xE1F);
+
+    let golden = circuits[held_out].aig.clone();
+    let mut optimized = golden.clone();
+    let elf = Elf::with_operator(classifier, operator.clone(), ElfOptions::default());
+    let stats = elf.run(&mut optimized);
+    assert_eq!(stats.pruned + stats.kept, stats.op.cuts_formed);
+    assert!(stats.pruned > 0, "rewrite classifier pruned nothing");
+    assert!(optimized.check_invariants().is_empty());
+    assert!(check_equivalence(&golden, &optimized, 32, 6).holds());
+
+    // The generic comparison row machinery works for the new operator too.
+    let row = compare_with_operator(&circuits[held_out], &operator, &elf, 1);
+    assert_eq!(row.nodes_before, golden.num_reachable_ands());
+    assert!(row.elf_ands <= row.nodes_before);
+}
+
+#[test]
+fn flow_pipeline_mixes_plain_and_pruned_stages() {
+    let circuits = tiny_suite();
+    let config = quick_experiment_config();
+    let held_out = 2;
+    let classifier = train_leave_one_out(&circuits, held_out, &config);
+
+    let golden = circuits[held_out].aig.clone();
+    let mut optimized = golden.clone();
+    let flow = Flow::new()
+        .elf_refactor(ElfRefactor::new(classifier, config.elf))
+        .rewrite(RewriteParams::default())
+        .resub(ResubParams::default());
+    assert_eq!(flow.stage_names(), vec!["elf-refactor", "rewrite", "resub"]);
+    let stats = flow.run(&mut optimized);
+    assert_eq!(stats.stages.len(), 3);
+    assert!(stats.stages[0].elf.is_some(), "first stage is pruned");
+    assert!(stats.stages[1].elf.is_none(), "second stage is plain");
+    assert!(stats.ands_after <= stats.ands_before);
+    assert_eq!(
+        stats.total_gain(),
+        golden.num_reachable_ands() as i64 - optimized.num_reachable_ands() as i64
+    );
+    assert!(optimized.check_invariants().is_empty());
+    assert!(check_equivalence(&golden, &optimized, 32, 7).holds());
 }
 
 #[test]

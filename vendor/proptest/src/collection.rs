@@ -8,7 +8,7 @@ use rand::Rng;
 
 use crate::strategy::Strategy;
 
-/// A length specification for [`vec`]: an exact length or a range.
+/// A length specification for [`vec()`]: an exact length or a range.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SizeRange {
     min: usize,

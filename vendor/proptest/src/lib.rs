@@ -6,8 +6,8 @@
 //!
 //! * the [`proptest!`] macro (with `#![proptest_config(..)]`),
 //! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
-//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map`,
-//! * [`any`], integer-range strategies, tuple strategies,
+//! * the [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map`,
+//! * [`strategy::any`], integer-range strategies, tuple strategies,
 //!   [`collection::vec`] and [`prop_oneof!`].
 //!
 //! Differences from the real crate, deliberately accepted:
