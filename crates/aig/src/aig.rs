@@ -50,9 +50,9 @@ pub struct Aig {
     travid_counter: u32,
     levels_valid: bool,
     name: String,
-    /// Reusable DFS stack for traversals on the hot path (cut computation);
-    /// always left empty between public calls.
-    scratch_stack: Vec<NodeId>,
+    /// Reusable scratch (visit marks + DFS stack) for the `&mut self` cut
+    /// entry points, which delegate to the read-only cut engine.
+    cut_scratch: crate::cut::CutScratch,
 }
 
 impl Default for Aig {
@@ -74,21 +74,20 @@ impl Aig {
             travid_counter: 0,
             levels_valid: true,
             name: String::new(),
-            scratch_stack: Vec::new(),
+            cut_scratch: crate::cut::CutScratch::new(),
         }
     }
 
-    /// Takes the reusable DFS scratch stack out of the graph (so traversal
-    /// code can push to it while also borrowing the graph mutably).  Return
-    /// it with [`Aig::put_scratch_stack`] to keep its capacity for the next
-    /// traversal.
-    pub(crate) fn take_scratch_stack(&mut self) -> Vec<NodeId> {
-        std::mem::take(&mut self.scratch_stack)
+    /// Takes the reusable cut scratch out of the graph (so cut code can hold
+    /// it while borrowing the graph immutably).  Return it with
+    /// [`Aig::put_cut_scratch`] to keep its capacity for the next call.
+    pub(crate) fn take_cut_scratch(&mut self) -> crate::cut::CutScratch {
+        std::mem::take(&mut self.cut_scratch)
     }
 
-    /// Returns the scratch stack taken by [`Aig::take_scratch_stack`].
-    pub(crate) fn put_scratch_stack(&mut self, stack: Vec<NodeId>) {
-        self.scratch_stack = stack;
+    /// Returns the scratch taken by [`Aig::take_cut_scratch`].
+    pub(crate) fn put_cut_scratch(&mut self, scratch: crate::cut::CutScratch) {
+        self.cut_scratch = scratch;
     }
 
     /// Creates an empty AIG with a design name (used in reports and AIGER files).

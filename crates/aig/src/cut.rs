@@ -161,6 +161,70 @@ impl CutFeatures {
     }
 }
 
+/// Reusable, graph-independent scratch state for read-only cut computation.
+///
+/// [`Aig::reconvergence_cut_with`] keeps its visited marks and DFS stack in
+/// this value instead of inside the graph, so any number of threads can
+/// compute cuts over a shared `&Aig` concurrently — each worker owns one
+/// `CutScratch` (and one [`Cut`] buffer) and reuses it across nodes, keeping
+/// steady-state cut computation allocation-free.
+///
+/// # Examples
+///
+/// ```
+/// use elf_aig::{Aig, Cut, CutParams, CutScratch};
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input();
+/// let b = aig.add_input();
+/// let f = aig.and(a, b);
+/// aig.add_output(f);
+///
+/// let mut scratch = CutScratch::new();
+/// let mut cut = Cut::empty();
+/// // Immutable graph access: safe to run from many threads at once.
+/// aig.reconvergence_cut_with(f.node(), &CutParams::default(), &mut scratch, &mut cut);
+/// assert_eq!(cut.num_leaves(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CutScratch {
+    /// Per-slot visit marks, compared against `travid` (same scheme as the
+    /// graph's own traversal ids, but private to this scratch).
+    marks: Vec<u32>,
+    travid: u32,
+    /// Reusable DFS stack for cone collection.
+    stack: Vec<NodeId>,
+}
+
+impl CutScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        CutScratch::default()
+    }
+
+    /// Starts a new traversal over a graph with `num_slots` node slots.
+    fn begin(&mut self, num_slots: usize) {
+        if self.marks.len() < num_slots {
+            self.marks.resize(num_slots, 0);
+        }
+        if self.travid == u32::MAX {
+            self.marks.iter_mut().for_each(|m| *m = 0);
+            self.travid = 0;
+        }
+        self.travid += 1;
+    }
+
+    #[inline]
+    fn mark(&mut self, id: NodeId) {
+        self.marks[id.as_usize()] = self.travid;
+    }
+
+    #[inline]
+    fn is_marked(&self, id: NodeId) -> bool {
+        self.marks[id.as_usize()] == self.travid
+    }
+}
+
 impl Aig {
     /// Computes a reconvergence-driven cut rooted at `root`.
     ///
@@ -178,33 +242,60 @@ impl Aig {
     ///
     /// This is the allocation-free variant of [`Aig::reconvergence_cut`] used
     /// by the per-node loops of the operators: passing the same `Cut` across
-    /// calls recycles its `leaves`/`cone` vectors (and an internal DFS
-    /// scratch stack), so steady-state cut computation performs no heap
-    /// allocations.
+    /// calls recycles its `leaves`/`cone` vectors (and an internal scratch),
+    /// so steady-state cut computation performs no heap allocations.  It
+    /// delegates to the read-only engine [`Aig::reconvergence_cut_with`]
+    /// using a scratch stored inside the graph, so the two entry points are
+    /// the same algorithm and produce identical cuts.
     ///
     /// # Panics
     ///
     /// Panics if `root` is not a live AND node or if `params.max_leaves < 2`.
     pub fn reconvergence_cut_into(&mut self, root: NodeId, params: &CutParams, cut: &mut Cut) {
+        let mut scratch = self.take_cut_scratch();
+        self.reconvergence_cut_with(root, params, &mut scratch, cut);
+        self.put_cut_scratch(scratch);
+    }
+
+    /// Computes a reconvergence-driven cut rooted at `root` through shared
+    /// (`&self`) graph access, keeping all mutable traversal state in
+    /// `scratch`.
+    ///
+    /// This is the engine behind both the sequential per-node loops and the
+    /// parallel batch collection: because the graph is only read, any number
+    /// of threads may call it concurrently on the same `Aig`, each with its
+    /// own `CutScratch` and `Cut` buffers, and every caller obtains exactly
+    /// the cut the sequential path would compute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is not a live AND node or if `params.max_leaves < 2`.
+    pub fn reconvergence_cut_with(
+        &self,
+        root: NodeId,
+        params: &CutParams,
+        scratch: &mut CutScratch,
+        cut: &mut Cut,
+    ) {
         assert!(self.is_and(root), "cut root must be a live AND node");
         assert!(params.max_leaves >= 2, "a cut needs at least two leaves");
         cut.root = root;
         cut.leaves.clear();
         cut.cone.clear();
-        self.new_traversal();
-        self.mark_visited(root);
+        scratch.begin(self.num_slots());
+        scratch.mark(root);
         let (f0, f1) = self.fanins(root);
         let leaves = &mut cut.leaves;
         for fanin in [f0.node(), f1.node()] {
-            if !self.is_visited(fanin) {
-                self.mark_visited(fanin);
+            if !scratch.is_marked(fanin) {
+                scratch.mark(fanin);
                 leaves.push(fanin);
             }
         }
         loop {
             let mut best: Option<(usize, usize)> = None; // (cost, index into leaves)
             for (index, &leaf) in leaves.iter().enumerate() {
-                let cost = self.leaf_expansion_cost(leaf);
+                let cost = self.leaf_expansion_cost(leaf, scratch);
                 let Some(cost) = cost else { continue };
                 if cost > params.max_expansion_cost {
                     continue;
@@ -225,58 +316,58 @@ impl Aig {
             let leaf = leaves.swap_remove(index);
             let (f0, f1) = self.fanins(leaf);
             for fanin in [f0.node(), f1.node()] {
-                if !self.is_visited(fanin) {
-                    self.mark_visited(fanin);
+                if !scratch.is_marked(fanin) {
+                    scratch.mark(fanin);
                     leaves.push(fanin);
                 }
             }
         }
-        self.collect_cone_into(root, cut);
+        self.collect_cone_with(root, scratch, cut);
     }
 
     /// Cost of expanding `leaf`: the number of its fanins that are not yet in
     /// the cut.  Returns `None` for leaves that cannot be expanded (inputs and
     /// the constant node).
-    fn leaf_expansion_cost(&self, leaf: NodeId) -> Option<usize> {
+    fn leaf_expansion_cost(&self, leaf: NodeId, scratch: &CutScratch) -> Option<usize> {
         if !self.node(leaf).is_and() {
             return None;
         }
         let (f0, f1) = self.fanins(leaf);
         let mut cost = 0;
-        if !self.is_visited(f0.node()) {
+        if !scratch.is_marked(f0.node()) {
             cost += 1;
         }
-        if !self.is_visited(f1.node()) && f0.node() != f1.node() {
+        if !scratch.is_marked(f1.node()) && f0.node() != f1.node() {
             cost += 1;
         }
         Some(cost)
     }
 
     /// Collects the internal nodes (root included) of the cone rooted at
-    /// `root` bounded by `cut.leaves` into `cut.cone`, reusing the graph's
-    /// scratch DFS stack.
-    fn collect_cone_into(&mut self, root: NodeId, cut: &mut Cut) {
-        self.new_traversal();
+    /// `root` bounded by `cut.leaves` into `cut.cone`, reusing the scratch's
+    /// DFS stack.
+    fn collect_cone_with(&self, root: NodeId, scratch: &mut CutScratch, cut: &mut Cut) {
+        scratch.begin(self.num_slots());
         for &leaf in &cut.leaves {
-            self.mark_visited(leaf);
+            scratch.mark(leaf);
         }
-        let mut stack = self.take_scratch_stack();
+        let mut stack = std::mem::take(&mut scratch.stack);
         stack.clear();
         stack.push(root);
         while let Some(id) = stack.pop() {
-            if self.is_visited(id) {
+            if scratch.is_marked(id) {
                 continue;
             }
-            self.mark_visited(id);
+            scratch.mark(id);
             cut.cone.push(id);
             let (f0, f1) = self.fanins(id);
             for fanin in [f0.node(), f1.node()] {
-                if !self.is_visited(fanin) {
+                if !scratch.is_marked(fanin) {
                     stack.push(fanin);
                 }
             }
         }
-        self.put_scratch_stack(stack);
+        scratch.stack = stack;
     }
 
     /// Computes the six ELF cut features for an already-computed cut.

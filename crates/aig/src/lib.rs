@@ -48,7 +48,10 @@ mod node;
 mod sim;
 
 pub use aig::{Aig, Fanout};
-pub use cut::{Cut, CutFeatures, CutParams, FEATURE_NAMES, NUM_FEATURES};
+pub use cut::{Cut, CutFeatures, CutParams, CutScratch, FEATURE_NAMES, NUM_FEATURES};
 pub use lit::{Lit, NodeId};
 pub use node::{Node, NodeKind};
-pub use sim::{check_equivalence, elementary_word, EquivalenceResult, MAX_EXHAUSTIVE_INPUTS};
+pub use sim::{
+    check_equivalence, elementary_word, simulation_signature, EquivalenceResult,
+    MAX_EXHAUSTIVE_INPUTS,
+};

@@ -188,6 +188,51 @@ pub fn check_equivalence(a: &Aig, b: &Aig, rounds: usize, seed: u64) -> Equivale
     }
 }
 
+/// Deterministic functional fingerprint of an AIG.
+///
+/// Hashes the circuit's interface, its reachable AND count and `rounds`
+/// words of seeded random simulation into a single `u64` (FNV-1a).  Two
+/// structurally different but functionally equivalent circuits of different
+/// sizes hash differently, and the same circuit always hashes identically —
+/// which is what repeated-run determinism tests assert: every rerun of a
+/// deterministic flow must land on the same signature.
+///
+/// # Examples
+///
+/// ```
+/// use elf_aig::{simulation_signature, Aig};
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input();
+/// let b = aig.add_input();
+/// let f = aig.and(a, b);
+/// aig.add_output(f);
+///
+/// let first = simulation_signature(&aig, 4, 99);
+/// assert_eq!(first, simulation_signature(&aig, 4, 99));
+/// assert_ne!(first, simulation_signature(&aig, 4, 100));
+/// ```
+pub fn simulation_signature(aig: &Aig, rounds: usize, seed: u64) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn mix(hash: &mut u64, value: u64) {
+        *hash ^= value;
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    let mut hash = FNV_OFFSET;
+    mix(&mut hash, aig.num_inputs() as u64);
+    mix(&mut hash, aig.num_outputs() as u64);
+    mix(&mut hash, aig.num_reachable_ands() as u64);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..rounds {
+        let words: Vec<u64> = (0..aig.num_inputs()).map(|_| rng.gen()).collect();
+        for word in aig.simulate_word(&words) {
+            mix(&mut hash, word);
+        }
+    }
+    hash
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

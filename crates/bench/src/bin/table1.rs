@@ -1,23 +1,39 @@
 //! Table I: statistics of the EPFL-style arithmetic circuits, including the
 //! fraction of cuts the baseline refactor actually commits.
+//!
+//! The per-circuit statistics are independent, so the table fans out one
+//! circuit per worker (`--threads N`, or the `ELF_THREADS` environment
+//! variable).  `--sweep-threads 1,2,4` recomputes the same table at each
+//! worker count and prints the wall-clock speed-up curve; the rows are
+//! asserted identical across counts, so a nondeterministic merge fails the
+//! run instead of silently corrupting the table.
+
+use std::time::{Duration, Instant};
 
 use elf_bench::HarnessOptions;
-use elf_core::experiment::circuit_stats;
+use elf_core::experiment::{circuit_stats, CircuitStatsRow};
+use elf_core::{BenchCircuit, ExperimentConfig, Parallelism};
+use elf_par::THREADS_ENV;
 
-fn main() {
-    let options = HarnessOptions::from_args();
-    let config = options.experiment_config(1);
-    let circuits = options.epfl_circuits();
-    println!(
-        "Table I: arithmetic circuit statistics (scale {:?})",
-        options.scale
-    );
+/// Computes every circuit's row at the given worker count.
+fn stats_rows(
+    circuits: &[BenchCircuit],
+    config: &ExperimentConfig,
+    parallelism: Parallelism,
+) -> (Vec<CircuitStatsRow>, Duration) {
+    let start = Instant::now();
+    let rows = parallelism.map(circuits, |_, circuit| {
+        circuit_stats(circuit, &config.elf.refactor)
+    });
+    (rows, start.elapsed())
+}
+
+fn print_rows(rows: &[CircuitStatsRow]) {
     println!(
         "{:<14} {:>9} {:>7} {:>6} {:>6} {:>18}",
         "Design", "And", "Level", "PIs", "POs", "Refactored"
     );
-    for circuit in &circuits {
-        let row = circuit_stats(circuit, &config.elf.refactor);
+    for row in rows {
         println!(
             "{:<14} {:>9} {:>7} {:>6} {:>6} {:>10} ({:.2} %)",
             row.name,
@@ -29,7 +45,89 @@ fn main() {
             row.refactored_fraction() * 100.0
         );
     }
+}
+
+/// Parses `--sweep-threads 1,2,4` from the raw arguments (harness options
+/// ignore flags they do not know).
+fn sweep_from_args() -> Option<Vec<usize>> {
+    let args: Vec<String> = std::env::args().collect();
+    let position = args.iter().position(|a| a == "--sweep-threads")?;
+    // The flag was given, so from here on a malformed value is a hard error:
+    // silently skipping the sweep would also skip its cross-thread
+    // determinism assertion — the regression gate CI relies on.
+    let die = |message: &str| -> ! {
+        eprintln!("error: --sweep-threads {message} (expected e.g. `--sweep-threads 1,2,4`)");
+        std::process::exit(2);
+    };
+    let Some(list) = args.get(position + 1) else {
+        die("is missing its thread-count list");
+    };
+    let counts: Vec<usize> = list
+        .split(',')
+        .map(|s| match s.trim().parse() {
+            Ok(n) if n >= 1 => n,
+            _ => die(&format!("has invalid thread count `{s}`")),
+        })
+        .collect();
+    Some(counts)
+}
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let config = options.experiment_config(1);
+    let circuits = options.epfl_circuits();
+
+    if let Some(counts) = sweep_from_args() {
+        println!(
+            "Table I thread sweep (scale {:?}, counts {:?})",
+            options.scale, counts
+        );
+        let mut baseline: Option<(Duration, Vec<CircuitStatsRow>)> = None;
+        for &threads in &counts {
+            let (rows, elapsed) = stats_rows(&circuits, &config, Parallelism::threads(threads));
+            match &baseline {
+                None => {
+                    println!(
+                        "  {threads:>2} threads: {:>9.2} ms (baseline)",
+                        millis(elapsed)
+                    );
+                    baseline = Some((elapsed, rows));
+                }
+                Some((base_time, base_rows)) => {
+                    assert_eq!(
+                        base_rows, &rows,
+                        "thread count {threads} changed the table — nondeterministic merge"
+                    );
+                    let speedup = base_time.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+                    println!(
+                        "  {threads:>2} threads: {:>9.2} ms ({speedup:.2}x vs {} thread{})",
+                        millis(elapsed),
+                        counts[0],
+                        if counts[0] == 1 { "" } else { "s" }
+                    );
+                }
+            }
+        }
+        let (_, rows) = baseline.expect("at least one sweep entry");
+        println!();
+        print_rows(&rows);
+        return;
+    }
+
+    let parallelism = options.parallelism();
+    let (rows, elapsed) = stats_rows(&circuits, &config, parallelism);
+    println!(
+        "Table I: arithmetic circuit statistics (scale {:?}, {parallelism}; \
+         set --threads N or {THREADS_ENV})",
+        options.scale
+    );
+    print_rows(&rows);
     println!();
+    println!("Computed in {:.2} ms on {parallelism}.", millis(elapsed));
     println!("Paper reference: refactored fraction ranges from 0.50 % (div) to 7.34 % (sqrt);");
     println!("the reproduction should land in the same sub-10 % regime.");
+}
+
+fn millis(duration: Duration) -> f64 {
+    duration.as_secs_f64() * 1e3
 }

@@ -1,5 +1,10 @@
 //! Table III: baseline refactor vs ELF on the arithmetic suite
 //! (leave-one-out trained classifier).
+//!
+//! `--threads N` (or `ELF_THREADS`) fans the protocol out: one held-out
+//! circuit per worker, and inside each pruned pass the parallel engine also
+//! chunks cut collection and batched inference.  The reported rows are
+//! identical for every thread count; only the wall clock moves.
 
 use elf_bench::{paper, print_comparison_table, CachedSuite, HarnessOptions};
 
@@ -9,8 +14,9 @@ fn main() {
     let rows = suite.comparison_rows();
     print_comparison_table(
         &format!(
-            "Table III: refactor vs ELF on arithmetic circuits (scale {:?})",
-            options.scale
+            "Table III: refactor vs ELF on arithmetic circuits (scale {:?}, {})",
+            options.scale,
+            options.parallelism()
         ),
         &rows,
     );

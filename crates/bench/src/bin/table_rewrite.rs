@@ -18,30 +18,36 @@ fn main() {
     let circuits = options.epfl_circuits();
     let config = options.experiment_config(1);
     let operator = Rewrite::new(RewriteParams::default());
+    let parallelism = options.parallelism();
+    // When the protocol fans out (one held-out circuit per worker), the
+    // inner pruned passes stay sequential — two parallel layers would run
+    // N² workers on N cores.  With a single circuit the inner pass gets the
+    // full worker budget instead.
+    let elf_options = ElfOptions {
+        parallelism: if circuits.len() > 1 {
+            elf_core::Parallelism::sequential()
+        } else {
+            parallelism
+        },
+        ..Default::default()
+    };
 
-    let mut comparisons = Vec::new();
-    let mut qualities = Vec::new();
-    for held_out in 0..circuits.len() {
+    // One held-out circuit per worker; training is seeded and rows gather in
+    // circuit order, so the tables are identical for every thread count.
+    let indices: Vec<usize> = (0..circuits.len()).collect();
+    let rows = parallelism.map(&indices, |_, &held_out| {
         let classifier =
             train_leave_one_out_with(&operator, &circuits, held_out, &config.train, config.seed);
-        let elf = Elf::with_operator(classifier.clone(), operator.clone(), ElfOptions::default());
-        comparisons.push(compare_with_operator(
-            &circuits[held_out],
-            &operator,
-            &elf,
-            1,
-        ));
-        qualities.push(quality_with_operator(
-            &circuits[held_out],
-            &operator,
-            &classifier,
-            true,
-        ));
-    }
+        let elf = Elf::with_operator(classifier.clone(), operator.clone(), elf_options);
+        let comparison = compare_with_operator(&circuits[held_out], &operator, &elf, 1);
+        let quality = quality_with_operator(&circuits[held_out], &operator, &classifier, true);
+        (comparison, quality)
+    });
+    let (comparisons, qualities): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
 
     print_comparison_table(
         &format!(
-            "Rewrite extension: baseline rewrite vs ELF-pruned rewrite (scale {:?})",
+            "Rewrite extension: baseline rewrite vs ELF-pruned rewrite (scale {:?}, {parallelism})",
             options.scale
         ),
         &comparisons,

@@ -35,6 +35,7 @@ use elf_core::experiment::{
 };
 use elf_core::{circuit_dataset_standardized, BenchCircuit, ElfClassifier};
 use elf_nn::{Dataset, TrainConfig};
+use elf_par::Parallelism;
 
 /// Command-line options shared by every harness binary.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,6 +50,8 @@ pub struct HarnessOptions {
     pub epochs: usize,
     /// Random seed.
     pub seed: u64,
+    /// Worker-thread count (`--threads N`); `None` defers to `ELF_THREADS`.
+    pub threads: Option<usize>,
 }
 
 impl Default for HarnessOptions {
@@ -59,6 +62,7 @@ impl Default for HarnessOptions {
             synthetic_scale: 0.002,
             epochs: 30,
             seed: 0xE1F,
+            threads: None,
         }
     }
 }
@@ -107,6 +111,17 @@ impl HarnessOptions {
                     options.seed = args[index + 1].parse().unwrap_or(options.seed);
                     index += 1;
                 }
+                "--threads" if index + 1 < args.len() => {
+                    // `--threads 0` means sequential (same clamp as
+                    // `Parallelism::threads`); only a non-numeric value falls
+                    // back, matching `--epochs`/`--seed` leniency.
+                    options.threads = args[index + 1]
+                        .parse()
+                        .ok()
+                        .map(|n: usize| n.max(1))
+                        .or(options.threads);
+                    index += 1;
+                }
                 _ => {}
             }
             index += 1;
@@ -114,9 +129,19 @@ impl HarnessOptions {
         options
     }
 
+    /// The worker-thread count implied by these options: the `--threads`
+    /// flag when given, the `ELF_THREADS` environment variable otherwise.
+    pub fn parallelism(&self) -> Parallelism {
+        self.threads.map(Parallelism::threads).unwrap_or_default()
+    }
+
     /// The experiment configuration implied by these options.
     pub fn experiment_config(&self, applications: usize) -> ExperimentConfig {
         ExperimentConfig {
+            elf: elf_core::ElfConfig {
+                parallelism: self.parallelism(),
+                ..Default::default()
+            },
             train: TrainConfig {
                 epochs: self.epochs,
                 // The generated workloads are more imbalanced than the EPFL
@@ -128,7 +153,6 @@ impl HarnessOptions {
             },
             seed: self.seed,
             applications,
-            ..Default::default()
         }
     }
 
@@ -167,12 +191,12 @@ pub struct CachedSuite {
 }
 
 impl CachedSuite {
-    /// Collects the labelled cut dataset of every circuit once.
+    /// Collects the labelled cut dataset of every circuit once (one circuit
+    /// per worker — the protocol-level fan-out on top of the per-node one).
     pub fn new(circuits: Vec<BenchCircuit>, config: ExperimentConfig) -> Self {
-        let datasets = circuits
-            .iter()
-            .map(|c| circuit_dataset_standardized(&c.aig, &config.elf.refactor))
-            .collect();
+        let datasets = config.elf.parallelism.map(&circuits, |_, c| {
+            circuit_dataset_standardized(&c.aig, &config.elf.refactor)
+        });
         CachedSuite {
             circuits,
             datasets,
@@ -212,24 +236,43 @@ impl CachedSuite {
         classifier
     }
 
-    /// Leave-one-out comparison rows (Tables III/IV/V).
+    /// Leave-one-out comparison rows (Tables III/IV/V): every held-out
+    /// circuit trains and compares independently, so the whole protocol fans
+    /// out one held-out index per worker.  Training is seeded and the rows
+    /// are gathered in circuit order, so the table is identical for every
+    /// thread count (runtimes aside).
     pub fn comparison_rows(&self) -> Vec<ComparisonRow> {
-        (0..self.circuits.len())
-            .map(|held_out| {
-                let classifier = self.train_excluding(held_out);
-                compare_on_circuit(&self.circuits[held_out], &classifier, &self.config)
-            })
-            .collect()
+        let inner = self.per_circuit_config();
+        let indices: Vec<usize> = (0..self.circuits.len()).collect();
+        self.config.elf.parallelism.map(&indices, |_, &held_out| {
+            let classifier = self.train_excluding(held_out);
+            compare_on_circuit(&self.circuits[held_out], &classifier, &inner)
+        })
     }
 
-    /// Leave-one-out quality rows (Tables VII/VIII).
+    /// Leave-one-out quality rows (Tables VII/VIII), fanned out like
+    /// [`CachedSuite::comparison_rows`].
     pub fn quality_rows(&self) -> Vec<QualityRow> {
-        (0..self.circuits.len())
-            .map(|held_out| {
-                let classifier = self.train_excluding(held_out);
-                quality_on_circuit(&self.circuits[held_out], &classifier, &self.config)
-            })
-            .collect()
+        let inner = self.per_circuit_config();
+        let indices: Vec<usize> = (0..self.circuits.len()).collect();
+        self.config.elf.parallelism.map(&indices, |_, &held_out| {
+            let classifier = self.train_excluding(held_out);
+            quality_on_circuit(&self.circuits[held_out], &classifier, &inner)
+        })
+    }
+
+    /// The configuration handed to each held-out circuit's run: when the
+    /// protocol itself fans out (more than one circuit on a parallel knob),
+    /// the inner pruned passes run sequential — both layers spawning `N`
+    /// workers would put `N²` threads on `N` cores, degrading the very
+    /// speed-up curve the harness measures.  Results are identical either
+    /// way (the engine's determinism guarantee); only wall clock moves.
+    fn per_circuit_config(&self) -> ExperimentConfig {
+        let mut inner = self.config;
+        if self.circuits.len() > 1 {
+            inner.elf.parallelism = Parallelism::sequential();
+        }
+        inner
     }
 }
 

@@ -1,0 +1,117 @@
+//! Script-driven random circuits for property-based test suites.
+//!
+//! The operator soundness and concurrency properties all exercise the same
+//! circuit distribution: a gate script drawn by proptest, replayed into an
+//! AIG with a deliberately redundant gate mix.  This module is the single
+//! home of that replay, so every suite (across crates) tests the identical
+//! distribution.
+
+use elf_aig::{Aig, Lit};
+use proptest::prelude::*;
+
+/// One gate choice of a [`scripted_circuit`] script: `(kind, a, b, c)`.
+///
+/// `kind % 6` selects the gate (AND, OR, XOR, MUX, MAJ, or the redundant
+/// `(x & y) | (x & z)` template the refactor operator loves); `a`/`b`/`c`
+/// pick operands among the signals built so far (modulo the current count).
+pub type GateChoice = (u8, usize, usize, usize);
+
+/// Builds a random redundant circuit by replaying a script of gate choices.
+///
+/// The last three signals become primary outputs and dangling logic is
+/// swept, so the result is a clean network as ABC would produce.  The same
+/// script always replays to the identical AIG, which is what lets property
+/// suites reproduce failures from the printed inputs alone.
+///
+/// # Examples
+///
+/// ```
+/// use elf_circuits::scripted_circuit;
+///
+/// let aig = scripted_circuit(4, &[(0, 0, 1, 0), (5, 2, 3, 1)]);
+/// assert_eq!(aig.num_inputs(), 4);
+/// assert!(aig.num_outputs() >= 1);
+/// assert!(aig.check_invariants().is_empty());
+/// ```
+pub fn scripted_circuit(num_inputs: usize, script: &[GateChoice]) -> Aig {
+    let mut aig = Aig::new();
+    let mut signals: Vec<Lit> = aig.add_inputs(num_inputs);
+    for &(kind, a, b, c) in script {
+        let pick = |i: usize, signals: &[Lit]| signals[i % signals.len()];
+        let lit = match kind % 6 {
+            0 => {
+                let (x, y) = (pick(a, &signals), pick(b, &signals));
+                aig.and(x, y)
+            }
+            1 => {
+                let (x, y) = (pick(a, &signals), pick(b, &signals));
+                aig.or(x, y)
+            }
+            2 => {
+                let (x, y) = (pick(a, &signals), pick(b, &signals));
+                aig.xor(x, y)
+            }
+            3 => {
+                let (x, y, z) = (pick(a, &signals), pick(b, &signals), pick(c, &signals));
+                aig.mux(x, y, z)
+            }
+            4 => {
+                let (x, y, z) = (pick(a, &signals), pick(b, &signals), pick(c, &signals));
+                aig.maj(x, y, z)
+            }
+            _ => {
+                // Deliberately redundant structure: (x & y) | (x & z).
+                let (x, y, z) = (pick(a, &signals), pick(b, &signals), pick(c, &signals));
+                let t0 = aig.and(x, y);
+                let t1 = aig.and(x, z);
+                aig.or(t0, t1)
+            }
+        };
+        signals.push(lit);
+    }
+    let n = signals.len();
+    for lit in signals.iter().skip(n.saturating_sub(3)) {
+        aig.add_output(*lit);
+    }
+    // Remove dangling logic so the network is clean, as ABC's would be.
+    aig.cleanup();
+    aig
+}
+
+/// The proptest strategy every property suite draws its gate scripts from:
+/// 4 to `len` gate choices with operand picks in `0..128`.
+///
+/// Lives next to [`scripted_circuit`] so the suites across crates cannot
+/// drift onto different circuit distributions.
+pub fn script_strategy(len: usize) -> impl Strategy<Value = Vec<GateChoice>> {
+    prop::collection::vec((any::<u8>(), 0usize..128, 0usize..128, 0usize..128), 4..len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_is_deterministic_and_clean() {
+        let script: Vec<GateChoice> = (0..24)
+            .map(|i| (i as u8, 3 * i, 5 * i + 1, 7 * i))
+            .collect();
+        let a = scripted_circuit(5, &script);
+        let b = scripted_circuit(5, &script);
+        assert_eq!(a.num_reachable_ands(), b.num_reachable_ands());
+        assert_eq!(a.num_outputs(), b.num_outputs());
+        assert!(a.check_invariants().is_empty());
+        assert_eq!(
+            elf_aig::simulation_signature(&a, 4, 3),
+            elf_aig::simulation_signature(&b, 4, 3)
+        );
+    }
+
+    #[test]
+    fn empty_script_yields_inputs_as_outputs() {
+        let aig = scripted_circuit(3, &[]);
+        assert_eq!(aig.num_inputs(), 3);
+        assert_eq!(aig.num_outputs(), 3);
+        assert_eq!(aig.num_reachable_ands(), 0);
+    }
+}

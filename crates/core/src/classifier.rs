@@ -9,6 +9,7 @@ use elf_nn::{
     model_from_text, model_to_text, train, ConfusionMatrix, Dataset, Mlp, Normalizer, TrainConfig,
     TrainReport,
 };
+use elf_par::Parallelism;
 
 /// Error returned when deserializing a stored classifier fails.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -166,6 +167,20 @@ impl ElfClassifier {
     /// The whole batch is normalized and packed into a single matrix before
     /// one forward pass, mirroring the paper's batched-inference design.
     pub fn predict_batch(&self, features: &[[f32; NUM_FEATURES]]) -> Vec<f32> {
+        self.predict_batch_with(features, Parallelism::sequential())
+    }
+
+    /// Like [`ElfClassifier::predict_batch`], with the forward pass split
+    /// into row chunks that run on `parallelism` worker threads.
+    ///
+    /// Chunking a dense forward pass by rows does not change any row's
+    /// arithmetic, and the chunks are gathered back in input order, so the
+    /// probabilities are bit-identical for every thread count.
+    pub fn predict_batch_with(
+        &self,
+        features: &[[f32; NUM_FEATURES]],
+        parallelism: Parallelism,
+    ) -> Vec<f32> {
         if features.is_empty() {
             return Vec::new();
         }
@@ -173,7 +188,7 @@ impl ElfClassifier {
             .iter()
             .map(|f| self.normalizer.transform_row(f))
             .collect();
-        self.model.predict(&rows)
+        self.model.predict_with(&rows, parallelism)
     }
 
     /// Predicted probabilities where the batch is standardized with its *own*
@@ -182,9 +197,31 @@ impl ElfClassifier {
     /// The paper standardizes every dataset individually so the model
     /// generalizes to circuits whose feature ranges (levels, fanouts) differ
     /// from anything seen during training.
+    ///
+    /// Batches with fewer than two rows carry no usable self-statistics (the
+    /// standard deviation of a single row is zero, which would normalize
+    /// every feature to exactly 0 and make the decision independent of the
+    /// cut), so they fall back to the training statistics of
+    /// [`ElfClassifier::predict_batch`].
     pub fn predict_batch_self_normalized(&self, features: &[[f32; NUM_FEATURES]]) -> Vec<f32> {
-        if features.is_empty() {
-            return Vec::new();
+        self.predict_batch_self_normalized_with(features, Parallelism::sequential())
+    }
+
+    /// Like [`ElfClassifier::predict_batch_self_normalized`], with the
+    /// forward pass split into row chunks that run on `parallelism` worker
+    /// threads.
+    ///
+    /// The batch statistics are computed once, sequentially, over the whole
+    /// batch (they depend on every row and must not vary with chunking);
+    /// only the per-row normalization + forward pass fans out, so the result
+    /// is bit-identical for every thread count.
+    pub fn predict_batch_self_normalized_with(
+        &self,
+        features: &[[f32; NUM_FEATURES]],
+        parallelism: Parallelism,
+    ) -> Vec<f32> {
+        if features.len() < 2 {
+            return self.predict_batch_with(features, parallelism);
         }
         let dataset = Dataset::from_parts(
             features.iter().map(|f| f.to_vec()).collect(),
@@ -195,12 +232,21 @@ impl ElfClassifier {
             .iter()
             .map(|f| normalizer.transform_row(f))
             .collect();
-        self.model.predict(&rows)
+        self.model.predict_with(&rows, parallelism)
     }
 
     /// Classifies a batch of cuts: `true` means "attempt resynthesis".
     pub fn classify_batch(&self, features: &[[f32; NUM_FEATURES]]) -> Vec<bool> {
-        self.predict_batch(features)
+        self.classify_batch_with(features, Parallelism::sequential())
+    }
+
+    /// Classifies a batch of cuts on `parallelism` worker threads.
+    pub fn classify_batch_with(
+        &self,
+        features: &[[f32; NUM_FEATURES]],
+        parallelism: Parallelism,
+    ) -> Vec<bool> {
+        self.predict_batch_with(features, parallelism)
             .into_iter()
             .map(|p| p >= self.threshold)
             .collect()
@@ -208,7 +254,16 @@ impl ElfClassifier {
 
     /// Classifies a batch using per-circuit (self) normalization.
     pub fn classify_batch_self_normalized(&self, features: &[[f32; NUM_FEATURES]]) -> Vec<bool> {
-        self.predict_batch_self_normalized(features)
+        self.classify_batch_self_normalized_with(features, Parallelism::sequential())
+    }
+
+    /// Classifies a self-normalized batch on `parallelism` worker threads.
+    pub fn classify_batch_self_normalized_with(
+        &self,
+        features: &[[f32; NUM_FEATURES]],
+        parallelism: Parallelism,
+    ) -> Vec<bool> {
+        self.predict_batch_self_normalized_with(features, parallelism)
             .into_iter()
             .map(|p| p >= self.threshold)
             .collect()
@@ -391,5 +446,70 @@ mod tests {
         let (classifier, _) = ElfClassifier::fit(&data, &quick_config(), 11);
         assert!(classifier.predict_batch(&[]).is_empty());
         assert!(classifier.classify_batch_self_normalized(&[]).is_empty());
+        assert!(classifier.predict_batch_self_normalized(&[]).is_empty());
+        assert!(classifier
+            .predict_batch_self_normalized_with(&[], Parallelism::threads(4))
+            .is_empty());
+    }
+
+    #[test]
+    fn single_row_self_normalization_falls_back_to_training_stats() {
+        // The std-dev of a one-row batch is zero: self-statistics would
+        // normalize every feature to exactly 0, making the decision
+        // independent of the cut.  The fallback must instead produce the
+        // training-normalized probability — finite, and feature-dependent.
+        let data = synthetic_dataset(200);
+        let (classifier, _) = ElfClassifier::fit(&data, &quick_config(), 13);
+        let positive = [[1.0f32, 5.0, 2.0, 12.0, 4.0, 6.0]];
+        let negative = [[5.0f32, 20.0, 15.0, 8.0, 0.0, 8.0]];
+        for row in [positive, negative] {
+            let probs = classifier.predict_batch_self_normalized(&row);
+            assert_eq!(probs.len(), 1);
+            assert!(probs[0].is_finite(), "one-row batch produced {}", probs[0]);
+            assert_eq!(
+                probs[0].to_bits(),
+                classifier.predict_batch(&row)[0].to_bits()
+            );
+            assert_eq!(classifier.classify_batch_self_normalized(&row).len(), 1);
+        }
+        // Distinct cuts must be able to get distinct probabilities again.
+        let p_pos = classifier.predict_batch_self_normalized(&positive)[0];
+        let p_neg = classifier.predict_batch_self_normalized(&negative)[0];
+        assert_ne!(p_pos.to_bits(), p_neg.to_bits());
+    }
+
+    #[test]
+    fn parallel_classification_matches_sequential() {
+        let data = synthetic_dataset(300);
+        let (classifier, _) = ElfClassifier::fit(&data, &quick_config(), 15);
+        let features: Vec<[f32; 6]> = (0..97)
+            .map(|i| {
+                let x = i as f32;
+                [x % 9.0, x % 21.0, x % 16.0, 8.0 + x % 5.0, x % 4.0, 6.0]
+            })
+            .collect();
+        let seq_probs = classifier.predict_batch(&features);
+        let seq_self = classifier.predict_batch_self_normalized(&features);
+        let seq_decisions = classifier.classify_batch(&features);
+        for threads in [1, 2, 3, 7] {
+            let par = Parallelism::threads(threads);
+            let probs = classifier.predict_batch_with(&features, par);
+            let self_probs = classifier.predict_batch_self_normalized_with(&features, par);
+            assert_eq!(
+                probs.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                seq_probs.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                self_probs.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                seq_self.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                classifier.classify_batch_with(&features, par),
+                seq_decisions,
+                "threads={threads}"
+            );
+        }
     }
 }

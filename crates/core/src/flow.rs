@@ -10,6 +10,7 @@ use std::time::{Duration, Instant};
 
 use elf_aig::{Aig, NodeId, NUM_FEATURES};
 use elf_opt::{OpStats, PrunableOperator, Refactor, RefactorParams};
+use elf_par::Parallelism;
 
 use crate::classifier::ElfClassifier;
 
@@ -25,6 +26,10 @@ pub struct ElfConfig {
     /// When `false`, cuts are classified one at a time as the AIG evolves
     /// (the ablation discussed in Section III-B).
     pub batch_classification: bool,
+    /// Worker-thread count for batch feature collection and batched
+    /// inference (graph mutation always stays sequential, so results are
+    /// identical for every thread count).  Defaults to `ELF_THREADS`.
+    pub parallelism: Parallelism,
 }
 
 impl Default for ElfConfig {
@@ -33,6 +38,7 @@ impl Default for ElfConfig {
             refactor: RefactorParams::default(),
             self_normalize: true,
             batch_classification: true,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -44,6 +50,9 @@ pub struct ElfOptions {
     pub self_normalize: bool,
     /// Classify all cuts in one batch up front instead of per node.
     pub batch_classification: bool,
+    /// Worker-thread count for batch feature collection and batched
+    /// inference.  Defaults to `ELF_THREADS`.
+    pub parallelism: Parallelism,
 }
 
 impl Default for ElfOptions {
@@ -51,6 +60,7 @@ impl Default for ElfOptions {
         ElfOptions {
             self_normalize: true,
             batch_classification: true,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -60,6 +70,7 @@ impl From<ElfConfig> for ElfOptions {
         ElfOptions {
             self_normalize: config.self_normalize,
             batch_classification: config.batch_classification,
+            parallelism: config.parallelism,
         }
     }
 }
@@ -136,6 +147,7 @@ impl ElfRefactor {
             refactor: *self.operator.params(),
             self_normalize: self.options.self_normalize,
             batch_classification: self.options.batch_classification,
+            parallelism: self.options.parallelism,
         }
     }
 }
@@ -166,10 +178,24 @@ impl<O: PrunableOperator> Elf<O> {
         self.options
     }
 
-    /// Runs one ELF pass over the graph (Algorithm 2).
+    /// Runs one ELF pass over the graph (Algorithm 2), using the configured
+    /// [`ElfOptions::parallelism`] for collection and inference.
     pub fn run(&self, aig: &mut Aig) -> ElfStats {
+        self.run_with(aig, self.options.parallelism)
+    }
+
+    /// Runs one ELF pass with an explicit worker-thread count, overriding
+    /// the configured [`ElfOptions::parallelism`].
+    ///
+    /// Only the embarrassingly parallel phases fan out — per-node cut
+    /// collection / feature extraction and the batched classifier forward
+    /// pass.  Graph mutation (phase 3) always stays sequential, which is why
+    /// the resulting AIG is node-for-node identical for every thread count.
+    /// (The per-node ablation mode classifies one cut at a time interleaved
+    /// with mutation, so it has no parallel phase and ignores the override.)
+    pub fn run_with(&self, aig: &mut Aig, parallelism: Parallelism) -> ElfStats {
         if self.options.batch_classification {
-            self.run_batched(aig)
+            self.run_batched(aig, parallelism)
         } else {
             self.run_per_node(aig)
         }
@@ -181,21 +207,24 @@ impl<O: PrunableOperator> Elf<O> {
         (0..applications).map(|_| self.run(aig)).collect()
     }
 
-    fn run_batched(&self, aig: &mut Aig) -> ElfStats {
+    fn run_batched(&self, aig: &mut Aig, parallelism: Parallelism) -> ElfStats {
         let start = Instant::now();
 
-        // Phase 1: collect the cut features of every node in one sweep.
+        // Phase 1: collect the cut features of every node in one sweep,
+        // fanned out over read-only graph access and merged in node order.
         let feature_start = Instant::now();
-        let features = self.operator.collect_features(aig);
+        let features = self.operator.collect_features_with(aig, parallelism);
         let feature_time = feature_start.elapsed();
 
-        // Phase 2: classify all cuts in a single batch.
+        // Phase 2: classify all cuts in a single batch, row-chunked across
+        // the same workers.
         let classify_start = Instant::now();
         let arrays: Vec<[f32; NUM_FEATURES]> = features.iter().map(|(_, f)| f.to_array()).collect();
         let decisions = if self.options.self_normalize {
-            self.classifier.classify_batch_self_normalized(&arrays)
+            self.classifier
+                .classify_batch_self_normalized_with(&arrays, parallelism)
         } else {
-            self.classifier.classify_batch(&arrays)
+            self.classifier.classify_batch_with(&arrays, parallelism)
         };
         let classify_time = classify_start.elapsed();
 

@@ -98,3 +98,7 @@ pub use experiment::{
 };
 pub use flow::{Elf, ElfConfig, ElfOptions, ElfRefactor, ElfStats};
 pub use pipeline::{Flow, FlowStats, ParseFlowError, StageStats};
+// Convenience re-export: the parallelism knob lives inside `ElfConfig`,
+// `ElfOptions` and `Flow`, so callers configuring it should not need an
+// explicit `elf-par` dependency.
+pub use elf_par::Parallelism;

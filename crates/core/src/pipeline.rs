@@ -43,8 +43,10 @@ use elf_opt::{
     AigOperator, OpStats, Refactor, RefactorParams, ResubParams, Resubstitution, Rewrite,
     RewriteParams,
 };
+use elf_par::Parallelism;
 
-use crate::flow::{Elf, ElfStats};
+use crate::classifier::ElfClassifier;
+use crate::flow::{Elf, ElfOptions, ElfStats};
 
 /// One stage of a [`Flow`].
 #[derive(Debug, Clone)]
@@ -111,6 +113,13 @@ pub struct ParseFlowError {
     token: String,
 }
 
+impl ParseFlowError {
+    /// The script token that failed to parse.
+    pub fn token(&self) -> &str {
+        &self.token
+    }
+}
+
 impl fmt::Display for ParseFlowError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -131,6 +140,8 @@ impl Error for ParseFlowError {}
 #[derive(Debug, Clone, Default)]
 pub struct Flow {
     stages: Vec<Stage>,
+    /// When set, overrides the parallelism of every classifier-pruned stage.
+    parallelism: Option<Parallelism>,
 }
 
 impl Flow {
@@ -143,29 +154,93 @@ impl Flow {
     ///
     /// Recognized tokens (separated by `;`, `,` or whitespace):
     /// `rf`/`refactor`, `rw`/`rewrite`, `rs`/`resub`, each added with default
-    /// parameters.  Classifier-pruned stages carry a trained model and are
-    /// therefore added through the builder methods instead.
+    /// parameters.  Empty segments (leading, trailing or doubled separators)
+    /// are ignored, so `"rf;; rw;"` parses like `"rf; rw"`.  Classifier-pruned
+    /// stages carry a trained model; build them with
+    /// [`Flow::pruned_from_script`] or the `elf_*` builder methods.
     ///
     /// # Errors
     ///
     /// Returns a [`ParseFlowError`] naming the first unknown token.
     pub fn from_script(script: &str) -> Result<Self, ParseFlowError> {
         let mut flow = Flow::new();
-        for token in script.split([';', ',']) {
-            for word in token.split_whitespace() {
-                flow = match word {
-                    "rf" | "refactor" => flow.refactor(RefactorParams::default()),
-                    "rw" | "rewrite" => flow.rewrite(RewriteParams::default()),
-                    "rs" | "resub" => flow.resub(ResubParams::default()),
-                    unknown => {
-                        return Err(ParseFlowError {
-                            token: unknown.to_string(),
-                        })
-                    }
-                };
-            }
+        for word in Self::script_words(script) {
+            flow = match word {
+                "rf" | "refactor" => flow.refactor(RefactorParams::default()),
+                "rw" | "rewrite" => flow.rewrite(RewriteParams::default()),
+                "rs" | "resub" => flow.resub(ResubParams::default()),
+                unknown => {
+                    return Err(ParseFlowError {
+                        token: unknown.to_string(),
+                    })
+                }
+            };
         }
         Ok(flow)
+    }
+
+    /// Parses an ABC-style script into a fully classifier-pruned pipeline:
+    /// every stage is the `Elf`-wrapped counterpart of the plain operator,
+    /// sharing one trained classifier and one set of [`ElfOptions`].
+    ///
+    /// `Flow::pruned_from_script("rf; rw; rs", &clf, options)` is the pruned
+    /// analogue of `Flow::from_script("rf; rw; rs")` — the composition the
+    /// repeated-run determinism stress test hammers at full thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseFlowError`] naming the first unknown token.
+    pub fn pruned_from_script(
+        script: &str,
+        classifier: &ElfClassifier,
+        options: ElfOptions,
+    ) -> Result<Self, ParseFlowError> {
+        let mut flow = Flow::new();
+        for word in Self::script_words(script) {
+            flow = match word {
+                "rf" | "refactor" => flow.elf_refactor(Elf::with_operator(
+                    classifier.clone(),
+                    Refactor::default(),
+                    options,
+                )),
+                "rw" | "rewrite" => flow.elf_rewrite(Elf::with_operator(
+                    classifier.clone(),
+                    Rewrite::default(),
+                    options,
+                )),
+                "rs" | "resub" => flow.elf_resub(Elf::with_operator(
+                    classifier.clone(),
+                    Resubstitution::default(),
+                    options,
+                )),
+                unknown => {
+                    return Err(ParseFlowError {
+                        token: unknown.to_string(),
+                    })
+                }
+            };
+        }
+        Ok(flow)
+    }
+
+    /// The words of an ABC-style script: separator and whitespace handling
+    /// shared by [`Flow::from_script`] and [`Flow::pruned_from_script`].
+    fn script_words(script: &str) -> impl Iterator<Item = &str> {
+        script.split([';', ',']).flat_map(str::split_whitespace)
+    }
+
+    /// Overrides the worker-thread count of every classifier-pruned stage
+    /// (plain stages mutate the graph sequentially and have no parallel
+    /// phase).  Without this knob each pruned stage uses its own configured
+    /// [`ElfOptions::parallelism`].
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = Some(parallelism);
+        self
+    }
+
+    /// The flow-wide parallelism override, if any.
+    pub fn parallelism(&self) -> Option<Parallelism> {
+        self.parallelism
     }
 
     /// Appends a plain refactor stage.
@@ -231,15 +306,15 @@ impl Flow {
                 Stage::Rewrite(params) => (Rewrite::new(*params).run(aig).into(), None),
                 Stage::Resub(params) => (Resubstitution::new(*params).run(aig).into(), None),
                 Stage::ElfRefactor(elf) => {
-                    let stats = elf.run(aig);
+                    let stats = elf.run_with(aig, self.stage_parallelism(elf.options()));
                     (stats.op, Some(stats))
                 }
                 Stage::ElfRewrite(elf) => {
-                    let stats = elf.run(aig);
+                    let stats = elf.run_with(aig, self.stage_parallelism(elf.options()));
                     (stats.op, Some(stats))
                 }
                 Stage::ElfResub(elf) => {
-                    let stats = elf.run(aig);
+                    let stats = elf.run_with(aig, self.stage_parallelism(elf.options()));
                     (stats.op, Some(stats))
                 }
             };
@@ -257,6 +332,12 @@ impl Flow {
             ands_after: aig.num_reachable_ands(),
             runtime: start.elapsed(),
         }
+    }
+
+    /// The worker-thread count a pruned stage should run with: the flow-wide
+    /// override when set, the stage's own configuration otherwise.
+    fn stage_parallelism(&self, options: ElfOptions) -> Parallelism {
+        self.parallelism.unwrap_or(options.parallelism)
     }
 }
 
@@ -297,6 +378,71 @@ mod tests {
         assert!(Flow::from_script("").unwrap().is_empty());
         let err = Flow::from_script("rf; balance").unwrap_err();
         assert!(err.to_string().contains("balance"));
+    }
+
+    #[test]
+    fn script_rejects_unknown_tokens_with_the_offending_word() {
+        // The error names exactly the first unknown token, not just "failed".
+        let err = Flow::from_script("rf; balance; rw").unwrap_err();
+        assert_eq!(err.token(), "balance");
+        assert_eq!(
+            err,
+            Flow::from_script("balance").unwrap_err(),
+            "same token must produce the same error value"
+        );
+        // Later valid tokens do not mask an earlier unknown one.
+        let err = Flow::from_script("rw rfz").unwrap_err();
+        assert_eq!(err.token(), "rfz");
+        assert!(err.to_string().contains("rfz"));
+        assert!(err.to_string().contains("expected rf/refactor"));
+        // The pruned parser applies the identical token rules.
+        let err =
+            Flow::pruned_from_script("rf; dch", &always_keep_classifier(), ElfOptions::default())
+                .unwrap_err();
+        assert_eq!(err.token(), "dch");
+    }
+
+    #[test]
+    fn script_tolerates_empty_segments_and_stray_separators() {
+        // Empty script, whitespace-only script and separator-only scripts all
+        // parse to an empty flow rather than erroring.
+        assert!(Flow::from_script("").unwrap().is_empty());
+        assert!(Flow::from_script("   \t  ").unwrap().is_empty());
+        assert!(Flow::from_script(" ; , ; ").unwrap().is_empty());
+        // Trailing and doubled separators are ignored.
+        let flow = Flow::from_script("rf;; rw;").unwrap();
+        assert_eq!(flow.stage_names(), vec!["refactor", "rewrite"]);
+        let flow = Flow::from_script(";rf ,, rs").unwrap();
+        assert_eq!(flow.stage_names(), vec!["refactor", "resub"]);
+        // An empty flow still runs as a no-op.
+        let mut aig = redundant_circuit();
+        let before = aig.num_reachable_ands();
+        let stats = Flow::from_script(";;").unwrap().run(&mut aig);
+        assert!(stats.stages.is_empty());
+        assert_eq!(aig.num_reachable_ands(), before);
+    }
+
+    #[test]
+    fn pruned_script_builds_elf_stages() {
+        let flow = Flow::pruned_from_script(
+            "rf; rw; rs",
+            &always_keep_classifier(),
+            ElfOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            flow.stage_names(),
+            vec!["elf-refactor", "elf-rewrite", "elf-resub"]
+        );
+        let mut aig = redundant_circuit();
+        let golden = aig.clone();
+        let stats = flow.run(&mut aig);
+        assert_eq!(stats.stages.len(), 3);
+        assert!(stats.stages.iter().all(|s| s.elf.is_some()));
+        assert_eq!(
+            check_equivalence(&golden, &aig, 8, 43),
+            EquivalenceResult::Equivalent
+        );
     }
 
     #[test]

@@ -176,6 +176,50 @@ impl Mlp {
         let out = self.forward(&matrix);
         (0..out.rows()).map(|i| out.get(i, 0)).collect()
     }
+
+    /// Computes output probabilities with the batch split into row chunks
+    /// that run on `parallelism` worker threads.
+    ///
+    /// Every output row of a dense forward pass depends only on the matching
+    /// input row (and the accumulation order over the inner dimension is
+    /// fixed), so chunking the batch changes nothing about the arithmetic:
+    /// the result is **bit-identical** to [`Mlp::predict`] for any thread
+    /// count and any chunking — the deterministic gather then restores the
+    /// input row order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use elf_nn::Mlp;
+    /// use elf_par::Parallelism;
+    ///
+    /// let model = Mlp::paper_architecture(42);
+    /// let rows: Vec<Vec<f32>> = (0..32).map(|i| vec![i as f32 / 32.0; 6]).collect();
+    /// let seq = model.predict(&rows);
+    /// let par = model.predict_with(&rows, Parallelism::threads(4));
+    /// assert_eq!(seq, par);
+    /// ```
+    pub fn predict_with(
+        &self,
+        features: &[Vec<f32>],
+        parallelism: elf_par::Parallelism,
+    ) -> Vec<f32> {
+        if parallelism.is_sequential() || features.len() < 2 {
+            return self.predict(features);
+        }
+        // One batched forward pass per chunk keeps the matrix-multiply
+        // batching win; several chunks per worker keep the queue balanced.
+        let chunk_len = features
+            .len()
+            .div_ceil(parallelism.num_threads() * 4)
+            .max(1);
+        let chunks: Vec<&[Vec<f32>]> = features.chunks(chunk_len).collect();
+        parallelism
+            .map(&chunks, |_, chunk| self.predict(chunk))
+            .into_iter()
+            .flatten()
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -250,6 +294,26 @@ mod tests {
     fn predict_handles_empty_input() {
         let model = Mlp::paper_architecture(1);
         assert!(model.predict(&[]).is_empty());
+        assert!(model
+            .predict_with(&[], elf_par::Parallelism::threads(4))
+            .is_empty());
+    }
+
+    #[test]
+    fn chunked_prediction_is_bit_identical() {
+        let model = Mlp::paper_architecture(17);
+        let rows: Vec<Vec<f32>> = (0..123)
+            .map(|i| (0..6).map(|j| ((i * 7 + j) as f32).sin()).collect())
+            .collect();
+        let sequential: Vec<u32> = model.predict(&rows).iter().map(|p| p.to_bits()).collect();
+        for threads in [1, 2, 3, 7] {
+            let parallel: Vec<u32> = model
+                .predict_with(&rows, elf_par::Parallelism::threads(threads))
+                .iter()
+                .map(|p| p.to_bits())
+                .collect();
+            assert_eq!(sequential, parallel, "threads={threads}");
+        }
     }
 
     #[test]

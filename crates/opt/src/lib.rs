@@ -49,7 +49,8 @@ mod rewrite;
 
 pub use build::{build_expr, count_new_nodes, cut_truth_table, ImplementationCost};
 pub use operator::{
-    collect_cut_features, AigOperator, LabeledCut, NodeOutcome, OpStats, PrunableOperator,
+    collect_cut_features, collect_cut_features_par, AigOperator, LabeledCut, NodeOutcome, OpStats,
+    PrunableOperator,
 };
 pub use refactor::{Refactor, RefactorParams, RefactorStats};
 pub use resub::{ResubParams, ResubStats, Resubstitution};

@@ -25,7 +25,8 @@
 
 use std::time::Duration;
 
-use elf_aig::{Aig, Cut, CutFeatures, CutParams, NodeId};
+use elf_aig::{Aig, Cut, CutFeatures, CutParams, CutScratch, NodeId};
+use elf_par::Parallelism;
 
 /// The statistics core shared by every [`AigOperator`].
 ///
@@ -199,6 +200,21 @@ pub trait PrunableOperator: AigOperator {
         collect_cut_features(aig, &self.feature_cut_params())
     }
 
+    /// Collects the cut features of every live AND node over shared graph
+    /// access, fanned out across `parallelism` worker threads.
+    ///
+    /// The node list is chunked in arena order and merged back in that same
+    /// order, so the result is **bit-identical** to
+    /// [`PrunableOperator::collect_features`] for every thread count — the
+    /// determinism contract the concurrency test layer pins down.
+    fn collect_features_with(
+        &self,
+        aig: &Aig,
+        parallelism: Parallelism,
+    ) -> Vec<(NodeId, CutFeatures)> {
+        collect_cut_features_par(aig, &self.feature_cut_params(), parallelism)
+    }
+
     /// Runs the baseline operator, recording a labeled sample for every
     /// visited cut.  The labels reflect the baseline behaviour (every cut is
     /// resynthesized), so the recorded samples are exactly the training data
@@ -281,6 +297,50 @@ pub fn collect_cut_features(aig: &mut Aig, params: &CutParams) -> Vec<(NodeId, C
         result.push((node, features));
     }
     result
+}
+
+/// Parallel batch cut-feature collection over shared (`&Aig`) graph access.
+///
+/// The live AND nodes are listed once in arena order (the same order the
+/// sequential sweep visits them), chunked across `parallelism` workers, and
+/// the per-chunk results are merged back in node order.  Each worker owns one
+/// [`CutScratch`] and one [`Cut`] buffer reused across its nodes, so the
+/// sweep performs no per-node allocations; because cut computation is
+/// read-only, every worker computes exactly the cut the sequential path
+/// would, making the result bit-identical to [`collect_cut_features`].
+///
+/// # Examples
+///
+/// ```
+/// use elf_aig::{Aig, CutParams};
+/// use elf_opt::collect_cut_features_par;
+/// use elf_par::Parallelism;
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input();
+/// let b = aig.add_input();
+/// let f = aig.and(a, b);
+/// aig.add_output(f);
+///
+/// let params = CutParams::default();
+/// let seq = collect_cut_features_par(&aig, &params, Parallelism::sequential());
+/// let par = collect_cut_features_par(&aig, &params, Parallelism::threads(4));
+/// assert_eq!(seq, par);
+/// ```
+pub fn collect_cut_features_par(
+    aig: &Aig,
+    params: &CutParams,
+    parallelism: Parallelism,
+) -> Vec<(NodeId, CutFeatures)> {
+    let targets: Vec<NodeId> = aig.and_ids().filter(|&node| aig.refs(node) > 0).collect();
+    parallelism.map_with(
+        &targets,
+        || (CutScratch::new(), Cut::empty()),
+        |(scratch, cut), _, &node| {
+            aig.reconvergence_cut_with(node, params, scratch, cut);
+            (node, aig.cut_features(cut))
+        },
+    )
 }
 
 #[cfg(test)]

@@ -1,59 +1,10 @@
 //! Property-based tests: every optimization operator must preserve the
 //! function of the network and never increase the reachable node count.
 
-use elf_aig::{check_equivalence, Aig, CutFeatures, EquivalenceResult, Lit, NodeId};
+use elf_aig::{check_equivalence, Aig, CutFeatures, EquivalenceResult, NodeId};
+use elf_circuits::{script_strategy, scripted_circuit};
 use elf_opt::{AigOperator, PrunableOperator, Refactor, RefactorParams, Resubstitution, Rewrite};
 use proptest::prelude::*;
-
-/// Builds a random redundant circuit from a script of gate choices.
-fn build_random_circuit(num_inputs: usize, script: &[(u8, usize, usize, usize)]) -> Aig {
-    let mut aig = Aig::new();
-    let mut signals: Vec<Lit> = aig.add_inputs(num_inputs);
-    for &(kind, a, b, c) in script {
-        let pick = |i: usize, signals: &[Lit]| signals[i % signals.len()];
-        let lit = match kind % 6 {
-            0 => {
-                let (x, y) = (pick(a, &signals), pick(b, &signals));
-                aig.and(x, y)
-            }
-            1 => {
-                let (x, y) = (pick(a, &signals), pick(b, &signals));
-                aig.or(x, y)
-            }
-            2 => {
-                let (x, y) = (pick(a, &signals), pick(b, &signals));
-                aig.xor(x, y)
-            }
-            3 => {
-                let (x, y, z) = (pick(a, &signals), pick(b, &signals), pick(c, &signals));
-                aig.mux(x, y, z)
-            }
-            4 => {
-                let (x, y, z) = (pick(a, &signals), pick(b, &signals), pick(c, &signals));
-                aig.maj(x, y, z)
-            }
-            _ => {
-                // Deliberately redundant structure: (x & y) | (x & z).
-                let (x, y, z) = (pick(a, &signals), pick(b, &signals), pick(c, &signals));
-                let t0 = aig.and(x, y);
-                let t1 = aig.and(x, z);
-                aig.or(t0, t1)
-            }
-        };
-        signals.push(lit);
-    }
-    let n = signals.len();
-    for lit in signals.iter().skip(n.saturating_sub(3)) {
-        aig.add_output(*lit);
-    }
-    // Remove dangling logic so the network is clean, as ABC's would be.
-    aig.cleanup();
-    aig
-}
-
-fn script_strategy(len: usize) -> impl Strategy<Value = Vec<(u8, usize, usize, usize)>> {
-    prop::collection::vec((any::<u8>(), 0usize..128, 0usize..128, 0usize..128), 4..len)
-}
 
 /// A deterministic pseudo-random keep/prune decision derived from the node id
 /// and a proptest-chosen mask, so filtered runs are reproducible.
@@ -98,7 +49,7 @@ proptest! {
     /// actual change in reachable node count.
     #[test]
     fn refactor_preserves_function(script in script_strategy(40)) {
-        let mut aig = build_random_circuit(6, &script);
+        let mut aig = scripted_circuit(6, &script);
         let golden = aig.clone();
         let before = aig.num_reachable_ands() as i64;
         let stats = Refactor::new(RefactorParams::default()).run(&mut aig);
@@ -115,7 +66,7 @@ proptest! {
     /// Refactor in zero-gain mode also preserves functionality.
     #[test]
     fn refactor_zero_gain_preserves_function(script in script_strategy(30)) {
-        let mut aig = build_random_circuit(5, &script);
+        let mut aig = scripted_circuit(5, &script);
         let golden = aig.clone();
         let params = RefactorParams { zero_gain: true, ..Default::default() };
         let _ = Refactor::new(params).run(&mut aig);
@@ -129,7 +80,7 @@ proptest! {
     /// Rewrite preserves functionality and never increases the node count.
     #[test]
     fn rewrite_preserves_function(script in script_strategy(30)) {
-        let mut aig = build_random_circuit(5, &script);
+        let mut aig = scripted_circuit(5, &script);
         let golden = aig.clone();
         let before = aig.num_reachable_ands();
         let _ = Rewrite::default().run(&mut aig);
@@ -144,7 +95,7 @@ proptest! {
     /// Resubstitution preserves functionality and never increases node count.
     #[test]
     fn resub_preserves_function(script in script_strategy(30)) {
-        let mut aig = build_random_circuit(5, &script);
+        let mut aig = scripted_circuit(5, &script);
         let golden = aig.clone();
         let before = aig.num_reachable_ands();
         let _ = Resubstitution::default().run(&mut aig);
@@ -165,16 +116,16 @@ proptest! {
         script in script_strategy(30),
         mask in any::<u64>(),
     ) {
-        check_filtered_run(&Refactor::default(), build_random_circuit(5, &script), mask, 51);
-        check_filtered_run(&Rewrite::default(), build_random_circuit(5, &script), mask, 52);
-        check_filtered_run(&Resubstitution::default(), build_random_circuit(5, &script), mask, 53);
+        check_filtered_run(&Refactor::default(), scripted_circuit(5, &script), mask, 51);
+        check_filtered_run(&Rewrite::default(), scripted_circuit(5, &script), mask, 52);
+        check_filtered_run(&Resubstitution::default(), scripted_circuit(5, &script), mask, 53);
     }
 
     /// An always-keep filter is a no-op wrapper: the filtered pass must land
     /// on exactly the same network as the plain pass, node for node.
     #[test]
     fn always_keep_filter_matches_plain_run(script in script_strategy(30)) {
-        let mut plain = build_random_circuit(5, &script);
+        let mut plain = scripted_circuit(5, &script);
         let mut filtered = plain.clone();
         let rewrite = Rewrite::default();
         let plain_stats: elf_opt::OpStats = AigOperator::run(&rewrite, &mut plain).into();
@@ -199,7 +150,7 @@ proptest! {
         use elf_core::{Elf, ElfOptions};
         use elf_nn::{Mlp, Normalizer};
 
-        let mut pruned = build_random_circuit(5, &script);
+        let mut pruned = scripted_circuit(5, &script);
         let mut plain = pruned.clone();
         let classifier = elf_core::ElfClassifier::from_parts(
             Normalizer::from_stats(vec![2.0; 6], vec![1.0; 6]),
@@ -222,7 +173,7 @@ proptest! {
     /// baseline) is still sound and monotone in node count.
     #[test]
     fn refactor_twice_is_sound(script in script_strategy(30)) {
-        let mut aig = build_random_circuit(5, &script);
+        let mut aig = scripted_circuit(5, &script);
         let golden = aig.clone();
         let refactor = Refactor::new(RefactorParams::default());
         let first = refactor.run(&mut aig);

@@ -1,0 +1,343 @@
+//! # elf-par
+//!
+//! A zero-dependency, std-only parallel engine for the embarrassingly
+//! parallel phases of the ELF flow: per-node cut collection, batch feature
+//! extraction and row-chunked classifier inference.
+//!
+//! The design goal is **determinism first**: every entry point produces
+//! results in input order, bit-identical to a sequential run, for any thread
+//! count.  Parallelism only changes *when* each item is processed, never
+//! *what* is computed or *where* it lands in the output:
+//!
+//! * work is split into contiguous chunks of the input slice;
+//! * a scoped pool of worker threads claims chunks through an atomic cursor
+//!   (a chunked work queue — no work stealing, no channels);
+//! * each worker owns a private scratch value, created once and reused
+//!   across every item the worker processes;
+//! * finished chunks are gathered and merged back **in chunk order**, so the
+//!   output is exactly what a sequential `map` would have produced, provided
+//!   the mapped function is deterministic per `(index, item)`.
+//!
+//! Workers are scoped [`std::thread`]s spawned per batch (the pool lives for
+//! one [`Parallelism::map_with`] call); this keeps the engine free of global
+//! state and `unsafe`, at a per-batch cost of a few thread spawns — noise
+//! next to the milliseconds-long batches it is used for.
+//!
+//! # Examples
+//!
+//! ```
+//! use elf_par::Parallelism;
+//!
+//! let par = Parallelism::threads(4);
+//! let squares = par.map(&[1, 2, 3, 4, 5], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+//!
+//! // The same call is bit-identical at any thread count.
+//! let seq = Parallelism::sequential().map(&[1, 2, 3, 4, 5], |_, &x| x * x);
+//! assert_eq!(squares, seq);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable consulted by [`Parallelism::from_env`] (and therefore
+/// by `Parallelism::default()`): the fixed worker count of the engine.
+pub const THREADS_ENV: &str = "ELF_THREADS";
+
+/// How many chunks each worker should see on average: small enough to keep
+/// the per-chunk bookkeeping negligible, large enough that an uneven workload
+/// (cut sizes vary wildly across a graph) still balances.
+const CHUNKS_PER_WORKER: usize = 8;
+
+/// A fixed worker count for the deterministic parallel engine.
+///
+/// `Parallelism` is a tiny `Copy` value threaded from configuration surfaces
+/// (`ElfConfig`, `Flow`, benchmark `--threads N` flags) down to every
+/// parallelizable phase.  One thread means "run inline on the caller's
+/// thread"; `n > 1` means "run on a scoped pool of `n` workers".
+///
+/// The default is read from the [`THREADS_ENV`] (`ELF_THREADS`) environment
+/// variable, falling back to sequential, so a whole test suite or benchmark
+/// run can be switched onto the parallel engine without touching code.
+///
+/// # Examples
+///
+/// ```
+/// use elf_par::Parallelism;
+///
+/// assert_eq!(Parallelism::sequential().num_threads(), 1);
+/// assert_eq!(Parallelism::threads(4).num_threads(), 4);
+/// // Zero is clamped: a worker count below one is meaningless.
+/// assert_eq!(Parallelism::threads(0).num_threads(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Parallelism {
+    threads: usize,
+}
+
+impl Parallelism {
+    /// Runs everything inline on the calling thread (one worker).
+    pub const fn sequential() -> Self {
+        Parallelism { threads: 1 }
+    }
+
+    /// A fixed worker count; values below one are clamped to one.
+    pub fn threads(count: usize) -> Self {
+        Parallelism {
+            threads: count.max(1),
+        }
+    }
+
+    /// Reads the worker count from the `ELF_THREADS` environment variable.
+    ///
+    /// Unset, empty or unparsable values fall back to sequential, so the
+    /// engine never surprises a run that did not opt in.
+    pub fn from_env() -> Self {
+        let value = std::env::var(THREADS_ENV).unwrap_or_default();
+        Parallelism::threads(parse_threads(&value).unwrap_or(1))
+    }
+
+    /// The fixed worker count (always at least one).
+    pub const fn num_threads(self) -> usize {
+        self.threads
+    }
+
+    /// Returns `true` when work runs inline on the calling thread.
+    pub const fn is_sequential(self) -> bool {
+        self.threads == 1
+    }
+
+    /// Maps `f` over `items`, in parallel, preserving input order.
+    ///
+    /// `f` receives each item's index and a reference to the item.  As long
+    /// as `f` is deterministic per `(index, item)`, the result is
+    /// bit-identical for every thread count.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use elf_par::Parallelism;
+    ///
+    /// let doubled = Parallelism::threads(3).map(&[10, 20, 30], |i, &x| x + i);
+    /// assert_eq!(doubled, vec![10, 21, 32]);
+    /// ```
+    pub fn map<T, R>(self, items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+    {
+        self.map_with(items, || (), |(), index, item| f(index, item))
+    }
+
+    /// Maps `f` over `items` with a per-worker scratch value, in parallel,
+    /// preserving input order.
+    ///
+    /// `make_scratch` runs once per worker; the produced value is handed to
+    /// every `f` call that worker performs, which is how the hot paths reuse
+    /// allocation-heavy buffers (cut scratch, DFS stacks) across items.  The
+    /// scratch must not leak state between items in a way that changes `f`'s
+    /// result, or determinism across thread counts is lost.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use elf_par::Parallelism;
+    ///
+    /// // Each worker reuses one String buffer across its items.
+    /// let rendered = Parallelism::threads(2).map_with(
+    ///     &[1, 2, 3],
+    ///     String::new,
+    ///     |buf, _, &x| {
+    ///         buf.clear();
+    ///         buf.push_str(&x.to_string());
+    ///         buf.len()
+    ///     },
+    /// );
+    /// assert_eq!(rendered, vec![1, 1, 1]);
+    /// ```
+    pub fn map_with<S, T, R>(
+        self,
+        items: &[T],
+        make_scratch: impl Fn() -> S + Sync,
+        f: impl Fn(&mut S, usize, &T) -> R + Sync,
+    ) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+    {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            let mut scratch = make_scratch();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(index, item)| f(&mut scratch, index, item))
+                .collect();
+        }
+
+        let chunk_len = items.len().div_ceil(workers * CHUNKS_PER_WORKER).max(1);
+        let num_chunks = items.len().div_ceil(chunk_len);
+        let cursor = AtomicUsize::new(0);
+        let gathered: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(num_chunks));
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut scratch = make_scratch();
+                    let mut finished: Vec<(usize, Vec<R>)> = Vec::new();
+                    loop {
+                        let chunk_index = cursor.fetch_add(1, Ordering::Relaxed);
+                        if chunk_index >= num_chunks {
+                            break;
+                        }
+                        let start = chunk_index * chunk_len;
+                        let end = (start + chunk_len).min(items.len());
+                        let results: Vec<R> = items[start..end]
+                            .iter()
+                            .enumerate()
+                            .map(|(offset, item)| f(&mut scratch, start + offset, item))
+                            .collect();
+                        finished.push((chunk_index, results));
+                    }
+                    gathered
+                        .lock()
+                        .expect("a worker panicked while gathering results")
+                        .append(&mut finished);
+                });
+            }
+        });
+
+        // Deterministic gather: chunk order == input order.
+        let mut chunks = gathered
+            .into_inner()
+            .expect("a worker panicked while gathering results");
+        chunks.sort_unstable_by_key(|(index, _)| *index);
+        debug_assert_eq!(chunks.len(), num_chunks);
+        chunks
+            .into_iter()
+            .flat_map(|(_, results)| results)
+            .collect()
+    }
+}
+
+impl Default for Parallelism {
+    /// Reads `ELF_THREADS` (see [`Parallelism::from_env`]).
+    fn default() -> Self {
+        Parallelism::from_env()
+    }
+}
+
+impl std::fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} thread{}",
+            self.threads,
+            if self.threads == 1 { "" } else { "s" }
+        )
+    }
+}
+
+/// Parses a thread-count string: `None` for empty/unparsable/zero input.
+fn parse_threads(value: &str) -> Option<usize> {
+    match value.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn thread_counts_are_clamped() {
+        assert_eq!(Parallelism::threads(0).num_threads(), 1);
+        assert_eq!(Parallelism::threads(7).num_threads(), 7);
+        assert!(Parallelism::sequential().is_sequential());
+        assert!(!Parallelism::threads(2).is_sequential());
+        assert_eq!(Parallelism::sequential().to_string(), "1 thread");
+        assert_eq!(Parallelism::threads(3).to_string(), "3 threads");
+    }
+
+    #[test]
+    fn env_parsing_rules() {
+        assert_eq!(parse_threads("4"), Some(4));
+        assert_eq!(parse_threads(" 12 "), Some(12));
+        assert_eq!(parse_threads("0"), None);
+        assert_eq!(parse_threads(""), None);
+        assert_eq!(parse_threads("many"), None);
+        assert_eq!(parse_threads("-3"), None);
+        // Whatever the ambient environment says, the result is a valid count.
+        assert!(Parallelism::from_env().num_threads() >= 1);
+    }
+
+    #[test]
+    fn map_preserves_order_for_every_thread_count() {
+        let items: Vec<usize> = (0..1000).collect();
+        let expected: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 7, 16] {
+            let result = Parallelism::threads(threads).map(&items, |_, &x| x * 3 + 1);
+            assert_eq!(result, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_passes_the_global_item_index() {
+        let items = vec!["a"; 257];
+        for threads in [1, 4] {
+            let indices = Parallelism::threads(threads).map(&items, |index, _| index);
+            assert_eq!(indices, (0..257).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(Parallelism::threads(8).map(&empty, |_, &x| x).is_empty());
+        assert_eq!(Parallelism::threads(8).map(&[5], |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn scratch_is_created_once_per_worker() {
+        let created = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..512).collect();
+        let result = Parallelism::threads(4).map_with(
+            &items,
+            || {
+                created.fetch_add(1, Ordering::Relaxed);
+                0u32
+            },
+            |scratch, _, &x| {
+                *scratch += 1;
+                x
+            },
+        );
+        assert_eq!(result, items);
+        // At most one scratch per worker — never one per item.
+        let scratches = created.load(Ordering::Relaxed);
+        assert!(
+            (1..=4).contains(&scratches),
+            "expected 1..=4 scratch values, got {scratches}"
+        );
+    }
+
+    #[test]
+    fn panics_in_workers_propagate() {
+        let items: Vec<u32> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            Parallelism::threads(2).map(&items, |_, &x| {
+                assert!(x < 60, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -15,6 +15,7 @@
 //! | [`sop`] (`elf-sop`) | Truth tables, irredundant SOP (Minato–Morreale), algebraic factoring |
 //! | [`opt`] (`elf-opt`) | Refactor, rewrite and resubstitution behind the unified `AigOperator` / `PrunableOperator` traits with a shared `OpStats` core |
 //! | [`nn`] (`elf-nn`) | Minimal MLP framework (Adam, cosine warm restarts, MixUp, stratified splits, metrics) |
+//! | [`par`] (`elf-par`) | Deterministic std-threads parallel engine (scoped pool, chunked queue, order-preserving gather) |
 //! | [`core`] (`elf-core`) | The ELF classifier, the generic pruned operator `Elf<O>`, script-style `Flow` pipelines and the experiment protocol |
 //! | [`circuits`] (`elf-circuits`) | EPFL-style arithmetic, industrial-like and synthetic workload generators |
 //! | [`analysis`] (`elf-analysis`) | t-SNE, exact Shapley values, PCA |
@@ -84,4 +85,5 @@ pub use elf_circuits as circuits;
 pub use elf_core as core;
 pub use elf_nn as nn;
 pub use elf_opt as opt;
+pub use elf_par as par;
 pub use elf_sop as sop;
