@@ -1,0 +1,181 @@
+//! Serving throughput: jobs/sec of the batching `ElfService` vs shard count
+//! and batch size, comparing one-job-at-a-time `run_sync` against batched
+//! (fire-then-drain) submission.
+//!
+//! Every configuration's results are checked identical via simulation
+//! fingerprints before its throughput is reported — the bench doubles as a
+//! serving-determinism smoke test.  `--quick` shrinks the workload for CI;
+//! `--seed N` varies the circuits; `--threads N` sets the *within-job*
+//! engine parallelism (shard counts are swept independently).
+//!
+//! Like the PR 4 thread-sweep bench: on a single-core container the sweep
+//! measures oversubscription rather than the speed-up the shards deliver on
+//! real multicore hardware; the batching win (fewer forward passes) is
+//! visible regardless.
+
+use std::time::Instant;
+
+use elf_aig::{simulation_signature, Aig};
+use elf_bench::HarnessOptions;
+use elf_circuits::scripted_circuit;
+use elf_core::{circuit_dataset, ElfClassifier, ElfOptions};
+use elf_nn::TrainConfig;
+use elf_opt::RefactorParams;
+use elf_par::Parallelism;
+use elf_serve::{ElfService, ServeConfig, ServiceStats};
+
+/// One benchmark workload: scripted circuits paired with flow scripts.
+fn workload(jobs: usize, gates: usize, seed: u64) -> Vec<(Aig, &'static str)> {
+    let scripts = ["rf; rw; rs", "rf; rs", "rw; rf"];
+    (0..jobs)
+        .map(|job| {
+            let salt = job as u64 * 31 + seed;
+            let script: Vec<(u8, usize, usize, usize)> = (0..gates + job % 7)
+                .map(|i| {
+                    (
+                        (i as u64 + salt) as u8,
+                        3 * i + job,
+                        5 * i + 1 + (salt as usize % 5),
+                        7 * i,
+                    )
+                })
+                .collect();
+            (
+                scripted_circuit(4 + job % 4, &script),
+                scripts[job % scripts.len()],
+            )
+        })
+        .collect()
+}
+
+/// Serves the whole workload with `run_sync`, one job at a time.
+fn run_sync_all(service: &ElfService, jobs: &[(Aig, &'static str)]) -> (Vec<u64>, f64) {
+    let mut handle = service.handle();
+    let start = Instant::now();
+    let signatures = jobs
+        .iter()
+        .map(|(aig, script)| {
+            let response = handle.run_sync(aig.clone(), script).expect("run_sync");
+            simulation_signature(&response.aig, 8, 0xE1F)
+        })
+        .collect();
+    (signatures, start.elapsed().as_secs_f64())
+}
+
+/// Serves the whole workload batched: submit everything, then drain.
+fn run_batched_all(service: &ElfService, jobs: &[(Aig, &'static str)]) -> (Vec<u64>, f64) {
+    let mut handle = service.handle();
+    let start = Instant::now();
+    let ids: Vec<_> = jobs
+        .iter()
+        .map(|(aig, script)| handle.submit(aig.clone(), script).expect("submit"))
+        .collect();
+    let mut signatures = vec![0u64; jobs.len()];
+    while let Some(response) = handle.recv() {
+        let index = ids
+            .iter()
+            .position(|id| *id == response.job_id)
+            .expect("own job");
+        signatures[index] = simulation_signature(&response.aig, 8, 0xE1F);
+    }
+    (signatures, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (num_jobs, gates) = if quick { (18, 24) } else { (60, 48) };
+    let shard_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4] };
+    let batch_sizes: &[usize] = if quick { &[1, 256] } else { &[1, 64, 1024] };
+
+    // Train once; the service amortizes the classifier over every request.
+    let trainer = scripted_circuit(
+        6,
+        &(0..40)
+            .map(|i| (i as u8, 3 * i, 5 * i + 1, 7 * i))
+            .collect::<Vec<_>>(),
+    );
+    let data = circuit_dataset(&trainer, &RefactorParams::default());
+    let (classifier, _) = ElfClassifier::fit(
+        &data,
+        &TrainConfig {
+            epochs: options.epochs.min(5),
+            ..Default::default()
+        },
+        options.seed,
+    );
+
+    let jobs = workload(num_jobs, gates, options.seed);
+    println!(
+        "Serve throughput: {num_jobs} jobs, shard counts {shard_counts:?}, batch sizes {batch_sizes:?} (within-job engine: {})",
+        options.parallelism()
+    );
+    println!(
+        "{:<8} {:>10} | {:>12} {:>9} | {:>12} {:>9} {:>10} {:>10} | {:>8}",
+        "shards",
+        "max_batch",
+        "sync ms",
+        "jobs/s",
+        "batched ms",
+        "jobs/s",
+        "batches",
+        "occupancy",
+        "speedup"
+    );
+
+    let mut reference: Option<Vec<u64>> = None;
+    for &shards in shard_counts {
+        for &max_batch in batch_sizes {
+            let config = ServeConfig {
+                shards: Parallelism::threads(shards),
+                max_batch,
+                options: ElfOptions {
+                    parallelism: options.parallelism(),
+                    ..ElfOptions::default()
+                },
+                ..Default::default()
+            };
+
+            let sync_service = ElfService::start(classifier.clone(), config);
+            let (sync_signatures, sync_secs) = run_sync_all(&sync_service, &jobs);
+            sync_service.shutdown();
+
+            let batch_service = ElfService::start(classifier.clone(), config);
+            let (batch_signatures, batch_secs) = run_batched_all(&batch_service, &jobs);
+            let stats: ServiceStats = batch_service.shutdown();
+
+            // Determinism gate: every configuration and both submission
+            // modes must produce identical per-job results.
+            assert_eq!(
+                sync_signatures, batch_signatures,
+                "submission mode changed a served result (shards={shards})"
+            );
+            match &reference {
+                None => reference = Some(sync_signatures),
+                Some(reference) => assert_eq!(
+                    reference, &sync_signatures,
+                    "shards={shards}, max_batch={max_batch} changed a served result"
+                ),
+            }
+
+            println!(
+                "{:<8} {:>10} | {:>12.2} {:>9.1} | {:>12.2} {:>9.1} {:>10} {:>10.1} | {:>7.2}x",
+                shards,
+                max_batch,
+                sync_secs * 1e3,
+                num_jobs as f64 / sync_secs,
+                batch_secs * 1e3,
+                num_jobs as f64 / batch_secs,
+                stats.inference_batches,
+                stats.mean_batch_occupancy(),
+                sync_secs / batch_secs
+            );
+        }
+    }
+    println!();
+    println!(
+        "speedup = batched submission over one-at-a-time run_sync on the same service; \
+         identical per-job results across all {} configurations verified.",
+        shard_counts.len() * batch_sizes.len()
+    );
+}

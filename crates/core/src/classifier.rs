@@ -184,11 +184,37 @@ impl ElfClassifier {
         if features.is_empty() {
             return Vec::new();
         }
-        let rows: Vec<Vec<f32>> = features
-            .iter()
-            .map(|f| self.normalizer.transform_row(f))
-            .collect();
+        let rows = self.normalized_rows(features, false);
         self.model.predict_with(&rows, parallelism)
+    }
+
+    /// The normalization half of the fused classifier: the feature batch as
+    /// the model-ready rows a forward pass consumes.
+    ///
+    /// With `self_normalize` the batch is standardized with its *own*
+    /// statistics (the paper's per-circuit normalization), falling back to
+    /// the training statistics for batches of fewer than two rows exactly
+    /// like [`ElfClassifier::predict_batch_self_normalized`].
+    ///
+    /// This is the seam the serving layer builds on: a batching service
+    /// normalizes each job's cut batch with that job's statistics, then
+    /// coalesces the already-normalized rows of many jobs into one
+    /// [`elf_nn::Mlp::predict_with`] call.  Because every output row of the
+    /// forward pass depends only on the matching input row, the coalesced
+    /// probabilities are bit-identical to running each job alone.
+    pub fn normalized_rows(
+        &self,
+        features: &[[f32; NUM_FEATURES]],
+        self_normalize: bool,
+    ) -> Vec<Vec<f32>> {
+        if !self_normalize || features.len() < 2 {
+            return self.normalizer.transform_rows(features);
+        }
+        let dataset = Dataset::from_parts(
+            features.iter().map(|f| f.to_vec()).collect(),
+            vec![0.0; features.len()],
+        );
+        Normalizer::fit(&dataset).transform_rows(features)
     }
 
     /// Predicted probabilities where the batch is standardized with its *own*
@@ -220,19 +246,20 @@ impl ElfClassifier {
         features: &[[f32; NUM_FEATURES]],
         parallelism: Parallelism,
     ) -> Vec<f32> {
-        if features.len() < 2 {
-            return self.predict_batch_with(features, parallelism);
+        if features.is_empty() {
+            return Vec::new();
         }
-        let dataset = Dataset::from_parts(
-            features.iter().map(|f| f.to_vec()).collect(),
-            vec![0.0; features.len()],
-        );
-        let normalizer = Normalizer::fit(&dataset);
-        let rows: Vec<Vec<f32>> = features
-            .iter()
-            .map(|f| normalizer.transform_row(f))
-            .collect();
+        let rows = self.normalized_rows(features, true);
         self.model.predict_with(&rows, parallelism)
+    }
+
+    /// Applies the decision threshold to a vector of predicted probabilities.
+    ///
+    /// The inverse seam of [`ElfClassifier::normalized_rows`]: a serving
+    /// layer that ran the forward pass elsewhere turns the probabilities back
+    /// into keep/prune decisions exactly like [`ElfClassifier::classify_batch`].
+    pub fn decide(&self, probabilities: &[f32]) -> Vec<bool> {
+        probabilities.iter().map(|p| *p >= self.threshold).collect()
     }
 
     /// Classifies a batch of cuts: `true` means "attempt resynthesis".
@@ -476,6 +503,49 @@ mod tests {
         let p_pos = classifier.predict_batch_self_normalized(&positive)[0];
         let p_neg = classifier.predict_batch_self_normalized(&negative)[0];
         assert_ne!(p_pos.to_bits(), p_neg.to_bits());
+    }
+
+    #[test]
+    fn normalized_rows_plus_decide_equals_the_fused_classify_paths() {
+        // The serving seam (normalize here, forward pass elsewhere,
+        // threshold here) must be bit-identical to the fused entry points
+        // for both normalization modes — including the <2-row fallback.
+        let data = synthetic_dataset(250);
+        let (classifier, _) = ElfClassifier::fit(&data, &quick_config(), 17);
+        let batches: Vec<Vec<[f32; 6]>> = vec![
+            vec![],
+            vec![[1.0, 5.0, 2.0, 12.0, 4.0, 6.0]],
+            (0..37)
+                .map(|i| {
+                    let x = i as f32;
+                    [x % 7.0, x % 19.0, x % 13.0, 8.0 + x % 3.0, x % 5.0, 6.0]
+                })
+                .collect(),
+        ];
+        for features in &batches {
+            for self_normalize in [false, true] {
+                let rows = classifier.normalized_rows(features, self_normalize);
+                let probs = classifier.model().predict(&rows);
+                let fused = if self_normalize {
+                    classifier.predict_batch_self_normalized(features)
+                } else {
+                    classifier.predict_batch(features)
+                };
+                assert_eq!(
+                    probs.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                    fused.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                    "rows={}, self_normalize={self_normalize}",
+                    features.len()
+                );
+                let decisions = classifier.decide(&probs);
+                let fused_decisions = if self_normalize {
+                    classifier.classify_batch_self_normalized(features)
+                } else {
+                    classifier.classify_batch(features)
+                };
+                assert_eq!(decisions, fused_decisions);
+            }
+        }
     }
 
     #[test]

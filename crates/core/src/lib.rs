@@ -96,7 +96,7 @@ pub use experiment::{
     quality_with_operator, run_suite, train_leave_one_out, train_leave_one_out_with, train_on_all,
     CircuitStatsRow, ComparisonRow, ExperimentConfig, QualityRow, SuiteResult,
 };
-pub use flow::{Elf, ElfConfig, ElfOptions, ElfRefactor, ElfStats};
+pub use flow::{Elf, ElfConfig, ElfOptions, ElfRefactor, ElfStats, InferenceFn};
 pub use pipeline::{Flow, FlowStats, ParseFlowError, StageStats};
 // Convenience re-export: the parallelism knob lives inside `ElfConfig`,
 // `ElfOptions` and `Flow`, so callers configuring it should not need an

@@ -1,0 +1,242 @@
+//! The micro-batching inference loop.
+//!
+//! Shard workers never run the classifier model themselves: they normalize
+//! their job's cut features (per-job statistics, so batching cannot change
+//! any job's normalization) and send the rows here.  The batcher coalesces
+//! whatever requests are queued — up to `max_batch` rows, waiting at most
+//! `max_wait` ticks for stragglers — into **one**
+//! [`Mlp::predict_with`](elf_nn::Mlp::predict_with) forward pass, then
+//! scatters the probability slices back to the requesting workers.
+//!
+//! Determinism: a dense forward pass is row-exact (output row `i` depends
+//! only on input row `i`, with a fixed inner accumulation order), so the
+//! coalesced batch produces bit-identical probabilities to running every
+//! request alone, regardless of which requests happened to share a batch.
+//! Batch composition therefore affects throughput only, never results — the
+//! service's determinism guarantee does not depend on wall-clock timing.
+//! Within a batch, requests are ordered by job id, so even the (observable
+//! but result-irrelevant) batch layout is deterministic given a composition.
+
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+
+use elf_nn::Mlp;
+use elf_par::Parallelism;
+
+use crate::service::Telemetry;
+
+/// One worker's inference request: normalized rows plus a reply channel.
+pub(crate) struct InferRequest {
+    pub(crate) job_id: u64,
+    pub(crate) rows: Vec<Vec<f32>>,
+    pub(crate) reply: Sender<InferReply>,
+}
+
+/// The batcher's answer to one [`InferRequest`].
+pub(crate) struct InferReply {
+    /// One probability per requested row, in request order.
+    pub(crate) probabilities: Vec<f32>,
+    /// Total rows of the coalesced batch this request rode in (the batch
+    /// occupancy reported in `ServeStats`).
+    pub(crate) batch_rows: usize,
+}
+
+/// Worker-side handle to the batcher thread.
+pub(crate) struct BatcherClient {
+    tx: Sender<InferRequest>,
+}
+
+impl BatcherClient {
+    pub(crate) fn new(tx: Sender<InferRequest>) -> Self {
+        BatcherClient { tx }
+    }
+
+    /// Sends `rows` for inference and blocks until the probabilities arrive.
+    ///
+    /// Rows are taken by value and moved across the channel — the serving
+    /// hot path never copies feature data.
+    pub(crate) fn infer(&self, job_id: u64, rows: Vec<Vec<f32>>) -> InferReply {
+        if rows.is_empty() {
+            // Nothing to classify (e.g. an empty circuit): skip the round
+            // trip instead of waking the batcher for zero rows.
+            return InferReply {
+                probabilities: Vec::new(),
+                batch_rows: 0,
+            };
+        }
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        self.tx
+            .send(InferRequest {
+                job_id,
+                rows,
+                reply: reply_tx,
+            })
+            .expect("the batcher outlives every shard worker");
+        reply_rx
+            .recv()
+            .expect("the batcher answers every request before exiting")
+    }
+}
+
+/// The batcher thread body: coalesce, forward, scatter — until every worker
+/// has exited and the request channel disconnects.
+pub(crate) fn run_batcher(
+    rx: Receiver<InferRequest>,
+    model: Mlp,
+    max_batch: usize,
+    max_wait: usize,
+    parallelism: Parallelism,
+    telemetry: Arc<Telemetry>,
+) {
+    // Block for the first request of each batch; the channel disconnecting
+    // (all workers gone) is the shutdown signal.
+    while let Ok(first) = rx.recv() {
+        let mut pending = vec![first];
+        let mut rows_total = pending[0].rows.len();
+        // Micro-batching window: keep pulling queued requests, giving other
+        // shards `max_wait` scheduling ticks to contribute, until the batch
+        // target is met.  Purely a throughput knob — see module docs.
+        let mut waited = 0usize;
+        while rows_total < max_batch && waited < max_wait {
+            match rx.try_recv() {
+                Ok(request) => {
+                    rows_total += request.rows.len();
+                    pending.push(request);
+                }
+                Err(TryRecvError::Empty) => {
+                    waited += 1;
+                    std::thread::yield_now();
+                }
+                Err(TryRecvError::Disconnected) => break,
+            }
+        }
+
+        // Deterministic batch layout: requests in job-id order.  The rows
+        // are *moved* out of each request into the coalesced batch (the
+        // per-request row counts are remembered for the scatter), so
+        // coalescing never copies feature data.
+        pending.sort_by_key(|request| request.job_id);
+        let counts: Vec<usize> = pending.iter().map(|request| request.rows.len()).collect();
+        let rows: Vec<Vec<f32>> = pending
+            .iter_mut()
+            .flat_map(|request| request.rows.drain(..))
+            .collect();
+        let probabilities = model.predict_with(&rows, parallelism);
+
+        telemetry.batches.fetch_add(1, Ordering::Relaxed);
+        telemetry
+            .batched_rows
+            .fetch_add(rows.len() as u64, Ordering::Relaxed);
+        telemetry
+            .max_occupancy
+            .fetch_max(rows.len(), Ordering::Relaxed);
+        if pending.len() > 1 {
+            telemetry.coalesced_batches.fetch_add(1, Ordering::Relaxed);
+        }
+
+        let mut offset = 0;
+        for (request, count) in pending.into_iter().zip(counts) {
+            let slice = probabilities[offset..offset + count].to_vec();
+            offset += count;
+            // A worker that died mid-request cannot receive; nothing to do.
+            let _ = request.reply.send(InferReply {
+                probabilities: slice,
+                batch_rows: rows.len(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    fn spawn_batcher(
+        max_batch: usize,
+        max_wait: usize,
+    ) -> (BatcherClient, Arc<Telemetry>, std::thread::JoinHandle<()>) {
+        let (tx, rx) = mpsc::channel();
+        let telemetry = Arc::new(Telemetry::default());
+        let thread = {
+            let telemetry = Arc::clone(&telemetry);
+            std::thread::spawn(move || {
+                run_batcher(
+                    rx,
+                    Mlp::paper_architecture(3),
+                    max_batch,
+                    max_wait,
+                    Parallelism::sequential(),
+                    telemetry,
+                )
+            })
+        };
+        (BatcherClient::new(tx), telemetry, thread)
+    }
+
+    fn rows(n: usize, salt: f32) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| (0..6).map(|j| (i * 7 + j) as f32 * 0.1 + salt).collect())
+            .collect()
+    }
+
+    #[test]
+    fn batched_probabilities_match_a_direct_forward_pass() {
+        let model = Mlp::paper_architecture(3);
+        let (client, telemetry, thread) = spawn_batcher(64, 2);
+        let batch = rows(9, 0.25);
+        let reply = client.infer(1, batch.clone());
+        assert_eq!(reply.probabilities.len(), 9);
+        assert!(reply.batch_rows >= 9);
+        let direct = model.predict(&batch);
+        let bits = |probs: &[f32]| probs.iter().map(|p| p.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&reply.probabilities), bits(&direct));
+        drop(client);
+        thread.join().unwrap();
+        assert_eq!(telemetry.batches.load(Ordering::Relaxed), 1);
+        assert_eq!(telemetry.batched_rows.load(Ordering::Relaxed), 9);
+    }
+
+    #[test]
+    fn concurrent_requests_get_their_own_slices_back() {
+        let model = Mlp::paper_architecture(3);
+        let (client, _telemetry, thread) = spawn_batcher(1024, 64);
+        let clients: Vec<BatcherClient> = (0..4)
+            .map(|_| BatcherClient::new(client.tx.clone()))
+            .collect();
+        let handles: Vec<_> = clients
+            .into_iter()
+            .enumerate()
+            .map(|(id, client)| {
+                std::thread::spawn(move || {
+                    let batch = rows(5 + id, id as f32);
+                    (batch.clone(), client.infer(id as u64, batch.clone()))
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (batch, reply) = handle.join().unwrap();
+            let direct = model.predict(&batch);
+            let bits = |probs: &[f32]| probs.iter().map(|p| p.to_bits()).collect::<Vec<_>>();
+            assert_eq!(
+                bits(&reply.probabilities),
+                bits(&direct),
+                "a coalesced batch changed a request's probabilities"
+            );
+        }
+        drop(client);
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn empty_requests_skip_the_round_trip() {
+        let (client, telemetry, thread) = spawn_batcher(16, 0);
+        let reply = client.infer(0, Vec::new());
+        assert!(reply.probabilities.is_empty());
+        assert_eq!(reply.batch_rows, 0);
+        drop(client);
+        thread.join().unwrap();
+        assert_eq!(telemetry.batches.load(Ordering::Relaxed), 0);
+    }
+}

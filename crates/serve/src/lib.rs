@@ -1,0 +1,116 @@
+//! # elf-serve
+//!
+//! A long-lived, batching serving layer for the ELF flow: the first step
+//! from the paper's one-shot experiment harness toward a traffic-serving
+//! synthesis system.
+//!
+//! An [`ElfService`] is constructed once from a trained
+//! [`ElfClassifier`](elf_core::ElfClassifier) (or trains on startup from a
+//! provided dataset) and amortizes it across many independent circuit
+//! requests:
+//!
+//! * **Admission** — clients hold [`ServiceHandle`]s and
+//!   [`submit`](ServiceHandle::submit) `(circuit, flow script)` jobs over a
+//!   channel; scripts are the same ABC-style `"rf; rw; rs"` strings
+//!   [`Flow::from_script`](elf_core::Flow::from_script) parses, with every
+//!   stage classifier-pruned.
+//! * **Sharding** — a fixed set of long-lived worker threads (the
+//!   [`ServeConfig::shards`] knob, following the workspace's
+//!   [`Parallelism`](elf_par::Parallelism) convention) pulls jobs FIFO from
+//!   the shared queue and runs each job's flow; graph mutation stays inside
+//!   one worker, sequential per job.
+//! * **Micro-batching** — workers do *not* run the classifier model.  They
+//!   normalize their job's cut features with that job's own statistics and
+//!   hand the rows to a central batcher thread, which coalesces the queued
+//!   work of all concurrent jobs — up to [`ServeConfig::max_batch`] rows,
+//!   waiting at most [`ServeConfig::max_wait`] scheduling ticks for
+//!   stragglers — into single
+//!   [`Mlp::predict_with`](elf_nn::Mlp::predict_with) forward passes.
+//! * **Responses** — each handle owns a private response channel:
+//!   [`recv`](ServiceHandle::recv)/[`try_recv`](ServiceHandle::try_recv)
+//!   deliver [`JobResponse`]s (optimized AIG plus per-job [`ServeStats`]:
+//!   queue depth, batch occupancy, nodes before/after, per-stage timings),
+//!   and [`run_sync`](ServiceHandle::run_sync) is the blocking one-job
+//!   convenience.
+//! * **Shutdown** — [`ElfService::shutdown`] (or drop) closes admission,
+//!   drains the queue, joins every thread and reports [`ServiceStats`].
+//!
+//! ## Determinism
+//!
+//! Serving is **per-job deterministic**: a job's output AIG is node-for-node
+//! identical to running the same script offline through
+//! [`Flow::pruned_from_script`](elf_core::Flow::pruned_from_script) with the
+//! same classifier and options — for any shard count, batch knobs, client
+//! thread count or submission interleaving.  Three properties make this
+//! hold, none of which depends on wall-clock timing:
+//!
+//! 1. feature normalization uses *per-job* statistics, so batching cannot
+//!    leak one job's feature distribution into another's;
+//! 2. the dense forward pass is row-exact — output row `i` depends only on
+//!    input row `i` — so the composition of a coalesced batch cannot change
+//!    any row's probability (coalesced batches are additionally laid out in
+//!    job-id order);
+//! 3. graph mutation is sequential within the job's worker, exactly as in
+//!    the offline flow.
+//!
+//! The micro-batching knobs trade latency for throughput only; results
+//! never move.
+//!
+//! # Examples
+//!
+//! Serve a burst of jobs and check one against the offline path:
+//!
+//! ```
+//! use elf_aig::Aig;
+//! use elf_core::{ElfClassifier, Flow};
+//! use elf_nn::{Mlp, Normalizer};
+//! use elf_par::Parallelism;
+//! use elf_serve::{ElfService, ServeConfig};
+//!
+//! // An untrained classifier is enough to exercise the machinery.
+//! let classifier = ElfClassifier::from_parts(
+//!     Normalizer::from_stats(vec![2.0; 6], vec![1.0; 6]),
+//!     Mlp::paper_architecture(5),
+//!     0.5,
+//! );
+//! let config = ServeConfig { shards: Parallelism::threads(2), ..Default::default() };
+//! let service = ElfService::start(classifier.clone(), config);
+//! let mut handle = service.handle();
+//!
+//! let mut aig = Aig::new();
+//! let inputs = aig.add_inputs(4);
+//! let t0 = aig.and(inputs[0], inputs[1]);
+//! let t1 = aig.and(inputs[0], inputs[2]);
+//! let f = aig.or(t0, t1);
+//! let g = aig.and(f, inputs[3]);
+//! aig.add_output(g);
+//!
+//! for _ in 0..4 {
+//!     handle.submit(aig.clone(), "rf; rw").unwrap();
+//! }
+//! let mut served = Vec::new();
+//! while let Some(response) = handle.recv() {
+//!     served.push(response);
+//! }
+//! assert_eq!(served.len(), 4);
+//!
+//! // Node-for-node identical to the offline pruned flow.
+//! let mut offline = aig.clone();
+//! Flow::pruned_from_script("rf; rw", &classifier, service.options())
+//!     .unwrap()
+//!     .run(&mut offline);
+//! assert_eq!(served[0].aig.num_reachable_ands(), offline.num_reachable_ands());
+//! service.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod batcher;
+mod queue;
+mod service;
+
+pub use service::{
+    ElfService, JobId, JobResponse, ServeConfig, ServeStats, ServiceHandle, ServiceStats,
+    SubmitError,
+};

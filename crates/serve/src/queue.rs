@@ -1,0 +1,134 @@
+//! The shared admission queue: FIFO jobs behind a mutex and condvar.
+//!
+//! `std::sync::mpsc` cannot serve as the job queue directly because every
+//! shard worker must pull from the same stream (an mpsc `Receiver` has one
+//! owner) and because graceful shutdown needs "closed" to mean *drain, then
+//! stop* rather than *drop everything*.  This queue gives both: `pop` blocks
+//! until a job arrives, hands out jobs strictly in submission order, and
+//! returns `None` only once the queue is closed **and** empty.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct QueueState<T> {
+    jobs: VecDeque<T>,
+    closed: bool,
+}
+
+/// A closable multi-consumer FIFO queue (see module docs).
+pub(crate) struct JobQueue<T> {
+    state: Mutex<QueueState<T>>,
+    available: Condvar,
+}
+
+impl<T> JobQueue<T> {
+    pub(crate) fn new() -> Self {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a job, returning the queue depth after the push, or the job
+    /// itself when the queue has been closed.
+    pub(crate) fn push(&self, job: T) -> Result<usize, T> {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        if state.closed {
+            return Err(job);
+        }
+        state.jobs.push_back(job);
+        let depth = state.jobs.len();
+        drop(state);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until a job is available, returning it together with the number
+    /// of jobs still waiting behind it.  Returns `None` once the queue is
+    /// closed and fully drained — the worker-shutdown signal.
+    pub(crate) fn pop(&self) -> Option<(T, usize)> {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some((job, state.jobs.len()));
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .available
+                .wait(state)
+                .expect("job queue poisoned while waiting");
+        }
+    }
+
+    /// Closes the queue: pending jobs are still handed out, new pushes fail,
+    /// and blocked `pop`s return `None` once the backlog drains.
+    pub(crate) fn close(&self) {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        state.closed = true;
+        drop(state);
+        self.available.notify_all();
+    }
+
+    /// Number of jobs currently waiting.
+    pub(crate) fn depth(&self) -> usize {
+        self.state.lock().expect("job queue poisoned").jobs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_depth() {
+        let queue = JobQueue::new();
+        assert_eq!(queue.push(1).unwrap(), 1);
+        assert_eq!(queue.push(2).unwrap(), 2);
+        assert_eq!(queue.depth(), 2);
+        assert_eq!(queue.pop(), Some((1, 1)));
+        assert_eq!(queue.pop(), Some((2, 0)));
+        assert_eq!(queue.depth(), 0);
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let queue = JobQueue::new();
+        queue.push("a").unwrap();
+        queue.close();
+        assert_eq!(queue.push("b"), Err("b"));
+        assert_eq!(queue.pop(), Some(("a", 0)));
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_close() {
+        let queue = Arc::new(JobQueue::<u32>::new());
+        let waiter = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop())
+        };
+        // Give the waiter a chance to block, then close.
+        std::thread::yield_now();
+        queue.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_push() {
+        let queue = Arc::new(JobQueue::<u32>::new());
+        let waiter = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop())
+        };
+        std::thread::yield_now();
+        queue.push(7).unwrap();
+        assert_eq!(waiter.join().unwrap(), Some((7, 0)));
+        queue.close();
+    }
+}

@@ -1,0 +1,657 @@
+//! The long-lived [`ElfService`]: sharded workers, job admission, and the
+//! client-facing [`ServiceHandle`] channel API.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use elf_aig::Aig;
+use elf_core::{ElfClassifier, ElfOptions, Flow, FlowStats, ParseFlowError};
+use elf_nn::{Dataset, TrainConfig, TrainReport};
+use elf_par::Parallelism;
+
+use crate::batcher::{run_batcher, BatcherClient};
+use crate::queue::JobQueue;
+
+/// Configuration of an [`ElfService`].
+///
+/// The defaults come from the environment where it matters: `shards` follows
+/// the `ELF_THREADS` convention of the rest of the workspace (via
+/// [`Parallelism::default`]), while the per-job engine knobs default to
+/// sequential — the shards *are* the parallelism, and two nested fan-outs
+/// would oversubscribe the cores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Number of long-lived shard workers executing jobs.
+    pub shards: Parallelism,
+    /// Row target of the micro-batching loop: the batcher stops coalescing
+    /// once a batch reaches this many feature rows (a single oversized
+    /// request still runs as one batch).  Values below one act as one.
+    pub max_batch: usize,
+    /// How many scheduling ticks the batcher waits for more queued inference
+    /// work before running a non-full batch.  Zero disables coalescing-by-
+    /// waiting; queued requests are still merged.  Affects throughput only,
+    /// never results.
+    pub max_wait: usize,
+    /// Flow options applied to every stage of every served job
+    /// (normalization mode and the *within-job* engine parallelism).
+    /// `batch_classification` is forced on at service start: the per-node
+    /// ablation mode has no batched inference to coalesce.
+    pub options: ElfOptions,
+    /// Worker threads of the forward pass inside a coalesced batch.
+    pub inference_parallelism: Parallelism,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: Parallelism::default(),
+            max_batch: 256,
+            max_wait: 8,
+            options: ElfOptions {
+                parallelism: Parallelism::sequential(),
+                ..ElfOptions::default()
+            },
+            inference_parallelism: Parallelism::sequential(),
+        }
+    }
+}
+
+/// Identifier of one submitted job, unique within its service.
+///
+/// Ids are handed out in submission order across all handles; the batcher
+/// also uses them to order coalesced batches deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(u64);
+
+impl JobId {
+    /// The raw id value.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+/// Per-job serving statistics, alongside the usual per-stage [`FlowStats`].
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    /// Jobs still waiting in the admission queue when this job was picked up.
+    pub queue_depth: usize,
+    /// Inference round trips this job made to the batcher (one per pruned
+    /// stage with a non-empty cut batch).
+    pub inference_calls: usize,
+    /// Feature rows this job sent for inference in total.
+    pub inference_rows: usize,
+    /// Largest coalesced batch (total rows, including other jobs' work) any
+    /// of this job's requests rode in — the batch occupancy.
+    pub max_batch_occupancy: usize,
+    /// Reachable AND count before the flow ran.
+    pub nodes_before: usize,
+    /// Reachable AND count after the flow ran.
+    pub nodes_after: usize,
+    /// Time from submission to a shard worker picking the job up.
+    pub queued_time: Duration,
+    /// Time the shard worker spent executing the flow.
+    pub service_time: Duration,
+    /// Per-stage statistics of the executed flow (stage timings, prune
+    /// rates, feature/classify split).
+    pub flow: FlowStats,
+}
+
+/// One finished job: the optimized circuit plus its serving statistics.
+#[derive(Debug, Clone)]
+pub struct JobResponse {
+    /// The id returned by the matching [`ServiceHandle::submit`].
+    pub job_id: JobId,
+    /// The optimized circuit.  When [`JobResponse::failed`] is set, the
+    /// contents are unspecified (a partially transformed network) and must
+    /// not be used.
+    pub aig: Aig,
+    /// Serving statistics of this job.
+    pub stats: ServeStats,
+    /// `true` when the worker panicked while executing this job (an
+    /// internal bug, e.g. an operator invariant violation — never a normal
+    /// outcome).  The response is still delivered so no client blocks
+    /// forever on a job that cannot complete; check this flag before using
+    /// [`JobResponse::aig`].
+    pub failed: bool,
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The flow script did not parse; the payload names the offending token.
+    Script(ParseFlowError),
+    /// The service has been shut down.
+    ServiceClosed,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Script(err) => write!(f, "invalid flow script: {err}"),
+            SubmitError::ServiceClosed => write!(f, "the service has been shut down"),
+        }
+    }
+}
+
+impl Error for SubmitError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SubmitError::Script(err) => Some(err),
+            SubmitError::ServiceClosed => None,
+        }
+    }
+}
+
+impl From<ParseFlowError> for SubmitError {
+    fn from(err: ParseFlowError) -> Self {
+        SubmitError::Script(err)
+    }
+}
+
+/// Service-wide counters, snapshotted by [`ElfService::stats`] and returned
+/// by [`ElfService::shutdown`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs fully served (successful responses delivered).
+    pub jobs_served: u64,
+    /// Jobs delivered as failed because the worker panicked executing them
+    /// (see [`JobResponse::failed`]); always 0 in a healthy service.
+    pub jobs_failed: u64,
+    /// Forward passes the batcher ran.
+    pub inference_batches: u64,
+    /// Feature rows across all forward passes.
+    pub inference_rows: u64,
+    /// Largest single coalesced batch, in rows.
+    pub max_batch_occupancy: usize,
+    /// Batches that coalesced more than one request — the number of forward
+    /// passes the micro-batching loop saved.
+    pub coalesced_batches: u64,
+}
+
+impl ServiceStats {
+    /// Mean rows per forward pass (0 when no batch ran).
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        if self.inference_batches == 0 {
+            0.0
+        } else {
+            self.inference_rows as f64 / self.inference_batches as f64
+        }
+    }
+}
+
+/// Shared service-wide counters (batcher + workers).
+#[derive(Debug, Default)]
+pub(crate) struct Telemetry {
+    pub(crate) jobs: AtomicU64,
+    pub(crate) jobs_failed: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) batched_rows: AtomicU64,
+    pub(crate) max_occupancy: AtomicUsize,
+    pub(crate) coalesced_batches: AtomicU64,
+}
+
+impl Telemetry {
+    fn snapshot(&self) -> ServiceStats {
+        ServiceStats {
+            jobs_served: self.jobs.load(Ordering::Relaxed),
+            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            inference_batches: self.batches.load(Ordering::Relaxed),
+            inference_rows: self.batched_rows.load(Ordering::Relaxed),
+            max_batch_occupancy: self.max_occupancy.load(Ordering::Relaxed),
+            coalesced_batches: self.coalesced_batches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One admitted job, queued for a shard worker.
+struct Job {
+    id: u64,
+    aig: Aig,
+    flow: Flow,
+    submitted_at: Instant,
+    reply: mpsc::Sender<JobResponse>,
+}
+
+/// State shared between the service, its workers and every handle.
+struct Shared {
+    classifier: ElfClassifier,
+    options: ElfOptions,
+    queue: JobQueue<Job>,
+    next_job_id: AtomicU64,
+}
+
+/// A long-lived serving instance of the ELF flow.
+///
+/// Constructed once from a trained classifier (or trained on startup via
+/// [`ElfService::fit_and_start`]), the service owns a fixed shard of worker
+/// threads plus one micro-batching inference thread, and accepts circuits
+/// over the channel API of [`ServiceHandle`].  Results are **per-job
+/// deterministic**: every job's output AIG is node-for-node identical to
+/// running the same script offline through
+/// [`Flow::pruned_from_script`] with the same classifier and options,
+/// regardless of shard count, batch knobs, client threads or submission
+/// interleaving (see the crate docs for why).
+///
+/// Shutdown is graceful: [`ElfService::shutdown`] (or dropping the service)
+/// closes admission, drains the queue, and joins every thread.
+///
+/// # Examples
+///
+/// ```
+/// use elf_aig::Aig;
+/// use elf_core::ElfClassifier;
+/// use elf_nn::{Mlp, Normalizer};
+/// use elf_par::Parallelism;
+/// use elf_serve::{ElfService, ServeConfig};
+///
+/// let classifier = ElfClassifier::from_parts(
+///     Normalizer::from_stats(vec![2.0; 6], vec![1.0; 6]),
+///     Mlp::paper_architecture(5),
+///     0.5,
+/// );
+/// let config = ServeConfig { shards: Parallelism::threads(2), ..Default::default() };
+/// let service = ElfService::start(classifier, config);
+/// let mut handle = service.handle();
+///
+/// let mut aig = Aig::new();
+/// let inputs = aig.add_inputs(3);
+/// let t0 = aig.and(inputs[0], inputs[1]);
+/// let t1 = aig.and(inputs[0], inputs[2]);
+/// let f = aig.or(t0, t1);
+/// aig.add_output(f);
+///
+/// let id = handle.submit(aig, "rf; rw").unwrap();
+/// let response = handle.recv().expect("one job is outstanding");
+/// assert_eq!(response.job_id, id);
+/// assert!(response.stats.nodes_after <= response.stats.nodes_before);
+///
+/// let stats = service.shutdown();
+/// assert_eq!(stats.jobs_served, 1);
+/// ```
+#[derive(Debug)]
+pub struct ElfService {
+    shared: Arc<Shared>,
+    telemetry: Arc<Telemetry>,
+    config: ServeConfig,
+    workers: Vec<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+impl fmt::Debug for Shared {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Shared")
+            .field("options", &self.options)
+            .field("queue_depth", &self.queue.depth())
+            .field("next_job_id", &self.next_job_id.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl ElfService {
+    /// Starts the service: spawns the shard workers and the batcher thread.
+    pub fn start(classifier: ElfClassifier, config: ServeConfig) -> Self {
+        let mut options = config.options;
+        // The per-node ablation mode classifies one cut at a time interleaved
+        // with mutation; there is no batched forward pass to coalesce, so the
+        // serving layer always runs the paper's batched mode.
+        options.batch_classification = true;
+
+        let model = classifier.model().clone();
+        let shared = Arc::new(Shared {
+            classifier,
+            options,
+            queue: JobQueue::new(),
+            next_job_id: AtomicU64::new(0),
+        });
+        let telemetry = Arc::new(Telemetry::default());
+
+        let (batch_tx, batch_rx) = mpsc::channel();
+        let batcher = {
+            let telemetry = Arc::clone(&telemetry);
+            let (max_batch, max_wait) = (config.max_batch.max(1), config.max_wait);
+            let inference = config.inference_parallelism;
+            std::thread::Builder::new()
+                .name("elf-serve-batcher".into())
+                .spawn(move || {
+                    run_batcher(batch_rx, model, max_batch, max_wait, inference, telemetry)
+                })
+                .expect("spawn the batcher thread")
+        };
+
+        let workers = (0..config.shards.num_threads())
+            .map(|shard| {
+                let shared = Arc::clone(&shared);
+                let telemetry = Arc::clone(&telemetry);
+                let client = BatcherClient::new(batch_tx.clone());
+                std::thread::Builder::new()
+                    .name(format!("elf-serve-worker-{shard}"))
+                    .spawn(move || worker_loop(&shared, &client, &telemetry))
+                    .expect("spawn a shard worker thread")
+            })
+            .collect();
+        // The batcher exits when the last request sender disconnects; only
+        // the workers hold one from here on.
+        drop(batch_tx);
+
+        ElfService {
+            shared,
+            telemetry,
+            config,
+            workers,
+            batcher: Some(batcher),
+        }
+    }
+
+    /// Trains a classifier on `data` and starts a service around it — the
+    /// "train on startup" deployment mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or does not have six features
+    /// (see [`ElfClassifier::fit`]).
+    pub fn fit_and_start(
+        data: &Dataset,
+        train: &TrainConfig,
+        seed: u64,
+        config: ServeConfig,
+    ) -> (Self, TrainReport) {
+        let (classifier, report) = ElfClassifier::fit(data, train, seed);
+        (Self::start(classifier, config), report)
+    }
+
+    /// Creates a client handle with its own private response channel.
+    ///
+    /// Handles are independent: each receives exactly the responses of the
+    /// jobs it submitted, so one handle per client thread is the natural
+    /// pattern ([`ServiceHandle`] also implements `Clone` with the same
+    /// semantics).
+    pub fn handle(&self) -> ServiceHandle {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        ServiceHandle {
+            shared: Arc::clone(&self.shared),
+            reply_tx,
+            reply_rx,
+            stash: VecDeque::new(),
+            outstanding: 0,
+        }
+    }
+
+    /// The classifier every served job is pruned with.
+    pub fn classifier(&self) -> &ElfClassifier {
+        &self.shared.classifier
+    }
+
+    /// The configuration the service was started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The flow options applied to served jobs (the configured
+    /// [`ServeConfig::options`] with `batch_classification` forced on) —
+    /// what an offline [`Flow::pruned_from_script`] comparison must use.
+    pub fn options(&self) -> ElfOptions {
+        self.shared.options
+    }
+
+    /// Jobs currently waiting for a shard worker.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
+    /// A live snapshot of the service-wide counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.telemetry.snapshot()
+    }
+
+    /// Gracefully shuts the service down: admission closes (further
+    /// [`ServiceHandle::submit`] calls return
+    /// [`SubmitError::ServiceClosed`]), queued jobs are drained and
+    /// delivered, and every thread is joined.  Returns the final counters.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.shutdown_inner();
+        self.telemetry.snapshot()
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(batcher) = self.batcher.take() {
+            let _ = batcher.join();
+        }
+    }
+}
+
+impl Drop for ElfService {
+    /// Dropping the service performs the same graceful drain as
+    /// [`ElfService::shutdown`] (minus the returned counters).
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// One shard worker: pull a job, run its flow with inference routed through
+/// the batcher, deliver the response to the submitting handle.
+fn worker_loop(shared: &Shared, client: &BatcherClient, telemetry: &Telemetry) {
+    while let Some((job, queue_depth)) = shared.queue.pop() {
+        let Job {
+            id,
+            mut aig,
+            flow,
+            submitted_at,
+            reply,
+        } = job;
+        let queued_time = submitted_at.elapsed();
+        let started = Instant::now();
+        let nodes_before = aig.num_reachable_ands();
+
+        let mut inference_calls = 0usize;
+        let mut inference_rows = 0usize;
+        let mut max_batch_occupancy = 0usize;
+        // A panic inside the flow (an operator invariant violation — an
+        // internal bug) must not strand the client: the handle blocked in
+        // `recv` holds its own reply sender, so the channel never
+        // disconnects and a silently-dropped job would hang it forever.
+        // Catch the panic, deliver the job as failed, and keep the worker
+        // alive for the rest of the queue.  `AssertUnwindSafe` is justified
+        // because the possibly half-mutated `aig` is only handed back with
+        // `failed: true`, documented as unusable.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let stats = flow.run_with_inference(&mut aig, &mut |rows| {
+                if !rows.is_empty() {
+                    // Empty batches skip the batcher round trip; count only
+                    // real inference work (see `ServeStats::inference_calls`).
+                    inference_calls += 1;
+                    inference_rows += rows.len();
+                }
+                let answer = client.infer(id, rows);
+                max_batch_occupancy = max_batch_occupancy.max(answer.batch_rows);
+                answer.probabilities
+            });
+            // Counted inside the guard: walking a graph a panicking operator
+            // left inconsistent could itself panic, and nothing after the
+            // catch may touch `aig` (a dead worker strands its clients).
+            (stats, aig.num_reachable_ands())
+        }));
+        let (flow_stats, nodes_after, failed) = match outcome {
+            Ok((stats, nodes_after)) => (stats, nodes_after, false),
+            Err(_) => (FlowStats::default(), nodes_before, true),
+        };
+
+        if failed {
+            telemetry.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            telemetry.jobs.fetch_add(1, Ordering::Relaxed);
+        }
+        let stats = ServeStats {
+            queue_depth,
+            inference_calls,
+            inference_rows,
+            max_batch_occupancy,
+            nodes_before,
+            nodes_after,
+            queued_time,
+            service_time: started.elapsed(),
+            flow: flow_stats,
+        };
+        // The handle may have been dropped without collecting its responses;
+        // the job's work is simply discarded then.
+        let _ = reply.send(JobResponse {
+            job_id: JobId(id),
+            aig,
+            stats,
+            failed,
+        });
+    }
+}
+
+/// A client's connection to an [`ElfService`].
+///
+/// Each handle owns a private response channel: it receives exactly the
+/// responses of the jobs *it* submitted, in completion order.  Handles are
+/// `Send`, and cloning one (or calling [`ElfService::handle`] again) creates
+/// an independent client — the way to fan submissions out over many client
+/// threads.
+#[derive(Debug)]
+pub struct ServiceHandle {
+    shared: Arc<Shared>,
+    reply_tx: mpsc::Sender<JobResponse>,
+    reply_rx: mpsc::Receiver<JobResponse>,
+    /// Responses received while waiting for a specific job in
+    /// [`ServiceHandle::run_sync`], still owed to [`ServiceHandle::recv`].
+    stash: VecDeque<JobResponse>,
+    /// Jobs submitted through this handle whose responses have not been
+    /// returned to the caller yet.
+    outstanding: usize,
+}
+
+impl Clone for ServiceHandle {
+    /// Clones the *connection*, not the inbox: the clone shares the service
+    /// but gets a fresh private response channel with nothing outstanding.
+    fn clone(&self) -> Self {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        ServiceHandle {
+            shared: Arc::clone(&self.shared),
+            reply_tx,
+            reply_rx,
+            stash: VecDeque::new(),
+            outstanding: 0,
+        }
+    }
+}
+
+impl ServiceHandle {
+    /// Submits a circuit with an ABC-style flow script (e.g. `"rf; rw; rs"`),
+    /// returning the job's id immediately.
+    ///
+    /// Every stage runs classifier-pruned, exactly like
+    /// [`Flow::pruned_from_script`] with the service's classifier and
+    /// options.  The script is validated here, so a typo fails fast at the
+    /// submitting client instead of inside a worker.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Script`] when the script has an unknown token;
+    /// [`SubmitError::ServiceClosed`] after shutdown.
+    pub fn submit(&mut self, aig: Aig, flow_script: &str) -> Result<JobId, SubmitError> {
+        let flow =
+            Flow::pruned_from_script(flow_script, &self.shared.classifier, self.shared.options)?;
+        let id = self.shared.next_job_id.fetch_add(1, Ordering::Relaxed);
+        let job = Job {
+            id,
+            aig,
+            flow,
+            submitted_at: Instant::now(),
+            reply: self.reply_tx.clone(),
+        };
+        match self.shared.queue.push(job) {
+            Ok(_) => {
+                self.outstanding += 1;
+                Ok(JobId(id))
+            }
+            Err(_) => Err(SubmitError::ServiceClosed),
+        }
+    }
+
+    /// Jobs submitted through this handle whose responses have not been
+    /// returned yet.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Blocks until the next response of a job submitted through this handle
+    /// arrives, in completion order.  Returns `None` when nothing is
+    /// outstanding — a loop of `recv` after a burst of submissions
+    /// terminates by itself.
+    pub fn recv(&mut self) -> Option<JobResponse> {
+        if let Some(response) = self.stash.pop_front() {
+            self.outstanding -= 1;
+            return Some(response);
+        }
+        if self.outstanding == 0 {
+            return None;
+        }
+        let response = self
+            .reply_rx
+            .recv()
+            .expect("a worker holds a reply sender for every outstanding job");
+        self.outstanding -= 1;
+        Some(response)
+    }
+
+    /// Returns the next response if one is already available, without
+    /// blocking.  `None` means "nothing finished yet" (or nothing
+    /// outstanding — check [`ServiceHandle::outstanding`]).
+    pub fn try_recv(&mut self) -> Option<JobResponse> {
+        if let Some(response) = self.stash.pop_front() {
+            self.outstanding -= 1;
+            return Some(response);
+        }
+        match self.reply_rx.try_recv() {
+            Ok(response) => {
+                self.outstanding -= 1;
+                Some(response)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Submits a job and blocks until *its* response arrives.
+    ///
+    /// Responses of other jobs submitted earlier through this handle that
+    /// complete in the meantime are stashed and returned by later
+    /// [`ServiceHandle::recv`] calls, so `run_sync` composes with
+    /// fire-and-forget submissions on the same handle.
+    ///
+    /// # Errors
+    ///
+    /// The same submission errors as [`ServiceHandle::submit`].
+    pub fn run_sync(&mut self, aig: Aig, flow_script: &str) -> Result<JobResponse, SubmitError> {
+        let id = self.submit(aig, flow_script)?;
+        loop {
+            // Read the channel directly: the stash can only contain earlier
+            // jobs, never the one just submitted.
+            let response = self
+                .reply_rx
+                .recv()
+                .expect("a worker holds a reply sender for every outstanding job");
+            if response.job_id == id {
+                self.outstanding -= 1;
+                return Ok(response);
+            }
+            self.stash.push_back(response);
+        }
+    }
+}

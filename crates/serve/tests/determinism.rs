@@ -1,0 +1,328 @@
+//! Service determinism layer: the same job set, submitted from one client or
+//! from many concurrent client threads, against services with 1 or 4 shards
+//! and different batching knobs, must yield **identical per-job output
+//! AIGs** — and every one of them must equal the offline
+//! `Flow::pruned_from_script` result node-for-node.
+//!
+//! The whole suite also runs under both `ELF_THREADS=1` and `ELF_THREADS=4`
+//! in CI, which routes the engine-level defaults through the parallel
+//! engine as well.
+
+use elf_aig::{check_equivalence, simulation_signature, Aig, EquivalenceResult};
+use elf_circuits::{scripted_circuit, GateChoice};
+use elf_core::{ElfClassifier, Flow, DEFAULT_THRESHOLD};
+use elf_nn::{Mlp, Normalizer};
+use elf_par::Parallelism;
+use elf_serve::{ElfService, ServeConfig, SubmitError};
+
+/// An untrained classifier with hand-set statistics and a mid threshold:
+/// deterministic, and it genuinely prunes some cuts while keeping others.
+fn mixed_classifier() -> ElfClassifier {
+    let normalizer = Normalizer::from_stats(vec![2.0; 6], vec![1.0; 6]);
+    ElfClassifier::from_parts(normalizer, Mlp::paper_architecture(5), DEFAULT_THRESHOLD)
+}
+
+/// The job set every scenario serves: scripted random circuits of varying
+/// density paired with different flow scripts.
+fn job_set() -> Vec<(Aig, &'static str)> {
+    let scripts = ["rf; rw; rs", "rf; rs", "rw", "rs; rf", "rf; rw"];
+    (0..15)
+        .map(|job| {
+            let gates: Vec<GateChoice> = (0..20 + (job % 5) * 6)
+                .map(|i| ((i + job) as u8, 3 * i + job, 5 * i + 1, 7 * i + 2 * job))
+                .collect();
+            let aig = scripted_circuit(4 + job % 3, &gates);
+            (aig, scripts[job % scripts.len()])
+        })
+        .collect()
+}
+
+/// One AND node of a structural fingerprint: id plus both fanin literals.
+type StructuralNode = (u32, u32, bool, u32, bool);
+
+/// A full job fingerprint: AND structure, output literals and a simulation
+/// signature.
+type JobFingerprint = (Vec<StructuralNode>, Vec<(u32, bool)>, u64);
+
+/// Exact structural fingerprint of an AIG: every reachable AND node in
+/// topological order with its fanin literals, plus the output literals and
+/// a simulation signature.  Equal fingerprints mean the same network node
+/// for node.
+fn fingerprint(aig: &Aig) -> JobFingerprint {
+    let nodes = aig
+        .topological_order()
+        .into_iter()
+        .map(|id| {
+            let (f0, f1) = aig.fanins(id);
+            (
+                id.index(),
+                f0.node().index(),
+                f0.is_complemented(),
+                f1.node().index(),
+                f1.is_complemented(),
+            )
+        })
+        .collect();
+    let outputs = aig
+        .outputs()
+        .iter()
+        .map(|lit| (lit.node().index(), lit.is_complemented()))
+        .collect();
+    (nodes, outputs, simulation_signature(aig, 8, 0xE1F))
+}
+
+/// Serves the job set on `config` from `clients` concurrent client threads
+/// and returns the per-job fingerprints, in job-set order.
+fn serve_job_set(config: ServeConfig, clients: usize) -> Vec<JobFingerprint> {
+    let jobs = job_set();
+    let service = ElfService::start(mixed_classifier(), config);
+    let mut results: Vec<Option<JobFingerprint>> = vec![None; jobs.len()];
+
+    std::thread::scope(|scope| {
+        let threads: Vec<_> = (0..clients)
+            .map(|client| {
+                let mut handle = service.handle();
+                let jobs = &jobs;
+                scope.spawn(move || {
+                    // Client `c` serves jobs c, c+clients, c+2*clients, ...
+                    let mine: Vec<usize> = (client..jobs.len()).step_by(clients).collect();
+                    let mut ids = Vec::new();
+                    for &index in &mine {
+                        let (aig, script) = &jobs[index];
+                        ids.push(handle.submit(aig.clone(), script).expect("submit"));
+                    }
+                    let mut out = Vec::new();
+                    while let Some(response) = handle.recv() {
+                        let position = ids
+                            .iter()
+                            .position(|id| *id == response.job_id)
+                            .expect("response belongs to this handle");
+                        out.push((mine[position], fingerprint(&response.aig)));
+                    }
+                    assert_eq!(out.len(), mine.len());
+                    out
+                })
+            })
+            .collect();
+        for thread in threads {
+            for (index, print) in thread.join().expect("client thread") {
+                assert!(results[index].is_none(), "job {index} answered twice");
+                results[index] = Some(print);
+            }
+        }
+    });
+
+    let stats = service.shutdown();
+    assert_eq!(stats.jobs_served, jobs.len() as u64);
+    results
+        .into_iter()
+        .map(|print| print.expect("every job answered"))
+        .collect()
+}
+
+/// The offline reference: each job run through `Flow::pruned_from_script`
+/// with the same classifier and options the service uses.
+fn offline_reference(config: ServeConfig) -> Vec<JobFingerprint> {
+    let classifier = mixed_classifier();
+    let mut options = config.options;
+    options.batch_classification = true; // what `ElfService::start` enforces
+    job_set()
+        .into_iter()
+        .map(|(mut aig, script)| {
+            Flow::pruned_from_script(script, &classifier, options)
+                .expect("script parses")
+                .run(&mut aig);
+            (aig, script)
+        })
+        .map(|(aig, _)| fingerprint(&aig))
+        .collect()
+}
+
+#[test]
+fn served_results_equal_offline_flow_for_every_shard_and_client_count() {
+    let reference = offline_reference(ServeConfig::default());
+    for shards in [1, 4] {
+        for clients in [1, 3] {
+            let config = ServeConfig {
+                shards: Parallelism::threads(shards),
+                ..Default::default()
+            };
+            let served = serve_job_set(config, clients);
+            assert_eq!(
+                served, reference,
+                "shards={shards}, clients={clients}: served AIGs diverged from the offline flow"
+            );
+        }
+    }
+}
+
+#[test]
+fn batching_knobs_never_move_results() {
+    let reference = offline_reference(ServeConfig::default());
+    for (max_batch, max_wait) in [(1, 0), (8, 2), (4096, 64)] {
+        let config = ServeConfig {
+            shards: Parallelism::threads(4),
+            max_batch,
+            max_wait,
+            ..Default::default()
+        };
+        let served = serve_job_set(config, 2);
+        assert_eq!(
+            served, reference,
+            "max_batch={max_batch}, max_wait={max_wait}: batching changed a job's result"
+        );
+    }
+}
+
+#[test]
+fn inference_parallelism_never_moves_results() {
+    let reference = offline_reference(ServeConfig::default());
+    let config = ServeConfig {
+        shards: Parallelism::threads(2),
+        inference_parallelism: Parallelism::threads(3),
+        ..Default::default()
+    };
+    assert_eq!(serve_job_set(config, 2), reference);
+}
+
+#[test]
+fn run_sync_matches_batched_submission_and_preserves_function() {
+    let classifier = mixed_classifier();
+    let service = ElfService::start(classifier, ServeConfig::default());
+    let mut handle = service.handle();
+    for (source, script) in job_set().into_iter().take(5) {
+        let response = handle.run_sync(source.clone(), script).expect("run_sync");
+        assert_eq!(
+            check_equivalence(&source, &response.aig, 16, 61),
+            EquivalenceResult::Equivalent,
+            "serving changed the circuit's function"
+        );
+        assert!(response.aig.check_invariants().is_empty());
+        assert_eq!(
+            response.stats.nodes_after,
+            response.aig.num_reachable_ands()
+        );
+    }
+    assert_eq!(handle.outstanding(), 0);
+    assert!(handle.recv().is_none());
+}
+
+#[test]
+fn run_sync_stashes_earlier_jobs_for_later_recv() {
+    let service = ElfService::start(mixed_classifier(), ServeConfig::default());
+    let mut handle = service.handle();
+    let jobs = job_set();
+    let (first_aig, first_script) = &jobs[0];
+    let (second_aig, second_script) = &jobs[1];
+    let first = handle.submit(first_aig.clone(), first_script).unwrap();
+    let sync = handle
+        .run_sync(second_aig.clone(), second_script)
+        .expect("run_sync");
+    assert_ne!(sync.job_id, first);
+    // The fire-and-forget job is still delivered, from the stash or channel.
+    let pending = handle.recv().expect("first job still outstanding");
+    assert_eq!(pending.job_id, first);
+    assert!(handle.recv().is_none());
+}
+
+#[test]
+fn fit_and_start_trains_on_startup_and_serves() {
+    use elf_nn::{Dataset, TrainConfig};
+    let mut data = Dataset::new();
+    for i in 0..120 {
+        let x = i as f32;
+        data.push(
+            vec![x % 5.0, x % 17.0, x % 11.0, 8.0, x % 3.0, 6.0],
+            i % 6 == 0,
+        );
+    }
+    let train = TrainConfig {
+        epochs: 3,
+        ..Default::default()
+    };
+    let (service, report) = ElfService::fit_and_start(&data, &train, 7, ServeConfig::default());
+    assert!(report.epochs_run > 0);
+    let (aig, script) = job_set().into_iter().next().expect("non-empty job set");
+    let mut handle = service.handle();
+    let response = handle.run_sync(aig.clone(), script).expect("run_sync");
+    // The startup-trained classifier is the one serving: the offline flow
+    // with `service.classifier()` reproduces the served result.
+    let mut offline = aig;
+    Flow::pruned_from_script(script, service.classifier(), service.options())
+        .expect("script parses")
+        .run(&mut offline);
+    assert_eq!(fingerprint(&response.aig), fingerprint(&offline));
+}
+
+#[test]
+fn worker_panic_delivers_a_failed_response_instead_of_hanging_clients() {
+    // A classifier whose model expects 3 inputs while cut features are
+    // 6-wide makes the forward pass panic on a dimension assert — a stand-in
+    // for any internal bug inside a served flow.  The client must get a
+    // `failed` response back rather than blocking in `recv` forever, and
+    // shutdown must still drain and join cleanly.
+    let broken = ElfClassifier::from_parts(
+        Normalizer::from_stats(vec![2.0; 6], vec![1.0; 6]),
+        Mlp::new(
+            &[3, 2, 1],
+            elf_nn::Activation::Relu,
+            elf_nn::Activation::Sigmoid,
+            5,
+        ),
+        DEFAULT_THRESHOLD,
+    );
+    let service = ElfService::start(broken, ServeConfig::default());
+    let mut handle = service.handle();
+    let jobs = job_set();
+    for (aig, script) in jobs.iter().take(3) {
+        handle.submit(aig.clone(), script).unwrap();
+    }
+    let mut failed = 0;
+    while let Some(response) = handle.recv() {
+        assert!(response.failed, "a broken model cannot serve a job");
+        assert_eq!(
+            response.stats.nodes_after, response.stats.nodes_before,
+            "a failed job must not report the broken graph as a result"
+        );
+        failed += 1;
+    }
+    assert_eq!(failed, 3);
+    let stats = service.shutdown();
+    assert_eq!(stats.jobs_served, 0, "panicked jobs are not 'served'");
+    assert_eq!(stats.jobs_failed, 3);
+}
+
+#[test]
+fn shutdown_rejects_new_work_and_reports_counters() {
+    let service = ElfService::start(
+        mixed_classifier(),
+        ServeConfig {
+            shards: Parallelism::threads(2),
+            ..Default::default()
+        },
+    );
+    let mut handle = service.handle();
+    let jobs = job_set();
+    for (aig, script) in jobs.iter().take(4) {
+        handle.submit(aig.clone(), script).unwrap();
+    }
+    // Shutdown drains: all four submitted jobs are still delivered.
+    let stats = service.shutdown();
+    assert_eq!(stats.jobs_served, 4);
+    assert!(stats.inference_batches > 0);
+    assert!(stats.mean_batch_occupancy() > 0.0);
+    let mut delivered = 0;
+    while handle.recv().is_some() {
+        delivered += 1;
+    }
+    assert_eq!(delivered, 4);
+    // New work is rejected, and bad scripts fail fast either way.
+    assert_eq!(
+        handle.submit(jobs[0].0.clone(), "rf"),
+        Err(SubmitError::ServiceClosed)
+    );
+    assert!(matches!(
+        handle.submit(jobs[0].0.clone(), "rf; balance"),
+        Err(SubmitError::Script(err)) if err.token() == "balance"
+    ));
+}

@@ -17,6 +17,7 @@
 //! | [`nn`] (`elf-nn`) | Minimal MLP framework (Adam, cosine warm restarts, MixUp, stratified splits, metrics) |
 //! | [`par`] (`elf-par`) | Deterministic std-threads parallel engine (scoped pool, chunked queue, order-preserving gather) |
 //! | [`core`] (`elf-core`) | The ELF classifier, the generic pruned operator `Elf<O>`, script-style `Flow` pipelines and the experiment protocol |
+//! | [`serve`] (`elf-serve`) | Long-lived batching `ElfService`: sharded workers, micro-batched inference, channel request/response API |
 //! | [`circuits`] (`elf-circuits`) | EPFL-style arithmetic, industrial-like and synthetic workload generators |
 //! | [`analysis`] (`elf-analysis`) | t-SNE, exact Shapley values, PCA |
 //!
@@ -76,6 +77,47 @@
 //!     .resub(ResubParams::default());
 //! assert_eq!(flow.stage_names(), vec!["refactor", "rewrite", "resub"]);
 //! ```
+//!
+//! Serve circuits from a long-lived [`serve::ElfService`] — a fixed shard of
+//! worker threads sharing one classifier, with the inference work of
+//! concurrent jobs coalesced into micro-batches.  Results are per-job
+//! deterministic: node-for-node identical to the offline
+//! [`core::Flow::pruned_from_script`] path, for any shard count, batch knobs
+//! or client interleaving:
+//!
+//! ```
+//! use elf::circuits::epfl::{arithmetic_circuit, Scale};
+//! use elf::core::{ElfClassifier, Flow};
+//! use elf::nn::{Mlp, Normalizer};
+//! use elf::par::Parallelism;
+//! use elf::serve::{ElfService, ServeConfig};
+//!
+//! let classifier = ElfClassifier::from_parts(
+//!     Normalizer::from_stats(vec![2.0; 6], vec![1.0; 6]),
+//!     Mlp::paper_architecture(5),
+//!     0.5,
+//! );
+//! let config = ServeConfig { shards: Parallelism::threads(2), ..Default::default() };
+//! let service = ElfService::start(classifier.clone(), config);
+//!
+//! // Fire a small burst through one client handle and collect it back.
+//! let mut handle = service.handle();
+//! let source = arithmetic_circuit("square", Scale::Tiny);
+//! let id = handle.submit(source.clone(), "rf; rw").unwrap();
+//! let response = handle.recv().expect("one job outstanding");
+//! assert_eq!(response.job_id, id);
+//!
+//! // The served result equals the offline pruned flow, node for node.
+//! let mut offline = source.clone();
+//! Flow::pruned_from_script("rf; rw", &classifier, service.options())
+//!     .unwrap()
+//!     .run(&mut offline);
+//! assert_eq!(
+//!     elf::aig::aiger::to_ascii(&response.aig),
+//!     elf::aig::aiger::to_ascii(&offline),
+//! );
+//! assert_eq!(service.shutdown().jobs_served, 1);
+//! ```
 
 #![warn(missing_docs)]
 
@@ -86,4 +128,5 @@ pub use elf_core as core;
 pub use elf_nn as nn;
 pub use elf_opt as opt;
 pub use elf_par as par;
+pub use elf_serve as serve;
 pub use elf_sop as sop;
