@@ -1,9 +1,30 @@
 //! The central And-Inverter Graph data structure.
+//!
+//! # Storage layout
+//!
+//! The graph is stored as a *struct of arrays*: every per-node attribute
+//! (kind, fanins, reference count, level, traversal mark, liveness, birth
+//! stamp) lives in its own dense column indexed by [`NodeId`].  Hot loops —
+//! cut enumeration, MFFC evaluation, simulation, level propagation — stream
+//! through exactly the columns they need instead of pulling whole 32-byte
+//! node structs into cache.
+//!
+//! Fanout lists live in a single shared pool of linked entries
+//! (`fanout_pool`) with one chain head/tail pair per node, so recording a
+//! fanout edge never allocates per node.  Freed entries are recycled through
+//! an intrusive free chain.
+//!
+//! Arena slots of deleted nodes are recycled through a free list (see
+//! [`Aig::set_recycling`]): a long `rf; rw; rs` flow keeps the arena
+//! proportional to the number of live nodes instead of growing monotonically.
+//! Recycling never invalidates bounds: issued [`NodeId`]s always index a
+//! valid slot, and [`NodeToken`] lets callers detect when a slot has been
+//! re-issued to a new node.
 
 use std::collections::HashMap;
 
 use crate::lit::{Lit, NodeId};
-use crate::node::Node;
+use crate::node::{Node, NodeKind};
 
 /// A structural fanout reference: either another AND node or a primary output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -12,6 +33,58 @@ pub enum Fanout {
     Node(NodeId),
     /// The node drives the primary output with this index.
     Output(u32),
+}
+
+/// Kind column encoding: the constant-false node.
+const KIND_CONST0: u32 = 0;
+/// Kind column encoding: a two-input AND gate.
+const KIND_AND: u32 = u32::MAX;
+/// Null link in the fanout pool and free chains.
+const NIL: u32 = u32::MAX;
+
+/// One entry of the shared fanout pool: an item plus the link to the next
+/// entry of the same node's chain (or of the free chain once released).
+#[derive(Debug, Clone, Copy)]
+struct FanoutEntry {
+    item: Fanout,
+    next: u32,
+}
+
+/// A generation-stamped reference to a node.
+///
+/// Arena slots of deleted nodes are recycled by later insertions, so a bare
+/// [`NodeId`] held across graph mutations may silently start naming a
+/// *different* node.  A token captures the slot's birth stamp as well;
+/// [`Aig::token_is_current`] then distinguishes "the node I captured is still
+/// alive" from "the slot was freed (and possibly re-issued)".
+///
+/// # Examples
+///
+/// ```
+/// use elf_aig::Aig;
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input();
+/// let b = aig.add_input();
+/// let f = aig.and(a, b);
+/// aig.add_output(f);
+/// let token = aig.token(f.node());
+/// assert!(aig.token_is_current(token));
+/// aig.replace(f.node(), a);
+/// assert!(!aig.token_is_current(token));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeToken {
+    id: NodeId,
+    birth: u64,
+}
+
+impl NodeToken {
+    /// The node id this token was captured for.
+    #[inline]
+    pub fn id(self) -> NodeId {
+        self.id
+    }
 }
 
 /// An And-Inverter Graph (AIG).
@@ -25,6 +98,7 @@ pub enum Fanout {
 /// The structure supports in-place optimization: [`Aig::replace`] redirects
 /// all fanouts of a node to another literal and garbage-collects the cone
 /// that becomes unreferenced, which is the primitive used by refactoring.
+/// Freed slots are recycled by later insertions (see [`Aig::set_recycling`]).
 ///
 /// # Examples
 ///
@@ -41,8 +115,48 @@ pub enum Fanout {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Aig {
-    pub(crate) nodes: Vec<Node>,
-    pub(crate) fanouts: Vec<Vec<Fanout>>,
+    // ---- struct-of-arrays node columns, indexed by NodeId ----
+    /// Node kind: [`KIND_CONST0`], [`KIND_AND`], or `input_index + 1`.
+    kind: Vec<u32>,
+    /// First fanin literal (AND nodes only; `Lit::FALSE` otherwise).
+    fanin0: Vec<Lit>,
+    /// Second fanin literal (AND nodes only; `Lit::FALSE` otherwise).
+    fanin1: Vec<Lit>,
+    /// Structural reference counts (fanout edge counts).
+    refs: Vec<u32>,
+    /// Logic levels (0 for inputs/constant).
+    level: Vec<u32>,
+    /// Traversal marks, compared against `travid_counter`.
+    travid: Vec<u32>,
+    /// Liveness: `true` once the slot's node has been deleted.
+    dead: Vec<bool>,
+    /// Monotonic allocation stamp: strictly increasing over every node ever
+    /// created, never reused.  All id-order-sensitive decisions (fanin
+    /// normalization, iteration order) use births, so graphs built with and
+    /// without slot recycling make identical structural choices.
+    birth: Vec<u64>,
+    // ---- pooled fanout storage ----
+    /// Head of each node's fanout chain in `fanout_pool` (`NIL` when empty).
+    fanout_head: Vec<u32>,
+    /// Tail of each node's fanout chain (meaningless while the head is `NIL`).
+    fanout_tail: Vec<u32>,
+    /// Shared pool of fanout entries for all nodes.
+    fanout_pool: Vec<FanoutEntry>,
+    /// Head of the free chain of released pool entries.
+    fanout_free: u32,
+    // ---- slot recycling ----
+    /// Slots of deleted nodes, recycled LIFO by later insertions.
+    free_slots: Vec<u32>,
+    /// Whether `and()` pops from `free_slots` (on by default).
+    recycling: bool,
+    /// Next birth stamp to issue.
+    next_birth: u64,
+    // ---- speculative construction ----
+    /// Whether a speculation capture is active.
+    spec_active: bool,
+    /// Nodes allocated since `begin_speculation`, in allocation order.
+    spec_log: Vec<NodeId>,
+    // ---- interface and bookkeeping ----
     inputs: Vec<NodeId>,
     outputs: Vec<Lit>,
     strash: HashMap<(u32, u32), NodeId>,
@@ -65,8 +179,23 @@ impl Aig {
     /// Creates an empty AIG containing only the constant-false node.
     pub fn new() -> Self {
         Aig {
-            nodes: vec![Node::constant()],
-            fanouts: vec![Vec::new()],
+            kind: vec![KIND_CONST0],
+            fanin0: vec![Lit::FALSE],
+            fanin1: vec![Lit::FALSE],
+            refs: vec![0],
+            level: vec![0],
+            travid: vec![0],
+            dead: vec![false],
+            birth: vec![0],
+            fanout_head: vec![NIL],
+            fanout_tail: vec![NIL],
+            fanout_pool: Vec::new(),
+            fanout_free: NIL,
+            free_slots: Vec::new(),
+            recycling: true,
+            next_birth: 1,
+            spec_active: false,
+            spec_log: Vec::new(),
             inputs: Vec::new(),
             outputs: Vec::new(),
             strash: HashMap::new(),
@@ -113,12 +242,22 @@ impl Aig {
 
     /// Total number of arena slots (including dead nodes, inputs and the constant).
     pub fn num_slots(&self) -> usize {
-        self.nodes.len()
+        self.kind.len()
     }
 
     /// Number of live AND nodes.
     pub fn num_ands(&self) -> usize {
         self.num_ands
+    }
+
+    /// Number of live nodes of any kind (constant, inputs and AND nodes).
+    pub fn num_live_nodes(&self) -> usize {
+        1 + self.inputs.len() + self.num_ands
+    }
+
+    /// Number of dead arena slots currently available for recycling.
+    pub fn num_free_slots(&self) -> usize {
+        self.free_slots.len()
     }
 
     /// Number of primary inputs.
@@ -141,33 +280,52 @@ impl Aig {
         &self.outputs
     }
 
-    /// Returns a reference to a node.
+    /// Decodes the kind column of one slot.
+    #[inline]
+    fn kind_at(&self, idx: usize) -> NodeKind {
+        match self.kind[idx] {
+            KIND_CONST0 => NodeKind::Const0,
+            KIND_AND => NodeKind::And,
+            k => NodeKind::Input(k - 1),
+        }
+    }
+
+    /// Returns a by-value snapshot of a node (see [`Node`]).
     ///
     /// # Panics
     ///
     /// Panics if `id` is out of bounds.
     #[inline]
-    pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id.as_usize()]
+    pub fn node(&self, id: NodeId) -> Node {
+        let idx = id.as_usize();
+        Node {
+            kind: self.kind_at(idx),
+            fanin0: self.fanin0[idx],
+            fanin1: self.fanin1[idx],
+            refs: self.refs[idx],
+            level: self.level[idx],
+            dead: self.dead[idx],
+        }
     }
 
     /// Returns `true` if the node is a live AND node.
     #[inline]
     pub fn is_and(&self, id: NodeId) -> bool {
-        let n = &self.nodes[id.as_usize()];
-        !n.dead && n.is_and()
+        let idx = id.as_usize();
+        !self.dead[idx] && self.kind[idx] == KIND_AND
     }
 
     /// Returns `true` if the node is a primary input.
     #[inline]
     pub fn is_input(&self, id: NodeId) -> bool {
-        self.nodes[id.as_usize()].is_input()
+        let k = self.kind[id.as_usize()];
+        k != KIND_CONST0 && k != KIND_AND
     }
 
     /// Returns `true` if the node slot has been deleted.
     #[inline]
     pub fn is_dead(&self, id: NodeId) -> bool {
-        self.nodes[id.as_usize()].dead
+        self.dead[id.as_usize()]
     }
 
     /// Returns the fanin literals of an AND node.
@@ -177,21 +335,31 @@ impl Aig {
     /// Panics if the node is not an AND node.
     #[inline]
     pub fn fanins(&self, id: NodeId) -> (Lit, Lit) {
-        let n = &self.nodes[id.as_usize()];
-        assert!(n.is_and(), "fanins requested for non-AND node {id}");
-        (n.fanin0, n.fanin1)
+        let idx = id.as_usize();
+        assert!(
+            self.kind[idx] == KIND_AND,
+            "fanins requested for non-AND node {id}"
+        );
+        (self.fanin0[idx], self.fanin1[idx])
     }
 
     /// Returns the structural reference count (fanout count) of a node.
     #[inline]
     pub fn refs(&self, id: NodeId) -> u32 {
-        self.nodes[id.as_usize()].refs
+        self.refs[id.as_usize()]
     }
 
-    /// Returns the fanout references of a node.
-    #[inline]
-    pub fn fanouts(&self, id: NodeId) -> &[Fanout] {
-        &self.fanouts[id.as_usize()]
+    /// Iterates over the fanout references of a node.
+    pub fn fanouts(&self, id: NodeId) -> impl Iterator<Item = Fanout> + '_ {
+        let mut cursor = self.fanout_head[id.as_usize()];
+        std::iter::from_fn(move || {
+            if cursor == NIL {
+                return None;
+            }
+            let entry = &self.fanout_pool[cursor as usize];
+            cursor = entry.next;
+            Some(entry.item)
+        })
     }
 
     /// Returns the logic level of a node.
@@ -201,29 +369,215 @@ impl Aig {
     /// [`Aig::depth`], which does so on demand) for exact values.
     #[inline]
     pub fn level(&self, id: NodeId) -> u32 {
-        self.nodes[id.as_usize()].level
+        self.level[id.as_usize()]
     }
 
-    /// Iterates over the ids of all live AND nodes in arena order.
+    /// Returns the birth stamp of the node currently occupying `id`'s slot.
+    ///
+    /// Births increase strictly in allocation order and are never reused, so
+    /// they define the canonical iteration and fanin-normalization order of
+    /// the graph (what the raw slot index used to be before slot recycling).
+    #[inline]
+    pub fn birth(&self, id: NodeId) -> u64 {
+        self.birth[id.as_usize()]
+    }
+
+    /// Captures a generation-stamped token for `id` (see [`NodeToken`]).
+    #[inline]
+    pub fn token(&self, id: NodeId) -> NodeToken {
+        NodeToken {
+            id,
+            birth: self.birth[id.as_usize()],
+        }
+    }
+
+    /// Returns `true` if the node captured by `token` is still alive (its
+    /// slot has neither been deleted nor re-issued to a newer node).
+    #[inline]
+    pub fn token_is_current(&self, token: NodeToken) -> bool {
+        let idx = token.id.as_usize();
+        !self.dead[idx] && self.birth[idx] == token.birth
+    }
+
+    /// Ordering key of a literal: the node's birth stamp with the complement
+    /// flag as tie-breaker.  This is the recycling-stable equivalent of the
+    /// raw literal encoding `2 * id + complement`.
+    #[inline]
+    fn lit_key(&self, lit: Lit) -> u64 {
+        (self.birth[lit.node().as_usize()] << 1) | lit.is_complemented() as u64
+    }
+
+    /// Iterates over the ids of all live AND nodes in allocation (birth)
+    /// order.
     pub fn and_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes.iter().enumerate().filter_map(|(i, n)| {
-            if !n.dead && n.is_and() {
-                Some(NodeId::new(i as u32))
-            } else {
-                None
-            }
-        })
+        let mut ids: Vec<u32> = (0..self.kind.len() as u32)
+            .filter(|&i| !self.dead[i as usize] && self.kind[i as usize] == KIND_AND)
+            .collect();
+        ids.sort_unstable_by_key(|&i| self.birth[i as usize]);
+        ids.into_iter().map(NodeId::new)
     }
 
-    /// Iterates over all live node ids (constant, inputs and AND nodes).
+    /// Iterates over all live node ids (constant, inputs and AND nodes) in
+    /// allocation (birth) order.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes.iter().enumerate().filter_map(|(i, n)| {
-            if !n.dead {
-                Some(NodeId::new(i as u32))
-            } else {
-                None
+        let mut ids: Vec<u32> = (0..self.kind.len() as u32)
+            .filter(|&i| !self.dead[i as usize])
+            .collect();
+        ids.sort_unstable_by_key(|&i| self.birth[i as usize]);
+        ids.into_iter().map(NodeId::new)
+    }
+
+    // ------------------------------------------------------------------
+    // Slot and fanout-pool management
+    // ------------------------------------------------------------------
+
+    /// Enables or disables recycling of dead arena slots by future
+    /// insertions.
+    ///
+    /// Recycling is on by default.  Freed slots keep accumulating in the free
+    /// list either way; the flag only controls whether [`Aig::and`] and
+    /// [`Aig::add_input`] pop from it.  Thanks to birth-stamp ordering the
+    /// resulting graphs are structurally identical either way — only the slot
+    /// numbering (and therefore peak arena size) differs.
+    pub fn set_recycling(&mut self, enabled: bool) {
+        self.recycling = enabled;
+    }
+
+    /// Returns `true` if dead slots are recycled by future insertions.
+    pub fn recycling(&self) -> bool {
+        self.recycling
+    }
+
+    /// Allocates a fresh slot: pops the free list when recycling is enabled,
+    /// otherwise grows every column by one.  The slot comes back zeroed with
+    /// a fresh birth stamp; the caller fills kind/fanins/level.
+    fn alloc_slot(&mut self) -> NodeId {
+        let stamp = self.next_birth;
+        self.next_birth += 1;
+        if self.recycling {
+            if let Some(slot) = self.free_slots.pop() {
+                let idx = slot as usize;
+                debug_assert!(self.dead[idx], "free list holds a live slot");
+                debug_assert_eq!(
+                    self.fanout_head[idx], NIL,
+                    "freed slot still has fanout entries"
+                );
+                self.dead[idx] = false;
+                self.kind[idx] = KIND_CONST0;
+                self.fanin0[idx] = Lit::FALSE;
+                self.fanin1[idx] = Lit::FALSE;
+                self.refs[idx] = 0;
+                self.level[idx] = 0;
+                self.travid[idx] = 0;
+                self.birth[idx] = stamp;
+                return NodeId::new(slot);
             }
-        })
+        }
+        let id = NodeId::new(self.kind.len() as u32);
+        self.kind.push(KIND_CONST0);
+        self.fanin0.push(Lit::FALSE);
+        self.fanin1.push(Lit::FALSE);
+        self.refs.push(0);
+        self.level.push(0);
+        self.travid.push(0);
+        self.dead.push(false);
+        self.birth.push(stamp);
+        self.fanout_head.push(NIL);
+        self.fanout_tail.push(NIL);
+        id
+    }
+
+    /// Takes one entry from the pool's free chain or grows the pool.
+    fn alloc_fanout_entry(&mut self, item: Fanout) -> u32 {
+        if self.fanout_free != NIL {
+            let entry = self.fanout_free;
+            self.fanout_free = self.fanout_pool[entry as usize].next;
+            self.fanout_pool[entry as usize] = FanoutEntry { item, next: NIL };
+            entry
+        } else {
+            self.fanout_pool.push(FanoutEntry { item, next: NIL });
+            (self.fanout_pool.len() - 1) as u32
+        }
+    }
+
+    /// Appends a fanout record at the end of `node`'s chain (the equivalent
+    /// of the old per-node `Vec::push`).  Does not touch reference counts.
+    fn push_fanout(&mut self, node: NodeId, item: Fanout) {
+        let entry = self.alloc_fanout_entry(item);
+        let idx = node.as_usize();
+        if self.fanout_head[idx] == NIL {
+            self.fanout_head[idx] = entry;
+        } else {
+            let tail = self.fanout_tail[idx] as usize;
+            self.fanout_pool[tail].next = entry;
+        }
+        self.fanout_tail[idx] = entry;
+    }
+
+    /// Removes the first fanout record equal to `item` from `node`'s chain,
+    /// preserving the exact order semantics of the old `Vec::swap_remove`
+    /// (the last record takes the removed record's position).  Does not touch
+    /// reference counts.  Returns `true` if a record was removed.
+    fn swap_remove_fanout(&mut self, node: NodeId, item: Fanout) -> bool {
+        let idx = node.as_usize();
+        let mut prev = NIL;
+        let mut cursor = self.fanout_head[idx];
+        if cursor == NIL {
+            return false;
+        }
+        let mut found = NIL;
+        // Walk the whole chain: note the first match, end on the tail with
+        // `prev` as its predecessor.
+        loop {
+            let entry = &self.fanout_pool[cursor as usize];
+            if found == NIL && entry.item == item {
+                found = cursor;
+            }
+            if entry.next == NIL {
+                break;
+            }
+            prev = cursor;
+            cursor = entry.next;
+        }
+        if found == NIL {
+            return false;
+        }
+        let tail = cursor;
+        if found == tail {
+            if prev == NIL {
+                self.fanout_head[idx] = NIL;
+            } else {
+                self.fanout_pool[prev as usize].next = NIL;
+                self.fanout_tail[idx] = prev;
+            }
+        } else {
+            // swap_remove: the tail's item moves into the removed position,
+            // then the tail record is released.
+            self.fanout_pool[found as usize].item = self.fanout_pool[tail as usize].item;
+            self.fanout_pool[prev as usize].next = NIL;
+            self.fanout_tail[idx] = prev;
+        }
+        self.fanout_pool[tail as usize].next = self.fanout_free;
+        self.fanout_free = tail;
+        true
+    }
+
+    /// Empties `node`'s fanout chain, returning the items in chain order (the
+    /// equivalent of the old `std::mem::take` on the per-node `Vec`).
+    fn take_fanouts(&mut self, node: NodeId) -> Vec<Fanout> {
+        let idx = node.as_usize();
+        let mut items = Vec::new();
+        let mut cursor = self.fanout_head[idx];
+        self.fanout_head[idx] = NIL;
+        self.fanout_tail[idx] = NIL;
+        while cursor != NIL {
+            let entry = self.fanout_pool[cursor as usize];
+            items.push(entry.item);
+            self.fanout_pool[cursor as usize].next = self.fanout_free;
+            self.fanout_free = cursor;
+            cursor = entry.next;
+        }
+        items
     }
 
     // ------------------------------------------------------------------
@@ -232,9 +586,8 @@ impl Aig {
 
     /// Adds a new primary input and returns its literal.
     pub fn add_input(&mut self) -> Lit {
-        let id = NodeId::new(self.nodes.len() as u32);
-        self.nodes.push(Node::input(self.inputs.len() as u32));
-        self.fanouts.push(Vec::new());
+        let id = self.alloc_slot();
+        self.kind[id.as_usize()] = self.inputs.len() as u32 + 1;
         self.inputs.push(id);
         id.lit()
     }
@@ -248,8 +601,8 @@ impl Aig {
     pub fn add_output(&mut self, lit: Lit) -> usize {
         let index = self.outputs.len();
         self.outputs.push(lit);
-        self.nodes[lit.node().as_usize()].refs += 1;
-        self.fanouts[lit.node().as_usize()].push(Fanout::Output(index as u32));
+        self.refs[lit.node().as_usize()] += 1;
+        self.push_fanout(lit.node(), Fanout::Output(index as u32));
         index
     }
 
@@ -263,17 +616,11 @@ impl Aig {
         if old == lit {
             return;
         }
-        let old_node = old.node().as_usize();
-        self.nodes[old_node].refs -= 1;
-        if let Some(pos) = self.fanouts[old_node]
-            .iter()
-            .position(|f| *f == Fanout::Output(index as u32))
-        {
-            self.fanouts[old_node].swap_remove(pos);
-        }
+        self.refs[old.node().as_usize()] -= 1;
+        self.swap_remove_fanout(old.node(), Fanout::Output(index as u32));
         self.outputs[index] = lit;
-        self.nodes[lit.node().as_usize()].refs += 1;
-        self.fanouts[lit.node().as_usize()].push(Fanout::Output(index as u32));
+        self.refs[lit.node().as_usize()] += 1;
+        self.push_fanout(lit.node(), Fanout::Output(index as u32));
     }
 
     /// Returns the constant literal with the given value.
@@ -304,25 +651,40 @@ impl Aig {
         if a == !b {
             return Lit::FALSE;
         }
-        let (f0, f1) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+        let (f0, f1) = if self.lit_key(a) <= self.lit_key(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
         let key = (f0.raw(), f1.raw());
         if let Some(&id) = self.strash.get(&key) {
-            if !self.nodes[id.as_usize()].dead {
+            let idx = id.as_usize();
+            // A stale entry could name a recycled slot; only trust it when
+            // the slot still holds a live AND with exactly these fanins.
+            if !self.dead[idx]
+                && self.kind[idx] == KIND_AND
+                && self.fanin0[idx] == f0
+                && self.fanin1[idx] == f1
+            {
                 return id.lit();
             }
         }
-        let level = 1 + self.nodes[f0.node().as_usize()]
-            .level
-            .max(self.nodes[f1.node().as_usize()].level);
-        let id = NodeId::new(self.nodes.len() as u32);
-        self.nodes.push(Node::and(f0, f1, level));
-        self.fanouts.push(Vec::new());
+        let level = 1 + self.level[f0.node().as_usize()].max(self.level[f1.node().as_usize()]);
+        let id = self.alloc_slot();
+        let idx = id.as_usize();
+        self.kind[idx] = KIND_AND;
+        self.fanin0[idx] = f0;
+        self.fanin1[idx] = f1;
+        self.level[idx] = level;
         self.num_ands += 1;
         self.strash.insert(key, id);
-        self.nodes[f0.node().as_usize()].refs += 1;
-        self.fanouts[f0.node().as_usize()].push(Fanout::Node(id));
-        self.nodes[f1.node().as_usize()].refs += 1;
-        self.fanouts[f1.node().as_usize()].push(Fanout::Node(id));
+        self.refs[f0.node().as_usize()] += 1;
+        self.push_fanout(f0.node(), Fanout::Node(id));
+        self.refs[f1.node().as_usize()] += 1;
+        self.push_fanout(f1.node(), Fanout::Node(id));
+        if self.spec_active {
+            self.spec_log.push(id);
+        }
         id.lit()
     }
 
@@ -345,10 +707,20 @@ impl Aig {
         if a == !b {
             return Some(Lit::FALSE);
         }
-        let (f0, f1) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+        let (f0, f1) = if self.lit_key(a) <= self.lit_key(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
         self.strash
             .get(&(f0.raw(), f1.raw()))
-            .filter(|id| !self.nodes[id.as_usize()].dead)
+            .filter(|id| {
+                let idx = id.as_usize();
+                !self.dead[idx]
+                    && self.kind[idx] == KIND_AND
+                    && self.fanin0[idx] == f0
+                    && self.fanin1[idx] == f1
+            })
             .map(|id| id.lit())
     }
 
@@ -425,18 +797,14 @@ impl Aig {
     pub fn recompute_levels(&mut self) {
         let order = self.topological_order();
         for id in self.inputs.clone() {
-            self.nodes[id.as_usize()].level = 0;
+            self.level[id.as_usize()] = 0;
         }
-        self.nodes[0].level = 0;
+        self.level[0] = 0;
         for id in order {
-            let (f0, f1) = {
-                let n = &self.nodes[id.as_usize()];
-                (n.fanin0, n.fanin1)
-            };
-            let level = 1 + self.nodes[f0.node().as_usize()]
-                .level
-                .max(self.nodes[f1.node().as_usize()].level);
-            self.nodes[id.as_usize()].level = level;
+            let idx = id.as_usize();
+            let (f0, f1) = (self.fanin0[idx], self.fanin1[idx]);
+            let level = 1 + self.level[f0.node().as_usize()].max(self.level[f1.node().as_usize()]);
+            self.level[idx] = level;
         }
         self.levels_valid = true;
     }
@@ -449,7 +817,7 @@ impl Aig {
         }
         self.outputs
             .iter()
-            .map(|lit| self.nodes[lit.node().as_usize()].level)
+            .map(|lit| self.level[lit.node().as_usize()])
             .max()
             .unwrap_or(0)
     }
@@ -472,13 +840,13 @@ impl Aig {
     /// Marks a node as visited in the current traversal.
     #[inline]
     pub fn mark_visited(&mut self, id: NodeId) {
-        self.nodes[id.as_usize()].travid = self.travid_counter;
+        self.travid[id.as_usize()] = self.travid_counter;
     }
 
     /// Returns `true` if the node was marked in the current traversal.
     #[inline]
     pub fn is_visited(&self, id: NodeId) -> bool {
-        self.nodes[id.as_usize()].travid == self.travid_counter
+        self.travid[id.as_usize()] == self.travid_counter
     }
 
     // ------------------------------------------------------------------
@@ -488,7 +856,7 @@ impl Aig {
     /// Returns the ids of all live AND nodes reachable from the primary
     /// outputs, in topological (fanin-before-fanout) order.
     pub fn topological_order(&self) -> Vec<NodeId> {
-        let mut visited = vec![false; self.nodes.len()];
+        let mut visited = vec![false; self.kind.len()];
         let mut order = Vec::with_capacity(self.num_ands);
         let mut stack: Vec<(NodeId, bool)> = Vec::new();
         for out in &self.outputs {
@@ -500,14 +868,13 @@ impl Aig {
                 order.push(id);
                 continue;
             }
-            if visited[idx] || !self.nodes[idx].is_and() || self.nodes[idx].dead {
+            if visited[idx] || self.kind[idx] != KIND_AND || self.dead[idx] {
                 continue;
             }
             visited[idx] = true;
             stack.push((id, true));
-            let n = &self.nodes[idx];
-            stack.push((n.fanin0.node(), false));
-            stack.push((n.fanin1.node(), false));
+            stack.push((self.fanin0[idx].node(), false));
+            stack.push((self.fanin1[idx].node(), false));
         }
         order
     }
@@ -535,15 +902,13 @@ impl Aig {
     pub fn deref_mffc(&mut self, root: NodeId) -> usize {
         debug_assert!(self.is_and(root));
         let mut count = 1;
-        let (f0, f1) = {
-            let n = &self.nodes[root.as_usize()];
-            (n.fanin0.node(), n.fanin1.node())
-        };
+        let idx = root.as_usize();
+        let (f0, f1) = (self.fanin0[idx].node(), self.fanin1[idx].node());
         for fanin in [f0, f1] {
-            let slot = &mut self.nodes[fanin.as_usize()];
-            debug_assert!(slot.refs > 0, "dereferencing node with zero refs");
-            slot.refs -= 1;
-            if slot.refs == 0 && slot.is_and() && !slot.dead {
+            let fidx = fanin.as_usize();
+            debug_assert!(self.refs[fidx] > 0, "dereferencing node with zero refs");
+            self.refs[fidx] -= 1;
+            if self.refs[fidx] == 0 && self.kind[fidx] == KIND_AND && !self.dead[fidx] {
                 count += self.deref_mffc(fanin);
             }
         }
@@ -554,19 +919,16 @@ impl Aig {
     pub fn ref_mffc(&mut self, root: NodeId) -> usize {
         debug_assert!(self.is_and(root));
         let mut count = 1;
-        let (f0, f1) = {
-            let n = &self.nodes[root.as_usize()];
-            (n.fanin0.node(), n.fanin1.node())
-        };
+        let idx = root.as_usize();
+        let (f0, f1) = (self.fanin0[idx].node(), self.fanin1[idx].node());
         for fanin in [f0, f1] {
-            let needs_recursion = {
-                let slot = &self.nodes[fanin.as_usize()];
-                slot.refs == 0 && slot.is_and() && !slot.dead
-            };
+            let fidx = fanin.as_usize();
+            let needs_recursion =
+                self.refs[fidx] == 0 && self.kind[fidx] == KIND_AND && !self.dead[fidx];
             if needs_recursion {
                 count += self.ref_mffc(fanin);
             }
-            self.nodes[fanin.as_usize()].refs += 1;
+            self.refs[fidx] += 1;
         }
         count
     }
@@ -591,15 +953,17 @@ impl Aig {
     pub fn deref_mffc_bounded(&mut self, root: NodeId, boundary: &[NodeId]) -> usize {
         debug_assert!(self.is_and(root));
         let mut count = 1;
-        let (f0, f1) = {
-            let n = &self.nodes[root.as_usize()];
-            (n.fanin0.node(), n.fanin1.node())
-        };
+        let idx = root.as_usize();
+        let (f0, f1) = (self.fanin0[idx].node(), self.fanin1[idx].node());
         for fanin in [f0, f1] {
-            let slot = &mut self.nodes[fanin.as_usize()];
-            debug_assert!(slot.refs > 0, "dereferencing node with zero refs");
-            slot.refs -= 1;
-            if slot.refs == 0 && slot.is_and() && !slot.dead && !boundary.contains(&fanin) {
+            let fidx = fanin.as_usize();
+            debug_assert!(self.refs[fidx] > 0, "dereferencing node with zero refs");
+            self.refs[fidx] -= 1;
+            if self.refs[fidx] == 0
+                && self.kind[fidx] == KIND_AND
+                && !self.dead[fidx]
+                && !boundary.contains(&fanin)
+            {
                 count += self.deref_mffc_bounded(fanin, boundary);
             }
         }
@@ -610,19 +974,18 @@ impl Aig {
     pub fn ref_mffc_bounded(&mut self, root: NodeId, boundary: &[NodeId]) -> usize {
         debug_assert!(self.is_and(root));
         let mut count = 1;
-        let (f0, f1) = {
-            let n = &self.nodes[root.as_usize()];
-            (n.fanin0.node(), n.fanin1.node())
-        };
+        let idx = root.as_usize();
+        let (f0, f1) = (self.fanin0[idx].node(), self.fanin1[idx].node());
         for fanin in [f0, f1] {
-            let needs_recursion = {
-                let slot = &self.nodes[fanin.as_usize()];
-                slot.refs == 0 && slot.is_and() && !slot.dead && !boundary.contains(&fanin)
-            };
+            let fidx = fanin.as_usize();
+            let needs_recursion = self.refs[fidx] == 0
+                && self.kind[fidx] == KIND_AND
+                && !self.dead[fidx]
+                && !boundary.contains(&fanin);
             if needs_recursion {
                 count += self.ref_mffc_bounded(fanin, boundary);
             }
-            self.nodes[fanin.as_usize()].refs += 1;
+            self.refs[fidx] += 1;
         }
         count
     }
@@ -655,7 +1018,7 @@ impl Aig {
             !self.cone_contains(new.node(), old),
             "replacement literal depends on the node being replaced"
         );
-        let moved = std::mem::take(&mut self.fanouts[old.as_usize()]);
+        let moved = self.take_fanouts(old);
         let moved_count = moved.len() as u32;
         for fanout in &moved {
             match *fanout {
@@ -668,11 +1031,11 @@ impl Aig {
                     self.rewrite_fanin(f, old, new);
                 }
             }
-            self.fanouts[new.node().as_usize()].push(*fanout);
+            self.push_fanout(new.node(), *fanout);
         }
-        self.nodes[new.node().as_usize()].refs += moved_count;
-        self.nodes[old.as_usize()].refs -= moved_count;
-        if self.nodes[old.as_usize()].refs == 0 {
+        self.refs[new.node().as_usize()] += moved_count;
+        self.refs[old.as_usize()] -= moved_count;
+        if self.refs[old.as_usize()] == 0 {
             self.delete_cone(old);
         }
         self.levels_valid = false;
@@ -682,10 +1045,8 @@ impl Aig {
     /// `new` (with preserved complement), keeping the structural hash table
     /// consistent.
     fn rewrite_fanin(&mut self, fanout: NodeId, old: NodeId, new: Lit) {
-        let (old_f0, old_f1) = {
-            let n = &self.nodes[fanout.as_usize()];
-            (n.fanin0, n.fanin1)
-        };
+        let fidx = fanout.as_usize();
+        let (old_f0, old_f1) = (self.fanin0[fidx], self.fanin1[fidx]);
         let old_key = (old_f0.raw(), old_f1.raw());
         let mut f0 = old_f0;
         let mut f1 = old_f1;
@@ -695,7 +1056,7 @@ impl Aig {
         if f1.node() == old {
             f1 = new.complement_if(f1.is_complemented());
         }
-        if f0.raw() > f1.raw() {
+        if self.lit_key(f0) > self.lit_key(f1) {
             std::mem::swap(&mut f0, &mut f1);
         }
         // Remove the stale hash entry if it maps to this node.
@@ -707,9 +1068,8 @@ impl Aig {
         // or strashing pass can merge.
         let new_key = (f0.raw(), f1.raw());
         self.strash.entry(new_key).or_insert(fanout);
-        let n = &mut self.nodes[fanout.as_usize()];
-        n.fanin0 = f0;
-        n.fanin1 = f1;
+        self.fanin0[fidx] = f0;
+        self.fanin1[fidx] = f1;
     }
 
     /// Returns `true` if `target` appears in the transitive fanin cone of `root`.
@@ -725,59 +1085,98 @@ impl Aig {
         if root == target {
             return true;
         }
-        if self.is_visited(root) || !self.nodes[root.as_usize()].is_and() {
+        if self.is_visited(root) || self.kind[root.as_usize()] != KIND_AND {
             return false;
         }
         self.mark_visited(root);
-        let (f0, f1) = {
-            let n = &self.nodes[root.as_usize()];
-            (n.fanin0.node(), n.fanin1.node())
-        };
+        let idx = root.as_usize();
+        let (f0, f1) = (self.fanin0[idx].node(), self.fanin1[idx].node());
         self.cone_contains_rec(f0, target) || self.cone_contains_rec(f1, target)
     }
 
     /// Deletes the AND node `root` (which must have no remaining fanouts) and
     /// recursively deletes fanins whose reference count drops to zero.
+    ///
+    /// The freed arena slots go onto the free list and may be re-issued to
+    /// later insertions (see [`Aig::set_recycling`]).
     pub fn delete_cone(&mut self, root: NodeId) {
         debug_assert!(self.is_and(root));
-        debug_assert_eq!(self.nodes[root.as_usize()].refs, 0);
-        let (f0, f1) = {
-            let n = &self.nodes[root.as_usize()];
-            (n.fanin0, n.fanin1)
-        };
+        debug_assert_eq!(self.refs[root.as_usize()], 0);
+        debug_assert_eq!(
+            self.fanout_head[root.as_usize()],
+            NIL,
+            "deleting a node with recorded fanouts"
+        );
+        let idx = root.as_usize();
+        let (f0, f1) = (self.fanin0[idx], self.fanin1[idx]);
         // Remove from the structural hash table.
         let key = (f0.raw(), f1.raw());
         if self.strash.get(&key) == Some(&root) {
             self.strash.remove(&key);
         }
-        self.nodes[root.as_usize()].dead = true;
+        self.dead[idx] = true;
         self.num_ands -= 1;
+        self.free_slots.push(root.index());
         for fanin in [f0, f1] {
             let fid = fanin.node();
-            if let Some(pos) = self.fanouts[fid.as_usize()]
-                .iter()
-                .position(|f| *f == Fanout::Node(root))
-            {
-                self.fanouts[fid.as_usize()].swap_remove(pos);
-            }
-            let slot = &mut self.nodes[fid.as_usize()];
-            slot.refs -= 1;
-            if slot.refs == 0 && slot.is_and() && !slot.dead {
+            self.swap_remove_fanout(fid, Fanout::Node(root));
+            let fidx = fid.as_usize();
+            self.refs[fidx] -= 1;
+            if self.refs[fidx] == 0 && self.kind[fidx] == KIND_AND && !self.dead[fidx] {
                 self.delete_cone(fid);
             }
         }
     }
 
-    /// Deletes unreferenced AND nodes whose arena slot is at or after
-    /// `first_slot`, returning how many were removed.
+    // ------------------------------------------------------------------
+    // Speculative construction
+    // ------------------------------------------------------------------
+
+    /// Starts capturing speculative node allocations.
     ///
-    /// This is used to discard speculative nodes created while evaluating a
-    /// resynthesis candidate that is ultimately rejected.
-    pub fn sweep_dangling_from(&mut self, first_slot: usize) -> usize {
+    /// Every node created by [`Aig::and`] (directly or through the derived
+    /// constructors) until the matching [`Aig::commit_speculation`] or
+    /// [`Aig::reject_speculation`] is logged.  Operators use this to build a
+    /// resynthesis candidate, then discard it wholesale when it turns out to
+    /// be unusable (e.g. it would create a cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a speculation capture is already active (captures do not
+    /// nest).
+    pub fn begin_speculation(&mut self) {
+        assert!(!self.spec_active, "speculation captures do not nest");
+        self.spec_active = true;
+        self.spec_log.clear();
+    }
+
+    /// Ends the current speculation capture, keeping the captured nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no speculation capture is active.
+    pub fn commit_speculation(&mut self) {
+        assert!(self.spec_active, "no active speculation to commit");
+        self.spec_active = false;
+        self.spec_log.clear();
+    }
+
+    /// Ends the current speculation capture and deletes every captured node
+    /// that is dangling (has no fanouts), newest first, returning how many
+    /// were removed.
+    ///
+    /// Captured nodes that gained external fanouts in the meantime are kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no speculation capture is active.
+    pub fn reject_speculation(&mut self) -> usize {
+        assert!(self.spec_active, "no active speculation to reject");
+        self.spec_active = false;
+        let log = std::mem::take(&mut self.spec_log);
         let mut removed = 0;
-        for idx in (first_slot..self.nodes.len()).rev() {
-            let id = NodeId::new(idx as u32);
-            if self.is_and(id) && self.nodes[idx].refs == 0 {
+        for &id in log.iter().rev() {
+            if self.is_and(id) && self.refs[id.as_usize()] == 0 {
                 self.delete_cone(id);
                 removed += 1;
             }
@@ -788,15 +1187,15 @@ impl Aig {
     /// Removes dangling AND nodes that are not reachable from any primary
     /// output and returns how many were deleted.
     pub fn cleanup(&mut self) -> usize {
-        let mut reachable = vec![false; self.nodes.len()];
+        let mut reachable = vec![false; self.kind.len()];
         for id in self.topological_order() {
             reachable[id.as_usize()] = true;
         }
+        let ids: Vec<NodeId> = self.and_ids().collect();
         let mut removed = 0;
-        // Delete in reverse arena order so fanouts go before fanins.
-        for idx in (1..self.nodes.len()).rev() {
-            let id = NodeId::new(idx as u32);
-            if self.is_and(id) && !reachable[idx] && self.nodes[idx].refs == 0 {
+        // Delete in reverse allocation order so fanouts go before fanins.
+        for &id in ids.iter().rev() {
+            if self.is_and(id) && !reachable[id.as_usize()] && self.refs[id.as_usize()] == 0 {
                 self.delete_cone(id);
                 removed += 1;
             }
@@ -811,15 +1210,17 @@ impl Aig {
     /// behind and drops dead arena slots.
     pub fn restrash(&self) -> Aig {
         let mut fresh = Aig::with_name(self.name.clone());
-        let mut map: Vec<Lit> = vec![Lit::FALSE; self.nodes.len()];
+        fresh.set_recycling(self.recycling);
+        let mut map: Vec<Lit> = vec![Lit::FALSE; self.kind.len()];
         for &input in &self.inputs {
             map[input.as_usize()] = fresh.add_input();
         }
         for id in self.topological_order() {
-            let n = &self.nodes[id.as_usize()];
-            let a = map[n.fanin0.node().as_usize()].complement_if(n.fanin0.is_complemented());
-            let b = map[n.fanin1.node().as_usize()].complement_if(n.fanin1.is_complemented());
-            map[id.as_usize()] = fresh.and(a, b);
+            let idx = id.as_usize();
+            let (f0, f1) = (self.fanin0[idx], self.fanin1[idx]);
+            let a = map[f0.node().as_usize()].complement_if(f0.is_complemented());
+            let b = map[f1.node().as_usize()].complement_if(f1.is_complemented());
+            map[idx] = fresh.and(a, b);
         }
         for out in &self.outputs {
             let lit = map[out.node().as_usize()].complement_if(out.is_complemented());
@@ -828,23 +1229,58 @@ impl Aig {
         fresh
     }
 
-    /// Verifies internal invariants (reference counts, fanout lists, hash
-    /// table consistency, acyclicity).  Intended for tests and debugging.
+    /// Verifies internal invariants (reference counts, fanout chains and pool
+    /// accounting, hash table consistency, free-list consistency, birth-stamp
+    /// ordering).  Intended for tests and debugging.
     ///
     /// Returns a list of human-readable violations; an empty list means the
     /// graph is consistent.
     pub fn check_invariants(&self) -> Vec<String> {
         let mut problems = Vec::new();
-        let mut expected_refs = vec![0u32; self.nodes.len()];
+        let num_slots = self.kind.len();
+        let mut expected_refs = vec![0u32; num_slots];
         // Collect every recorded fanout edge once (a multiset keyed by
         // `(source, consumer)`), so membership checks below are O(1) hash
-        // lookups instead of per-edge scans of the fanout lists.
+        // lookups instead of per-edge scans of the fanout chains.  Also
+        // account for every pool entry reachable from a chain.
         let mut recorded_edges: HashMap<(NodeId, Fanout), u32> = HashMap::new();
-        for (idx, fanouts) in self.fanouts.iter().enumerate() {
+        let mut chained_entries = 0usize;
+        for idx in 0..num_slots {
             let source = NodeId::new(idx as u32);
-            for &fanout in fanouts {
-                *recorded_edges.entry((source, fanout)).or_insert(0) += 1;
+            let mut cursor = self.fanout_head[idx];
+            let mut steps = 0usize;
+            let mut last = NIL;
+            while cursor != NIL {
+                steps += 1;
+                if steps > self.fanout_pool.len() {
+                    problems.push(format!("fanout chain of {source} does not terminate"));
+                    break;
+                }
+                let entry = &self.fanout_pool[cursor as usize];
+                *recorded_edges.entry((source, entry.item)).or_insert(0) += 1;
+                last = cursor;
+                cursor = entry.next;
             }
+            if self.fanout_head[idx] != NIL && last != self.fanout_tail[idx] {
+                problems.push(format!("fanout tail of {source} is stale"));
+            }
+            chained_entries += steps;
+        }
+        let mut free_entries = 0usize;
+        let mut cursor = self.fanout_free;
+        while cursor != NIL {
+            free_entries += 1;
+            if free_entries > self.fanout_pool.len() {
+                problems.push("fanout free chain does not terminate".to_string());
+                break;
+            }
+            cursor = self.fanout_pool[cursor as usize].next;
+        }
+        if chained_entries + free_entries != self.fanout_pool.len() {
+            problems.push(format!(
+                "fanout pool leak: {chained_entries} chained + {free_entries} free != {} entries",
+                self.fanout_pool.len()
+            ));
         }
         let mut consume_edge = |source: NodeId, fanout: Fanout| -> bool {
             match recorded_edges.get_mut(&(source, fanout)) {
@@ -855,14 +1291,14 @@ impl Aig {
                 _ => false,
             }
         };
-        for (idx, node) in self.nodes.iter().enumerate() {
-            if node.dead {
+        for idx in 0..num_slots {
+            if self.dead[idx] {
                 continue;
             }
-            if node.is_and() {
-                for fanin in [node.fanin0, node.fanin1] {
+            if self.kind[idx] == KIND_AND {
+                for fanin in [self.fanin0[idx], self.fanin1[idx]] {
                     expected_refs[fanin.node().as_usize()] += 1;
-                    if self.nodes[fanin.node().as_usize()].dead {
+                    if self.dead[fanin.node().as_usize()] {
                         problems.push(format!("node n{idx} has dead fanin {}", fanin.node()));
                     }
                     if !consume_edge(fanin.node(), Fanout::Node(NodeId::new(idx as u32))) {
@@ -872,14 +1308,14 @@ impl Aig {
                         ));
                     }
                 }
-                if node.fanin0.raw() > node.fanin1.raw() {
+                if self.lit_key(self.fanin0[idx]) > self.lit_key(self.fanin1[idx]) {
                     problems.push(format!("node n{idx} has unordered fanins"));
                 }
             }
         }
         for (index, out) in self.outputs.iter().enumerate() {
             expected_refs[out.node().as_usize()] += 1;
-            if self.nodes[out.node().as_usize()].dead {
+            if self.dead[out.node().as_usize()] {
                 problems.push(format!("output {index} drives dead node {}", out.node()));
             }
             if !consume_edge(out.node(), Fanout::Output(index as u32)) {
@@ -897,28 +1333,60 @@ impl Aig {
                 ));
             }
         }
-        for (idx, node) in self.nodes.iter().enumerate() {
-            if node.dead {
+        for (idx, &expected) in expected_refs.iter().enumerate() {
+            if self.dead[idx] {
                 continue;
             }
-            if node.refs != expected_refs[idx] {
+            if self.refs[idx] != expected {
                 problems.push(format!(
-                    "node n{idx} has refs {} but {} structural fanouts",
-                    node.refs, expected_refs[idx]
+                    "node n{idx} has refs {} but {expected} structural fanouts",
+                    self.refs[idx]
                 ));
             }
         }
         for (&(k0, k1), &id) in &self.strash {
-            let node = &self.nodes[id.as_usize()];
-            if node.dead {
+            let idx = id.as_usize();
+            if self.dead[idx] {
                 problems.push(format!("hash table entry points at dead node {id}"));
                 continue;
             }
-            if node.fanin0.raw() != k0 || node.fanin1.raw() != k1 {
+            if self.kind[idx] != KIND_AND {
+                problems.push(format!("hash table entry points at non-AND node {id}"));
+                continue;
+            }
+            if self.fanin0[idx].raw() != k0 || self.fanin1[idx].raw() != k1 {
                 problems.push(format!("hash table key mismatch for node {id}"));
             }
         }
-        let live_ands = self.nodes.iter().filter(|n| !n.dead && n.is_and()).count();
+        // Free-list consistency: the free list must hold exactly the dead
+        // slots, each once.
+        let mut free_sorted: Vec<u32> = self.free_slots.clone();
+        free_sorted.sort_unstable();
+        let dead_sorted: Vec<u32> = (0..num_slots as u32)
+            .filter(|&i| self.dead[i as usize])
+            .collect();
+        if free_sorted != dead_sorted {
+            problems.push(format!(
+                "free list ({} slots) does not match dead slots ({})",
+                free_sorted.len(),
+                dead_sorted.len()
+            ));
+        }
+        // Birth stamps of live nodes must be unique and below the counter.
+        let mut births: Vec<u64> = (0..num_slots)
+            .filter(|&i| !self.dead[i])
+            .map(|i| self.birth[i])
+            .collect();
+        births.sort_unstable();
+        if births.windows(2).any(|w| w[0] == w[1]) {
+            problems.push("duplicate birth stamps among live nodes".to_string());
+        }
+        if births.last().is_some_and(|&b| b >= self.next_birth) {
+            problems.push("live birth stamp at or above the allocation counter".to_string());
+        }
+        let live_ands = (0..num_slots)
+            .filter(|&i| !self.dead[i] && self.kind[i] == KIND_AND)
+            .count();
         if live_ands != self.num_ands {
             problems.push(format!(
                 "num_ands counter is {} but {} live AND nodes exist",
@@ -1127,5 +1595,159 @@ mod tests {
         assert_eq!(aig.refs(x.node()), 0);
         assert_eq!(aig.refs(a.node()), 2); // fanin of x plus the output
         assert!(aig.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn recycling_reuses_freed_slots() {
+        let (mut aig, a, b) = two_input_aig();
+        let c = aig.add_input();
+        let old = aig.and(a, b);
+        aig.add_output(old);
+        let slots_before = aig.num_slots();
+        aig.replace(old.node(), a);
+        assert_eq!(aig.num_free_slots(), 1);
+        // The next insertion reuses the freed slot instead of growing.
+        let fresh = aig.and(b, c);
+        assert_eq!(fresh.node(), old.node());
+        assert_eq!(aig.num_slots(), slots_before);
+        assert_eq!(aig.num_free_slots(), 0);
+        assert!(aig.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn recycling_can_be_disabled() {
+        let (mut aig, a, b) = two_input_aig();
+        let c = aig.add_input();
+        aig.set_recycling(false);
+        assert!(!aig.recycling());
+        let old = aig.and(a, b);
+        aig.add_output(old);
+        let slots_before = aig.num_slots();
+        aig.replace(old.node(), a);
+        let fresh = aig.and(b, c);
+        assert_ne!(fresh.node(), old.node());
+        assert_eq!(aig.num_slots(), slots_before + 1);
+        assert!(aig.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn recycling_preserves_structure_against_disabled_twin() {
+        // The same construction/replacement sequence must produce literally
+        // interchangeable results with and without recycling (ids may differ,
+        // structure may not).
+        let build = |recycle: bool| {
+            let mut aig = Aig::new();
+            aig.set_recycling(recycle);
+            let inputs = aig.add_inputs(4);
+            let t0 = aig.and(inputs[0], inputs[1]);
+            let t1 = aig.and(inputs[2], inputs[3]);
+            let f = aig.and(t0, t1);
+            aig.add_output(f);
+            aig.replace(t0.node(), inputs[0]);
+            let g = aig.xor(inputs[1], inputs[2]);
+            aig.add_output(g);
+            assert!(aig.check_invariants().is_empty(), "recycle={recycle}");
+            aig
+        };
+        let on = build(true);
+        let off = build(false);
+        assert_eq!(on.num_ands(), off.num_ands());
+        assert!(on.num_slots() <= off.num_slots());
+        assert_eq!(
+            crate::sim::check_equivalence(&on, &off, 8, 5),
+            crate::sim::EquivalenceResult::Equivalent
+        );
+    }
+
+    #[test]
+    fn token_detects_slot_reuse() {
+        let (mut aig, a, b) = two_input_aig();
+        let c = aig.add_input();
+        let old = aig.and(a, b);
+        aig.add_output(old);
+        let token = aig.token(old.node());
+        assert!(aig.token_is_current(token));
+        assert_eq!(token.id(), old.node());
+        aig.replace(old.node(), a);
+        assert!(!aig.token_is_current(token), "dead slot");
+        let fresh = aig.and(b, c);
+        assert_eq!(fresh.node(), old.node(), "slot recycled");
+        assert!(!aig.token_is_current(token), "slot re-issued to a new node");
+        assert!(aig.token_is_current(aig.token(fresh.node())));
+    }
+
+    #[test]
+    fn speculation_reject_removes_candidate_cone() {
+        let (mut aig, a, b) = two_input_aig();
+        let c = aig.add_input();
+        let keep = aig.and(a, b);
+        aig.add_output(keep);
+        let ands_before = aig.num_ands();
+        let slots_before = aig.num_slots();
+        aig.begin_speculation();
+        let t = aig.and(a, c);
+        let _candidate = aig.and(t, b);
+        assert_eq!(aig.num_ands(), ands_before + 2);
+        let removed = aig.reject_speculation();
+        // The candidate root is deleted explicitly; `t` goes with it through
+        // the cone cascade, so one removal covers both nodes.
+        assert_eq!(removed, 1);
+        assert_eq!(aig.num_ands(), ands_before);
+        assert!(aig.check_invariants().is_empty());
+        // The freed slots are recycled by the next builds.
+        let _ = aig.and(b, c);
+        assert_eq!(aig.num_slots(), slots_before.max(aig.num_slots()));
+        assert!(aig.num_free_slots() >= 1);
+    }
+
+    #[test]
+    fn speculation_commit_keeps_candidate() {
+        let (mut aig, a, b) = two_input_aig();
+        aig.begin_speculation();
+        let t = aig.and(a, b);
+        aig.commit_speculation();
+        aig.add_output(t);
+        assert_eq!(aig.num_ands(), 1);
+        assert!(aig.check_invariants().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "do not nest")]
+    fn speculation_does_not_nest() {
+        let mut aig = Aig::new();
+        aig.begin_speculation();
+        aig.begin_speculation();
+    }
+
+    #[test]
+    fn and_ids_iterates_in_birth_order_after_recycling() {
+        let (mut aig, a, b) = two_input_aig();
+        let c = aig.add_input();
+        let old = aig.and(a, b);
+        let top = aig.and(old, c);
+        aig.add_output(top);
+        aig.replace(old.node(), a);
+        // A new node lands in old's slot (lower index, higher birth).
+        let fresh = aig.and(b, c);
+        assert_eq!(fresh.node(), old.node());
+        let order: Vec<NodeId> = aig.and_ids().collect();
+        assert_eq!(order, vec![top.node(), fresh.node()]);
+        let births: Vec<u64> = order.iter().map(|&id| aig.birth(id)).collect();
+        assert!(births.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn fanout_iteration_matches_refs() {
+        let (mut aig, a, b) = two_input_aig();
+        let c = aig.add_input();
+        let t = aig.and(a, b);
+        let u = aig.and(t, c);
+        let v = aig.and(t, a);
+        aig.add_output(u);
+        aig.add_output(v);
+        let fanouts: Vec<Fanout> = aig.fanouts(t.node()).collect();
+        assert_eq!(fanouts.len(), aig.refs(t.node()) as usize);
+        assert!(fanouts.contains(&Fanout::Node(u.node())));
+        assert!(fanouts.contains(&Fanout::Node(v.node())));
     }
 }

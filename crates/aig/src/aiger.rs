@@ -15,6 +15,7 @@
 use std::error::Error;
 use std::fmt;
 use std::fs;
+use std::io::{self, BufWriter, Write};
 use std::path::Path;
 
 use crate::aig::Aig;
@@ -136,24 +137,41 @@ impl Canonical {
 /// Serializes the AIG to the ASCII AIGER format.
 ///
 /// The graph is compacted (re-strashed) first so that node indices are dense
-/// and topologically ordered, as the format requires.
+/// and topologically ordered, as the format requires.  This materializes the
+/// whole image in memory; prefer [`write_ascii_to`] (or
+/// [`write_ascii_file`], which buffers through it) for million-node dumps.
 pub fn to_ascii(aig: &Aig) -> String {
+    let mut out = Vec::new();
+    write_ascii_to(aig, &mut out).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("ASCII AIGER output is valid UTF-8")
+}
+
+/// Streams the AIG in ASCII AIGER format into `writer`, producing exactly the
+/// bytes [`to_ascii`] would return without building the full image in memory.
+///
+/// The writer is used line-by-line; wrap files in a
+/// [`BufWriter`] (as [`write_ascii_file`] does).
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_ascii_to(aig: &Aig, writer: &mut impl Write) -> io::Result<()> {
     let canonical = Canonical::build(aig);
-    let mut out = canonical.header("aag");
+    writer.write_all(canonical.header("aag").as_bytes())?;
     for i in 0..canonical.compact.num_inputs() {
-        out.push_str(&format!("{}\n", 2 * (i + 1)));
+        writeln!(writer, "{}", 2 * (i + 1))?;
     }
     for output in canonical.compact.outputs() {
-        out.push_str(&format!("{}\n", canonical.lit_of(*output)));
+        writeln!(writer, "{}", canonical.lit_of(*output))?;
     }
     for id in &canonical.order {
         let (lhs, hi, lo) = canonical.and_literals(*id);
-        out.push_str(&format!("{lhs} {hi} {lo}\n"));
+        writeln!(writer, "{lhs} {hi} {lo}")?;
     }
     if !canonical.compact.name().is_empty() {
-        out.push_str(&format!("c\n{}\n", canonical.compact.name()));
+        writeln!(writer, "c\n{}", canonical.compact.name())?;
     }
-    out
+    Ok(())
 }
 
 /// Serializes the AIG to the binary AIGER (`aig`) format.
@@ -164,35 +182,57 @@ pub fn to_ascii(aig: &Aig) -> String {
 /// 7-bit variable-length integers (high bit = continuation).  Input
 /// definitions are implicit in the binary format.
 pub fn to_binary(aig: &Aig) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_binary_to(aig, &mut out).expect("writing to a Vec cannot fail");
+    out
+}
+
+/// Streams the AIG in binary AIGER format into `writer`, producing exactly
+/// the bytes [`to_binary`] would return without building the full image in
+/// memory.
+///
+/// The writer is used in small increments; wrap files in a
+/// [`BufWriter`] (as [`write_binary_file`] does).
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_binary_to(aig: &Aig, writer: &mut impl Write) -> io::Result<()> {
     let canonical = Canonical::build(aig);
-    let mut out = canonical.header("aig").into_bytes();
+    writer.write_all(canonical.header("aig").as_bytes())?;
     for output in canonical.compact.outputs() {
-        out.extend_from_slice(format!("{}\n", canonical.lit_of(*output)).as_bytes());
+        writeln!(writer, "{}", canonical.lit_of(*output))?;
     }
     for id in &canonical.order {
         let (lhs, hi, lo) = canonical.and_literals(*id);
         debug_assert!(lhs > hi && hi >= lo, "topological order violated");
-        push_delta(&mut out, lhs - hi);
-        push_delta(&mut out, hi - lo);
+        write_delta(writer, lhs - hi)?;
+        write_delta(writer, hi - lo)?;
     }
     if !canonical.compact.name().is_empty() {
-        out.extend_from_slice(format!("c\n{}\n", canonical.compact.name()).as_bytes());
+        writeln!(writer, "c\n{}", canonical.compact.name())?;
     }
-    out
+    Ok(())
 }
 
-/// Appends a LEB128-style variable-length delta (7 bits per byte, high bit
+/// Writes a LEB128-style variable-length delta (7 bits per byte, high bit
 /// set on every byte but the last).
-fn push_delta(out: &mut Vec<u8>, mut delta: u32) {
+fn write_delta(writer: &mut impl Write, mut delta: u32) -> io::Result<()> {
+    // At most five bytes for a u32.
+    let mut buf = [0u8; 5];
+    let mut len = 0;
     loop {
         let byte = (delta & 0x7F) as u8;
         delta >>= 7;
         if delta == 0 {
-            out.push(byte);
-            return;
+            buf[len] = byte;
+            len += 1;
+            break;
         }
-        out.push(byte | 0x80);
+        buf[len] = byte | 0x80;
+        len += 1;
     }
+    writer.write_all(&buf[..len])
 }
 
 /// Reads one variable-length delta starting at `*pos`, advancing it.
@@ -502,13 +542,16 @@ pub fn from_binary(bytes: &[u8]) -> Result<Aig, ParseAigerError> {
     Ok(aig)
 }
 
-/// Writes the AIG to `path` in ASCII AIGER format.
+/// Writes the AIG to `path` in ASCII AIGER format, streaming through a
+/// [`BufWriter`] so the full image is never materialized in memory.
 ///
 /// # Errors
 ///
 /// Returns any I/O error from the filesystem.
 pub fn write_ascii_file(aig: &Aig, path: impl AsRef<Path>) -> std::io::Result<()> {
-    fs::write(path, to_ascii(aig))
+    let mut writer = BufWriter::new(fs::File::create(path)?);
+    write_ascii_to(aig, &mut writer)?;
+    writer.flush()
 }
 
 /// Reads an ASCII AIGER file from `path`.
@@ -522,13 +565,16 @@ pub fn read_ascii_file(path: impl AsRef<Path>) -> Result<Aig, Box<dyn Error + Se
     Ok(from_ascii(&text)?)
 }
 
-/// Writes the AIG to `path` in binary AIGER format.
+/// Writes the AIG to `path` in binary AIGER format, streaming through a
+/// [`BufWriter`] so the full image is never materialized in memory.
 ///
 /// # Errors
 ///
 /// Returns any I/O error from the filesystem.
 pub fn write_binary_file(aig: &Aig, path: impl AsRef<Path>) -> std::io::Result<()> {
-    fs::write(path, to_binary(aig))
+    let mut writer = BufWriter::new(fs::File::create(path)?);
+    write_binary_to(aig, &mut writer)?;
+    writer.flush()
 }
 
 /// Reads a binary AIGER file from `path`.
@@ -701,6 +747,20 @@ mod tests {
             let ascii = to_ascii(&aig);
             let through_binary = to_ascii(&from_binary(&to_binary(&aig)).unwrap());
             assert_eq!(ascii, through_binary);
+        }
+    }
+
+    #[test]
+    fn streaming_writers_match_materializing_writers() {
+        // `write_*_to` must emit byte for byte what `to_*` returns (the file
+        // writers stream through the former, callers may compare the latter).
+        for aig in [sample_aig(), wide_aig()] {
+            let mut ascii = Vec::new();
+            write_ascii_to(&aig, &mut ascii).unwrap();
+            assert_eq!(ascii, to_ascii(&aig).into_bytes());
+            let mut binary = Vec::new();
+            write_binary_to(&aig, &mut binary).unwrap();
+            assert_eq!(binary, to_binary(&aig));
         }
     }
 

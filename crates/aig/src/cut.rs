@@ -390,7 +390,7 @@ impl Aig {
         for &node in &cut.cone {
             let mut internal_consumers = 0usize;
             for fanout in self.fanouts(node) {
-                match *fanout {
+                match fanout {
                     Fanout::Output(_) => cut_fanout += 1,
                     Fanout::Node(consumer) => {
                         if in_cone(consumer) {
@@ -410,7 +410,6 @@ impl Aig {
         for &leaf in &cut.leaves {
             let internal_consumers = self
                 .fanouts(leaf)
-                .iter()
                 .filter(|f| matches!(f, Fanout::Node(c) if in_cone(*c)))
                 .count();
             if internal_consumers >= 2 {

@@ -47,7 +47,7 @@ mod lit;
 mod node;
 mod sim;
 
-pub use aig::{Aig, Fanout};
+pub use aig::{Aig, Fanout, NodeToken};
 pub use cut::{Cut, CutFeatures, CutParams, CutScratch, FEATURE_NAMES, NUM_FEATURES};
 pub use lit::{Lit, NodeId};
 pub use node::{Node, NodeKind};

@@ -1,4 +1,12 @@
-//! Node storage for the AIG.
+//! Node views for the AIG.
+//!
+//! Since the struct-of-arrays refactor the graph no longer stores `Node`
+//! values: each attribute lives in its own dense column inside
+//! [`Aig`](crate::Aig) (see the "AIG internals" section of the README).
+//! [`Node`] survives as a cheap by-value *snapshot* of one slot, assembled on
+//! demand by [`Aig::node`](crate::Aig::node) — convenient for callers that
+//! want several attributes of the same node at once without holding a borrow
+//! of the graph.
 
 use crate::lit::Lit;
 
@@ -13,12 +21,13 @@ pub enum NodeKind {
     And,
 }
 
-/// A single node of an [`Aig`](crate::Aig).
+/// A by-value snapshot of a single [`Aig`](crate::Aig) slot.
 ///
-/// Nodes are stored in a flat arena indexed by [`NodeId`](crate::NodeId).
 /// Only AND nodes have meaningful fanins; inputs and the constant use
-/// [`Lit::FALSE`] as a placeholder.
-#[derive(Debug, Clone)]
+/// [`Lit::FALSE`] as a placeholder.  The snapshot is not updated when the
+/// graph changes — re-fetch it with [`Aig::node`](crate::Aig::node) after a
+/// mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Node {
     pub(crate) kind: NodeKind,
     pub(crate) fanin0: Lit,
@@ -31,47 +40,9 @@ pub struct Node {
     pub(crate) level: u32,
     /// Whether the node has been deleted (dangling arena slot).
     pub(crate) dead: bool,
-    /// Traversal id used by graph walks to mark visited nodes.
-    pub(crate) travid: u32,
 }
 
 impl Node {
-    pub(crate) fn constant() -> Self {
-        Node {
-            kind: NodeKind::Const0,
-            fanin0: Lit::FALSE,
-            fanin1: Lit::FALSE,
-            refs: 0,
-            level: 0,
-            dead: false,
-            travid: 0,
-        }
-    }
-
-    pub(crate) fn input(index: u32) -> Self {
-        Node {
-            kind: NodeKind::Input(index),
-            fanin0: Lit::FALSE,
-            fanin1: Lit::FALSE,
-            refs: 0,
-            level: 0,
-            dead: false,
-            travid: 0,
-        }
-    }
-
-    pub(crate) fn and(fanin0: Lit, fanin1: Lit, level: u32) -> Self {
-        Node {
-            kind: NodeKind::And,
-            fanin0,
-            fanin1,
-            refs: 0,
-            level,
-            dead: false,
-            travid: 0,
-        }
-    }
-
     /// Returns the kind of the node.
     #[inline]
     pub fn kind(&self) -> NodeKind {
@@ -133,17 +104,25 @@ mod tests {
     use crate::lit::NodeId;
 
     #[test]
-    fn constructors_set_kind() {
-        assert!(Node::constant().is_const0());
-        assert!(Node::input(3).is_input());
+    fn snapshot_accessors_reflect_fields() {
         let a = NodeId::new(1).lit();
         let b = NodeId::new(2).lit();
-        let n = Node::and(a, b, 1);
+        let n = Node {
+            kind: NodeKind::And,
+            fanin0: a,
+            fanin1: b,
+            refs: 0,
+            level: 1,
+            dead: false,
+        };
         assert!(n.is_and());
+        assert!(!n.is_input());
+        assert!(!n.is_const0());
         assert_eq!(n.fanin0(), a);
         assert_eq!(n.fanin1(), b);
         assert_eq!(n.level(), 1);
         assert!(!n.is_dead());
         assert_eq!(n.refs(), 0);
+        assert_eq!(n.kind(), NodeKind::And);
     }
 }

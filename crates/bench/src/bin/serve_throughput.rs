@@ -16,7 +16,7 @@
 use std::time::Instant;
 
 use elf_aig::{simulation_signature, Aig};
-use elf_bench::HarnessOptions;
+use elf_bench::{write_json_file, HarnessOptions, Json};
 use elf_circuits::scripted_circuit;
 use elf_core::{circuit_dataset, ElfClassifier, ElfOptions};
 use elf_nn::TrainConfig;
@@ -124,6 +124,7 @@ fn main() {
     );
 
     let mut reference: Option<Vec<u64>> = None;
+    let mut json_rows: Vec<Json> = Vec::new();
     for &shards in shard_counts {
         for &max_batch in batch_sizes {
             let config = ServeConfig {
@@ -170,7 +171,38 @@ fn main() {
                 stats.mean_batch_occupancy(),
                 sync_secs / batch_secs
             );
+            json_rows.push(Json::Obj(vec![
+                Json::field("shards", Json::Int(shards as i64)),
+                Json::field("max_batch", Json::Int(max_batch as i64)),
+                Json::field("sync_ms", Json::Num(sync_secs * 1e3)),
+                Json::field("sync_jobs_per_sec", Json::Num(num_jobs as f64 / sync_secs)),
+                Json::field("batched_ms", Json::Num(batch_secs * 1e3)),
+                Json::field(
+                    "batched_jobs_per_sec",
+                    Json::Num(num_jobs as f64 / batch_secs),
+                ),
+                Json::field(
+                    "inference_batches",
+                    Json::Int(stats.inference_batches as i64),
+                ),
+                Json::field("mean_occupancy", Json::Num(stats.mean_batch_occupancy())),
+                Json::field("speedup", Json::Num(sync_secs / batch_secs)),
+            ]));
         }
+    }
+    if let Some(path) = &options.json {
+        let value = Json::Obj(vec![
+            Json::field("bench", Json::Str("serve_throughput".to_string())),
+            Json::field("jobs", Json::Int(num_jobs as i64)),
+            Json::field("seed", Json::Int(options.seed as i64)),
+            Json::field(
+                "engine_parallelism",
+                Json::Str(options.parallelism().to_string()),
+            ),
+            Json::field("rows", Json::Arr(json_rows)),
+            Json::field("deterministic_across_configs", Json::Bool(true)),
+        ]);
+        write_json_file(path, &value);
     }
     println!();
     println!(

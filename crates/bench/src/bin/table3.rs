@@ -6,7 +6,10 @@
 //! chunks cut collection and batched inference.  The reported rows are
 //! identical for every thread count; only the wall clock moves.
 
-use elf_bench::{paper, print_comparison_table, CachedSuite, HarnessOptions};
+use elf_bench::{
+    comparison_rows_json, paper, print_comparison_table, write_json_file, CachedSuite,
+    HarnessOptions,
+};
 
 fn main() {
     let options = HarnessOptions::from_args();
@@ -20,6 +23,9 @@ fn main() {
         ),
         &rows,
     );
+    if let Some(path) = &options.json {
+        write_json_file(path, &comparison_rows_json("table3", &options, &rows));
+    }
     println!();
     println!(
         "Paper reference: speed-ups 2.50x-7.69x (mean {:.2}x), And increase at most {:+.2} %, levels unchanged.",

@@ -26,6 +26,7 @@
 //! the relative behaviour — speed-up factors, near-zero area loss, recall and
 //! accuracy ranges — is directly comparable.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use elf_circuits::epfl::{arithmetic_suite, Scale};
@@ -38,7 +39,7 @@ use elf_nn::{Dataset, TrainConfig};
 use elf_par::Parallelism;
 
 /// Command-line options shared by every harness binary.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HarnessOptions {
     /// Benchmark size preset.
     pub scale: Scale,
@@ -52,6 +53,8 @@ pub struct HarnessOptions {
     pub seed: u64,
     /// Worker-thread count (`--threads N`); `None` defers to `ELF_THREADS`.
     pub threads: Option<usize>,
+    /// Path to persist machine-readable results to (`--json <path>`).
+    pub json: Option<PathBuf>,
 }
 
 impl Default for HarnessOptions {
@@ -63,6 +66,7 @@ impl Default for HarnessOptions {
             epochs: 30,
             seed: 0xE1F,
             threads: None,
+            json: None,
         }
     }
 }
@@ -109,6 +113,10 @@ impl HarnessOptions {
                 }
                 "--seed" if index + 1 < args.len() => {
                     options.seed = args[index + 1].parse().unwrap_or(options.seed);
+                    index += 1;
+                }
+                "--json" if index + 1 < args.len() => {
+                    options.json = Some(PathBuf::from(&args[index + 1]));
                     index += 1;
                 }
                 "--threads" if index + 1 < args.len() => {
@@ -278,6 +286,142 @@ impl CachedSuite {
 
 fn millis(duration: Duration) -> f64 {
     duration.as_secs_f64() * 1e3
+}
+
+/// Minimal JSON value for the `--json` output mode (the container vendors no
+/// serde; the harness only needs objects, arrays, strings and numbers).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A floating-point number (rendered with up to full precision; NaN and
+    /// infinities render as `null`).
+    Num(f64),
+    /// An integer.
+    Int(i64),
+    /// A string (escaped on render).
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for object members.
+    pub fn field(key: &str, value: Json) -> (String, Json) {
+        (key.to_string(), value)
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Num(x) => {
+                if x.is_finite() {
+                    out.push_str(&format!("{x}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Int(x) => out.push_str(&format!("{x}")),
+            Json::Bool(x) => out.push_str(if *x { "true" } else { "false" }),
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(key.clone()).render_into(out);
+                    out.push(':');
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Writes `value` as JSON (plus a trailing newline) to `path`, creating
+/// parent directories as needed.  Errors are reported, not fatal — a bench
+/// run's printed results stay usable even if persisting them fails.
+pub fn write_json_file(path: &std::path::Path, value: &Json) {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    match std::fs::write(path, value.render() + "\n") {
+        Ok(()) => println!("results written to {}", path.display()),
+        Err(error) => eprintln!("failed to write {}: {error}", path.display()),
+    }
+}
+
+/// Serializes comparison rows (Tables III–V layout) to JSON, including the
+/// aggregate mean speed-up and worst-case And increase.
+pub fn comparison_rows_json(bench: &str, options: &HarnessOptions, rows: &[ComparisonRow]) -> Json {
+    let row_values: Vec<Json> = rows
+        .iter()
+        .map(|row| {
+            Json::Obj(vec![
+                Json::field("design", Json::Str(row.name.clone())),
+                Json::field("nodes_before", Json::Int(row.nodes_before as i64)),
+                Json::field("baseline_ms", Json::Num(millis(row.baseline_runtime))),
+                Json::field("baseline_ands", Json::Int(row.baseline_ands as i64)),
+                Json::field("baseline_level", Json::Int(row.baseline_level as i64)),
+                Json::field("elf_ms", Json::Num(millis(row.elf_runtime))),
+                Json::field("elf_ands", Json::Int(row.elf_ands as i64)),
+                Json::field("elf_level", Json::Int(row.elf_level as i64)),
+                Json::field("speedup", Json::Num(row.speedup())),
+                Json::field("d_and_percent", Json::Num(row.and_difference_percent())),
+                Json::field("d_level_percent", Json::Num(row.level_difference_percent())),
+            ])
+        })
+        .collect();
+    let mean_speedup = geometric_mean(rows.iter().map(ComparisonRow::speedup));
+    let worst = rows
+        .iter()
+        .map(ComparisonRow::and_difference_percent)
+        .fold(0.0, f64::max);
+    Json::Obj(vec![
+        Json::field("bench", Json::Str(bench.to_string())),
+        Json::field("scale", Json::Str(format!("{:?}", options.scale))),
+        Json::field("seed", Json::Int(options.seed as i64)),
+        Json::field("threads", Json::Str(options.parallelism().to_string())),
+        Json::field("rows", Json::Arr(row_values)),
+        Json::field("mean_speedup", Json::Num(mean_speedup)),
+        Json::field("worst_and_increase_percent", Json::Num(worst)),
+    ])
 }
 
 /// Prints a baseline-vs-ELF comparison table in the layout of Tables III–V.

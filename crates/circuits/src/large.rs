@@ -1,0 +1,115 @@
+//! Size-parameterized large-circuit generator for scale testing.
+//!
+//! The Table VI synthetic family ([`crate::synthetic`]) is anchored to the
+//! three EPFL multi-million-gate benchmarks; scale tests and benches instead
+//! want to dial in an exact AND-gate budget ("give me a 1M-node circuit").
+//! This module provides that: a deterministic, seedable generator in the
+//! industrial/scripted netlist style whose single size knob is the target
+//! gate count, usable from ~10⁴ up to 10⁶⁺ nodes.
+
+use elf_aig::Aig;
+
+use crate::industrial::generate_random_netlist;
+
+/// Parameters of a size-targeted large circuit.
+///
+/// # Examples
+///
+/// ```
+/// use elf_circuits::LargeCircuitSpec;
+///
+/// let aig = LargeCircuitSpec::new(20_000, 42).generate();
+/// let ands = aig.num_reachable_ands();
+/// assert!(ands > 10_000 && ands < 40_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LargeCircuitSpec {
+    /// Target number of AND gates.
+    pub target_ands: usize,
+    /// RNG seed; the same spec always generates the same circuit.
+    pub seed: u64,
+    /// Target logic depth (default 60, the synthetic-family profile).
+    pub target_depth: usize,
+    /// Fraction of deliberately redundant motifs the optimizers can compress
+    /// (default 2%, matching the EPFL synthetic family's refactor rate).
+    pub redundancy: f64,
+}
+
+impl LargeCircuitSpec {
+    /// Creates a spec with the default depth/redundancy profile.
+    pub fn new(target_ands: usize, seed: u64) -> Self {
+        LargeCircuitSpec {
+            target_ands,
+            seed,
+            target_depth: 60,
+            redundancy: 0.02,
+        }
+    }
+
+    /// Generates the circuit described by this spec.
+    pub fn generate(&self) -> Aig {
+        assert!(self.target_ands >= 16, "target too small to be interesting");
+        // Interface width grows with the gate budget, mirroring the published
+        // synthetic profiles (a few hundred gates per input).
+        let inputs = (self.target_ands / 200).clamp(64, 50_000);
+        let outputs = (self.target_ands / 300).clamp(32, 40_000);
+        generate_random_netlist(
+            &format!("large_{}", self.target_ands),
+            inputs,
+            outputs,
+            self.target_ands,
+            self.target_depth,
+            self.redundancy,
+            self.seed,
+        )
+    }
+}
+
+/// Generates a deterministic large circuit with roughly `target_ands` AND
+/// gates (convenience wrapper over [`LargeCircuitSpec`]).
+pub fn generate_large_circuit(target_ands: usize, seed: u64) -> Aig {
+    LargeCircuitSpec::new(target_ands, seed).generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elf_aig::simulation_signature;
+
+    #[test]
+    fn hits_the_requested_size() {
+        let aig = generate_large_circuit(50_000, 7);
+        let ands = aig.num_reachable_ands();
+        assert!(
+            ands > 25_000 && ands < 100_000,
+            "unexpected size {ands} for a 50k target"
+        );
+        assert!(aig.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = generate_large_circuit(10_000, 3);
+        let b = generate_large_circuit(10_000, 3);
+        assert_eq!(
+            simulation_signature(&a, 4, 0),
+            simulation_signature(&b, 4, 0)
+        );
+        let c = generate_large_circuit(10_000, 4);
+        assert_ne!(
+            simulation_signature(&a, 4, 0),
+            simulation_signature(&c, 4, 0)
+        );
+    }
+
+    #[test]
+    fn spec_knobs_are_respected() {
+        let spec = LargeCircuitSpec {
+            redundancy: 0.2,
+            ..LargeCircuitSpec::new(5_000, 1)
+        };
+        let aig = spec.generate();
+        assert!(aig.num_reachable_ands() > 2_000);
+        assert_eq!(aig.name(), "large_5000");
+    }
+}

@@ -8,7 +8,7 @@
 
 use std::time::{Duration, Instant};
 
-use elf_aig::{Aig, NodeId, NUM_FEATURES};
+use elf_aig::{Aig, NodeId, NodeToken, NUM_FEATURES};
 use elf_opt::{OpStats, PrunableOperator, Refactor, RefactorParams};
 use elf_par::Parallelism;
 
@@ -300,9 +300,14 @@ impl<O: PrunableOperator> Elf<O> {
         let op_start = Instant::now();
         let mut pruned = 0usize;
         let mut kept = 0usize;
-        for ((node, _), keep) in features.iter().zip(&decisions) {
-            let node: NodeId = *node;
-            if !aig.is_and(node) || aig.refs(node) == 0 {
+        // Phases 1/2 never mutate the graph, so tokens captured here are
+        // exactly as fresh as the feature snapshot.  They guard against slot
+        // recycling: a commit at an earlier node may free a later node's slot
+        // and re-issue it, and the stale entry must then be skipped.
+        let tokens: Vec<NodeToken> = features.iter().map(|(n, _)| aig.token(*n)).collect();
+        for (token, keep) in tokens.iter().zip(&decisions) {
+            let node: NodeId = token.id();
+            if !aig.token_is_current(*token) || aig.refs(node) == 0 {
                 continue;
             }
             stats.nodes_visited += 1;

@@ -1,6 +1,8 @@
 //! Shared helpers for cut resynthesis: evaluating a cut's function and
 //! counting or building the AIG implementation of a factored form.
 
+use std::collections::HashMap;
+
 use elf_aig::{Aig, Cut, Lit, NodeId};
 use elf_sop::{FactoredForm, TruthTable};
 
@@ -17,28 +19,34 @@ pub fn cut_truth_table(aig: &Aig, cut: &Cut) -> TruthTable {
         num_vars <= elf_sop::MAX_VARS,
         "cut with {num_vars} leaves exceeds the supported truth-table width"
     );
-    let mut tables: Vec<Option<TruthTable>> = vec![None; aig.num_slots()];
+    // Tables are keyed by node id in a small map sized to the cut — cones
+    // hold a handful of nodes, so per-call work must not scale with the
+    // arena (a million-slot graph would otherwise pay a million-entry
+    // allocation for every resynthesized node).
+    let mut tables: HashMap<NodeId, TruthTable> =
+        HashMap::with_capacity(cut.num_leaves() + cut.size());
     for (i, &leaf) in cut.leaves.iter().enumerate() {
-        tables[leaf.as_usize()] = Some(TruthTable::var(i, num_vars));
+        tables.insert(leaf, TruthTable::var(i, num_vars));
     }
     let order = cut.cone_topological(aig);
     for &node in &order {
         let (f0, f1) = aig.fanins(node);
         let t0 = lit_table(&tables, f0, num_vars);
         let t1 = lit_table(&tables, f1, num_vars);
-        tables[node.as_usize()] = Some(&t0 & &t1);
+        tables.insert(node, &t0 & &t1);
     }
-    tables[cut.root.as_usize()]
-        .clone()
+    tables
+        .remove(&cut.root)
         .expect("root is part of its own cone")
 }
 
-fn lit_table(tables: &[Option<TruthTable>], lit: Lit, num_vars: usize) -> TruthTable {
+fn lit_table(tables: &HashMap<NodeId, TruthTable>, lit: Lit, num_vars: usize) -> TruthTable {
     let base = if lit.node().is_const0() {
         TruthTable::zeros(num_vars)
     } else {
-        tables[lit.node().as_usize()]
-            .clone()
+        tables
+            .get(&lit.node())
+            .cloned()
             .expect("fanin of a cone node must be a leaf or an earlier cone node")
     };
     if lit.is_complemented() {

@@ -246,12 +246,16 @@ pub(crate) fn drive_filtered_pass(
     mut samples: Option<&mut Vec<LabeledCut>>,
     mut apply: impl FnMut(&mut Aig, NodeId) -> bool,
 ) -> (usize, usize) {
-    let targets: Vec<NodeId> = aig.and_ids().collect();
+    // Tokens (not bare ids) guard the snapshot: `apply` may free a later
+    // target's slot and recycling may re-issue it to a new node, which must
+    // not be processed from the stale list.
+    let targets: Vec<_> = aig.and_ids().map(|id| aig.token(id)).collect();
     let mut cut = Cut::empty();
     let mut visited = 0usize;
     let mut pruned = 0usize;
-    for node in targets {
-        if !aig.is_and(node) || aig.refs(node) == 0 {
+    for token in targets {
+        let node = token.id();
+        if !aig.token_is_current(token) || aig.refs(node) == 0 {
             continue;
         }
         visited += 1;

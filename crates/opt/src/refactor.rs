@@ -133,10 +133,14 @@ impl Refactor {
     ) -> RefactorStats {
         let start = Instant::now();
         let mut stats = RefactorStats::default();
-        let targets: Vec<NodeId> = aig.and_ids().collect();
+        // Generation-stamped tokens guard against slot recycling: a commit at
+        // an earlier target may free a later target's slot and re-issue it to
+        // a brand-new node, which must not be processed from the stale list.
+        let targets: Vec<_> = aig.and_ids().map(|id| aig.token(id)).collect();
         let mut cut = Cut::empty();
-        for node in targets {
-            if !aig.is_and(node) || aig.refs(node) == 0 {
+        for token in targets {
+            let node = token.id();
+            if !aig.token_is_current(token) || aig.refs(node) == 0 {
                 continue;
             }
             stats.nodes_visited += 1;
@@ -252,20 +256,21 @@ impl Refactor {
             return None;
         }
 
-        // Build the winning implementation and commit it.
-        let slot_watermark = aig.num_slots();
+        // Build the winning implementation speculatively and commit it.
         let ands_before = aig.num_ands() as i64;
         let (expr, complemented) = &candidates[index];
+        aig.begin_speculation();
         let mut new_lit = build_expr(aig, expr, &leaf_lits);
         if *complemented {
             new_lit = !new_lit;
         }
         if new_lit.node() == node || aig.cone_contains(new_lit.node(), node) {
             // Degenerate candidate: it reproduces (or depends on) the node
-            // itself.  Drop any speculative nodes and keep the graph unchanged.
-            aig.sweep_dangling_from(slot_watermark);
+            // itself.  Drop the speculative nodes and keep the graph unchanged.
+            aig.reject_speculation();
             return None;
         }
+        aig.commit_speculation();
         aig.replace(node, new_lit);
         Some(ands_before - aig.num_ands() as i64)
     }

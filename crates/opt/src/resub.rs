@@ -228,13 +228,14 @@ impl Resubstitution {
                     let Some(is_or) = candidate else { continue };
                     let a = lit_a.complement_if(ca);
                     let b = lit_b.complement_if(cb);
-                    let watermark = aig.num_slots();
                     let before = aig.num_ands() as i64;
+                    aig.begin_speculation();
                     let new_lit = if is_or { aig.or(a, b) } else { aig.and(a, b) };
                     if new_lit.node() == node || aig.cone_contains(new_lit.node(), node) {
-                        aig.sweep_dangling_from(watermark);
+                        aig.reject_speculation();
                         continue;
                     }
+                    aig.commit_speculation();
                     aig.replace(node, new_lit);
                     let gain = before - aig.num_ands() as i64;
                     if gain > 0 {

@@ -198,16 +198,17 @@ impl Rewrite {
             return (evaluated, None);
         }
         let leaf_lits: Vec<Lit> = cut.leaves.iter().map(|&l| l.lit()).collect();
-        let watermark = aig.num_slots();
         let before = aig.num_ands() as i64;
+        aig.begin_speculation();
         let mut new_lit = build_expr(aig, &expr, &leaf_lits);
         if complemented {
             new_lit = !new_lit;
         }
         if new_lit.node() == node || aig.cone_contains(new_lit.node(), node) {
-            aig.sweep_dangling_from(watermark);
+            aig.reject_speculation();
             return (evaluated, None);
         }
+        aig.commit_speculation();
         aig.replace(node, new_lit);
         (evaluated, Some(before - aig.num_ands() as i64))
     }

@@ -1,0 +1,116 @@
+//! Free-list recycling soundness: heavy `rf; rw; rs` churn with slot
+//! recycling enabled must be indistinguishable (function and structure
+//! fingerprints) from the recycling-disabled baseline, keep every structural
+//! invariant intact, and keep the arena proportional to the live nodes
+//! instead of growing with the total number of commits.
+
+use elf_aig::{simulation_signature, Aig};
+use elf_circuits::{generate_large_circuit, script_strategy, scripted_circuit};
+use elf_opt::{Refactor, RefactorParams, Resubstitution, Rewrite};
+use proptest::prelude::*;
+
+/// One heavy optimization pass: zero-gain refactor (commits even when the
+/// gain is zero, maximizing slot churn), then rewrite, then resubstitution.
+fn churn_pass(aig: &mut Aig) {
+    let params = RefactorParams {
+        zero_gain: true,
+        ..Default::default()
+    };
+    let _ = Refactor::new(params).run(aig);
+    let _ = Rewrite::default().run(aig);
+    let _ = Resubstitution::default().run(aig);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Recycling is invisible: running the same heavy flow on a twin with
+    /// recycling disabled yields the same function, the same AND count and
+    /// clean invariants after every pass — and the recycling arena never
+    /// ends up larger than the append-only one.
+    #[test]
+    fn recycling_matches_disabled_baseline_under_heavy_flow(script in script_strategy(40)) {
+        let mut recycled = scripted_circuit(6, &script);
+        let mut append_only = recycled.clone();
+        append_only.set_recycling(false);
+        prop_assert!(recycled.recycling());
+        prop_assert!(!append_only.recycling());
+
+        for pass in 0..3 {
+            churn_pass(&mut recycled);
+            churn_pass(&mut append_only);
+            prop_assert!(
+                recycled.check_invariants().is_empty(),
+                "pass {}: {:?}", pass, recycled.check_invariants()
+            );
+            prop_assert!(
+                append_only.check_invariants().is_empty(),
+                "pass {}: {:?}", pass, append_only.check_invariants()
+            );
+            prop_assert_eq!(recycled.num_ands(), append_only.num_ands());
+            prop_assert_eq!(recycled.depth(), append_only.depth());
+            prop_assert_eq!(
+                simulation_signature(&recycled, 16, 0xE1F),
+                simulation_signature(&append_only, 16, 0xE1F),
+                "recycling changed the optimized circuit on pass {}", pass
+            );
+        }
+        prop_assert!(recycled.num_slots() <= append_only.num_slots());
+    }
+}
+
+/// After a long multi-pass flow on a dense (freshly restrashed) graph the
+/// arena must stay within a constant factor of the live nodes: every slot
+/// freed by a commit is handed back to later insertions.
+#[test]
+fn arena_stays_proportional_to_live_nodes_after_long_flow() {
+    let mut aig = generate_large_circuit(12_000, 7);
+    churn_pass(&mut aig);
+    // Generation-time dead logic inflates the initial arena; restrash packs
+    // it so the remaining growth is attributable to the optimizers alone.
+    let mut dense = aig.restrash();
+    assert!(dense.recycling());
+    for pass in 0..3 {
+        churn_pass(&mut dense);
+        assert!(
+            dense.check_invariants().is_empty(),
+            "pass {pass}: {:?}",
+            dense.check_invariants()
+        );
+    }
+    let ratio = dense.num_slots() as f64 / dense.num_live_nodes() as f64;
+    assert!(
+        ratio <= 1.1,
+        "arena holds {} slots for {} live nodes ({ratio:.3}x) — recycling regressed",
+        dense.num_slots(),
+        dense.num_live_nodes()
+    );
+}
+
+/// The contrast case: with recycling disabled the arena only ever grows, one
+/// slot per node the flow ever created, even though the live count shrinks.
+#[test]
+fn disabled_recycling_arena_grows_monotonically() {
+    let mut aig = generate_large_circuit(6_000, 3).restrash();
+    aig.set_recycling(false);
+    let mut last_slots = aig.num_slots();
+    let mut grew = false;
+    for _ in 0..3 {
+        churn_pass(&mut aig);
+        assert!(aig.check_invariants().is_empty());
+        assert!(aig.num_slots() >= last_slots, "append-only arena shrank");
+        grew |= aig.num_slots() > last_slots;
+        last_slots = aig.num_slots();
+    }
+    assert!(
+        grew,
+        "churn passes committed nothing — the contrast is vacuous"
+    );
+    // Freed slots pile up unconsumed: the arena is exactly live + dead.
+    assert_eq!(
+        aig.num_slots(),
+        aig.num_live_nodes() + aig.num_free_slots(),
+        "arena accounting broke with recycling disabled"
+    );
+    assert!(aig.num_free_slots() > 0);
+}
