@@ -12,17 +12,24 @@
 //! measures oversubscription rather than the speed-up the shards deliver on
 //! real multicore hardware; the batching win (fewer forward passes) is
 //! visible regardless.
+//!
+//! `--overload` switches to the admission-control scenario instead: a tiny
+//! queue bound under several concurrent clients, once per admission policy
+//! (`Block`, `Reject`, `Timeout`).  Shed counts come from [`ServiceStats`],
+//! and every *accepted* job is verified bit-identical to the offline flow —
+//! load shedding changes which jobs run, never what an accepted job
+//! computes.
 
 use std::time::Instant;
 
 use elf_aig::{simulation_signature, Aig};
 use elf_bench::{write_json_file, HarnessOptions, Json};
 use elf_circuits::scripted_circuit;
-use elf_core::{circuit_dataset, ElfClassifier, ElfOptions};
+use elf_core::{circuit_dataset, ElfClassifier, ElfOptions, Flow};
 use elf_nn::TrainConfig;
 use elf_opt::RefactorParams;
 use elf_par::Parallelism;
-use elf_serve::{ElfService, ServeConfig, ServiceStats};
+use elf_serve::{AdmissionPolicy, ElfService, ServeConfig, ServiceStats};
 
 /// One benchmark workload: scripted circuits paired with flow scripts.
 fn workload(jobs: usize, gates: usize, seed: u64) -> Vec<(Aig, &'static str)> {
@@ -81,6 +88,160 @@ fn run_batched_all(service: &ElfService, jobs: &[(Aig, &'static str)]) -> (Vec<u
     (signatures, start.elapsed().as_secs_f64())
 }
 
+/// The offline per-job reference signatures: each job through
+/// `Flow::pruned_from_script` with the serving options.
+fn offline_signatures(
+    jobs: &[(Aig, &'static str)],
+    classifier: &ElfClassifier,
+    options: ElfOptions,
+) -> Vec<u64> {
+    jobs.iter()
+        .map(|(aig, script)| {
+            let mut aig = aig.clone();
+            Flow::pruned_from_script(script, classifier, options)
+                .expect("script parses")
+                .run(&mut aig);
+            simulation_signature(&aig, 8, 0xE1F)
+        })
+        .collect()
+}
+
+/// The `--overload` scenario: saturate a tiny admission queue from several
+/// clients under each policy; report throughput and shed counts, verify
+/// every accepted job against the offline flow.
+fn run_overload(options: &HarnessOptions, quick: bool, classifier: &ElfClassifier) {
+    let (clients, per_client, gates) = if quick { (3, 12, 20) } else { (4, 30, 40) };
+    let queue_bound = 4;
+    let total = clients * per_client;
+    let jobs = workload(total, gates, options.seed);
+
+    println!(
+        "Serve overload: {clients} clients x {per_client} jobs, queue bound {queue_bound}, \
+         shards 2 (within-job engine: {})",
+        options.parallelism()
+    );
+    println!(
+        "{:<12} | {:>8} {:>8} {:>9} {:>9} | {:>10} {:>9}",
+        "policy", "accepted", "rejected", "timed_out", "served", "wall ms", "jobs/s"
+    );
+
+    let policies: &[(&str, AdmissionPolicy)] = &[
+        ("block", AdmissionPolicy::Block),
+        ("reject", AdmissionPolicy::Reject),
+        ("timeout(5)", AdmissionPolicy::Timeout(5)),
+    ];
+    let mut json_rows: Vec<Json> = Vec::new();
+    let mut reference: Option<Vec<u64>> = None;
+    for &(name, admission) in policies {
+        let config = ServeConfig {
+            shards: Parallelism::threads(2),
+            queue_bound,
+            admission,
+            options: ElfOptions {
+                parallelism: options.parallelism(),
+                ..ElfOptions::default()
+            },
+            ..Default::default()
+        };
+        let service = ElfService::start(classifier.clone(), config);
+        let offline = reference
+            .get_or_insert_with(|| offline_signatures(&jobs, classifier, service.options()));
+
+        let start = Instant::now();
+        let accepted: usize = std::thread::scope(|scope| {
+            (0..clients)
+                .map(|client| {
+                    let mut handle = service.handle();
+                    let jobs = &jobs;
+                    let offline = &*offline;
+                    scope.spawn(move || {
+                        let mut submitted = Vec::new();
+                        for slot in 0..per_client {
+                            let index = client * per_client + slot;
+                            let (aig, script) = &jobs[index];
+                            // Shed submissions hand the circuit back; the
+                            // bench just drops it (a real client would
+                            // retry or fail over).
+                            if let Ok(id) = handle.submit(aig.clone(), script) {
+                                submitted.push((index, id));
+                            }
+                        }
+                        let mut delivered = 0usize;
+                        while let Some(response) = handle.recv() {
+                            assert!(!response.failed, "no served job may fail");
+                            let (index, _) = submitted
+                                .iter()
+                                .find(|(_, id)| *id == response.job_id)
+                                .expect("own job");
+                            assert_eq!(
+                                simulation_signature(&response.aig, 8, 0xE1F),
+                                offline[*index],
+                                "accepted job {index} diverged from the offline flow"
+                            );
+                            delivered += 1;
+                        }
+                        assert_eq!(delivered, submitted.len());
+                        delivered
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|thread| thread.join().expect("client thread"))
+                .sum()
+        });
+        let secs = start.elapsed().as_secs_f64();
+        let stats = service.shutdown();
+
+        assert_eq!(accepted as u64, stats.jobs_served);
+        assert_eq!(accepted as u64 + stats.jobs_shed(), total as u64);
+        if let AdmissionPolicy::Block = admission {
+            assert_eq!(stats.jobs_shed(), 0, "Block must never shed");
+        }
+
+        println!(
+            "{:<12} | {:>8} {:>8} {:>9} {:>9} | {:>10.2} {:>9.1}",
+            name,
+            accepted,
+            stats.jobs_rejected,
+            stats.jobs_timed_out,
+            stats.jobs_served,
+            secs * 1e3,
+            accepted as f64 / secs
+        );
+        json_rows.push(Json::Obj(vec![
+            Json::field("policy", Json::Str(name.to_string())),
+            Json::field("submitted", Json::Int(total as i64)),
+            Json::field("accepted", Json::Int(accepted as i64)),
+            Json::field("rejected", Json::Int(stats.jobs_rejected as i64)),
+            Json::field("timed_out", Json::Int(stats.jobs_timed_out as i64)),
+            Json::field("served", Json::Int(stats.jobs_served as i64)),
+            Json::field("wall_ms", Json::Num(secs * 1e3)),
+            Json::field("jobs_per_sec", Json::Num(accepted as f64 / secs)),
+        ]));
+    }
+    if let Some(path) = &options.json {
+        let value = Json::Obj(vec![
+            Json::field("bench", Json::Str("serve_overload".to_string())),
+            Json::field("clients", Json::Int(clients as i64)),
+            Json::field("jobs_per_client", Json::Int(per_client as i64)),
+            Json::field("queue_bound", Json::Int(queue_bound as i64)),
+            Json::field("seed", Json::Int(options.seed as i64)),
+            Json::field(
+                "engine_parallelism",
+                Json::Str(options.parallelism().to_string()),
+            ),
+            Json::field("rows", Json::Arr(json_rows)),
+            Json::field("accepted_jobs_verified_offline", Json::Bool(true)),
+        ]);
+        write_json_file(path, &value);
+    }
+    println!();
+    println!(
+        "accepted + shed == submitted for every policy; every accepted job verified \
+         bit-identical to the offline pruned flow."
+    );
+}
+
 fn main() {
     let options = HarnessOptions::from_args();
     let quick = std::env::args().any(|a| a == "--quick");
@@ -104,6 +265,11 @@ fn main() {
         },
         options.seed,
     );
+
+    if std::env::args().any(|a| a == "--overload") {
+        run_overload(&options, quick, &classifier);
+        return;
+    }
 
     let jobs = workload(num_jobs, gates, options.seed);
     println!(

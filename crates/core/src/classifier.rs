@@ -6,8 +6,8 @@ use std::fmt;
 
 use elf_aig::{CutFeatures, NUM_FEATURES};
 use elf_nn::{
-    model_from_text, model_to_text, train, ConfusionMatrix, Dataset, Mlp, Normalizer, TrainConfig,
-    TrainReport,
+    model_from_text, model_to_text, train, ConfusionMatrix, Dataset, Mlp, Normalizer, SharedMlp,
+    SharedNormalizer, TrainConfig, TrainReport,
 };
 use elf_par::Parallelism;
 
@@ -46,6 +46,14 @@ pub const RECALL_TARGET: f64 = 0.95;
 /// Classification is always performed on a whole batch of cuts at once (the
 /// paper's key engineering optimization).
 ///
+/// The trained weights live behind shared handles
+/// ([`SharedMlp`]/[`SharedNormalizer`]): **cloning a classifier never copies
+/// a weight matrix**, it bumps two reference counts.  That makes per-request
+/// clones — e.g. [`crate::Flow::pruned_from_script`] building one `Elf`
+/// stage per script token, or a serving layer pinning a model version per
+/// job — allocation-free on the weight path, while `set_threshold` still
+/// works per clone (the threshold is plain data next to the handles).
+///
 /// # Examples
 ///
 /// ```
@@ -63,8 +71,8 @@ pub const RECALL_TARGET: f64 = 0.95;
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct ElfClassifier {
-    normalizer: Normalizer,
-    model: Mlp,
+    normalizer: SharedNormalizer,
+    model: SharedMlp,
     threshold: f32,
 }
 
@@ -95,8 +103,8 @@ impl ElfClassifier {
         let mut model = Mlp::paper_architecture(seed);
         let report = train(&mut model, &normalized, config);
         let mut classifier = ElfClassifier {
-            normalizer,
-            model,
+            normalizer: normalizer.into_shared(),
+            model: model.into_shared(),
             threshold: DEFAULT_THRESHOLD,
         };
         classifier.calibrate_threshold(data, RECALL_TARGET);
@@ -132,8 +140,16 @@ impl ElfClassifier {
         self.threshold = quantile.clamp(0.05, DEFAULT_THRESHOLD);
     }
 
-    /// Creates a classifier from already-trained parts.
+    /// Creates a classifier from already-trained parts, freezing them into
+    /// shared handles.
     pub fn from_parts(normalizer: Normalizer, model: Mlp, threshold: f32) -> Self {
+        Self::from_shared(normalizer.into_shared(), model.into_shared(), threshold)
+    }
+
+    /// Creates a classifier around *existing* shared weight handles — no
+    /// copy, no new allocation.  The way to build several classifiers (e.g.
+    /// different thresholds) over one set of trained weights.
+    pub fn from_shared(normalizer: SharedNormalizer, model: SharedMlp, threshold: f32) -> Self {
         ElfClassifier {
             normalizer,
             model,
@@ -154,11 +170,28 @@ impl ElfClassifier {
 
     /// The fused normalizer.
     pub fn normalizer(&self) -> &Normalizer {
-        &self.normalizer
+        self.normalizer.as_ref()
     }
 
     /// The underlying network.
     pub fn model(&self) -> &Mlp {
+        self.model.as_ref()
+    }
+
+    /// The shared handle to the fused normalizer — clone it to share the
+    /// statistics without copying them.
+    pub fn normalizer_handle(&self) -> &SharedNormalizer {
+        &self.normalizer
+    }
+
+    /// The shared handle to the underlying network's weights.
+    ///
+    /// Two classifier clones always satisfy
+    /// `Arc::ptr_eq(a.model_handle(), b.model_handle())`: cloning shares, it
+    /// never copies.  Serving layers use the handle both to route batched
+    /// inference (the batcher runs whatever model a request pins) and to
+    /// *prove* the zero-copy property via `Arc::strong_count`.
+    pub fn model_handle(&self) -> &SharedMlp {
         &self.model
     }
 
@@ -380,8 +413,8 @@ impl ElfClassifier {
         let model = model_from_text(&rest.join("\n"))
             .map_err(|e| ParseClassifierError::new(format!("model section: {e}")))?;
         Ok(ElfClassifier {
-            normalizer: Normalizer::from_stats(mean, std),
-            model,
+            normalizer: Normalizer::from_stats(mean, std).into_shared(),
+            model: model.into_shared(),
             threshold,
         })
     }
@@ -546,6 +579,34 @@ mod tests {
                 assert_eq!(decisions, fused_decisions);
             }
         }
+    }
+
+    #[test]
+    fn cloning_shares_weights_instead_of_copying_them() {
+        use std::sync::Arc;
+        let data = synthetic_dataset(120);
+        let (classifier, _) = ElfClassifier::fit(&data, &quick_config(), 21);
+        let model = Arc::clone(classifier.model_handle());
+        let normalizer = Arc::clone(classifier.normalizer_handle());
+        let before = Arc::strong_count(&model);
+        let clones: Vec<ElfClassifier> = (0..5).map(|_| classifier.clone()).collect();
+        // Five clones are five new strong references to the *same* weights —
+        // not five weight copies.
+        assert_eq!(Arc::strong_count(&model), before + 5);
+        for clone in &clones {
+            assert!(Arc::ptr_eq(clone.model_handle(), &model));
+            assert!(Arc::ptr_eq(clone.normalizer_handle(), &normalizer));
+        }
+        drop(clones);
+        assert_eq!(Arc::strong_count(&model), before);
+        // A different threshold over the same weights still shares them.
+        let tuned = ElfClassifier::from_shared(normalizer, Arc::clone(&model), 0.2);
+        assert!(Arc::ptr_eq(tuned.model_handle(), classifier.model_handle()));
+        assert_eq!(tuned.threshold(), 0.2);
+        assert_eq!(
+            tuned.predict_batch(&[[1.0, 5.0, 2.0, 12.0, 4.0, 6.0]])[0].to_bits(),
+            classifier.predict_batch(&[[1.0, 5.0, 2.0, 12.0, 4.0, 6.0]])[0].to_bits()
+        );
     }
 
     #[test]

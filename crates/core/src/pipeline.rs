@@ -183,6 +183,12 @@ impl Flow {
     /// every stage is the `Elf`-wrapped counterpart of the plain operator,
     /// sharing one trained classifier and one set of [`ElfOptions`].
     ///
+    /// Building the pipeline is **weight-allocation-free**: each stage's
+    /// classifier clone shares the trained weights behind the classifier's
+    /// [`SharedMlp`](elf_nn::SharedMlp)/
+    /// [`SharedNormalizer`](elf_nn::SharedNormalizer) handles, so a serving
+    /// layer can afford to build a fresh `Flow` per submitted request.
+    ///
     /// `Flow::pruned_from_script("rf; rw; rs", &clf, options)` is the pruned
     /// analogue of `Flow::from_script("rf; rw; rs")` — the composition the
     /// repeated-run determinism stress test hammers at full thread count.
@@ -547,6 +553,28 @@ mod tests {
             check_equivalence(&plain_aig, &injected_aig, 8, 44),
             EquivalenceResult::Equivalent
         );
+    }
+
+    #[test]
+    fn pruned_script_shares_weights_across_stages_without_copying() {
+        use std::sync::Arc;
+        let classifier = always_keep_classifier();
+        let model = Arc::clone(classifier.model_handle());
+        let before = Arc::strong_count(&model);
+        // One pruned stage per script token, each holding a classifier clone:
+        // the strong count grows by exactly the stage count, proving every
+        // stage references the same weights instead of deep-cloning them.
+        let flow =
+            Flow::pruned_from_script("rf; rw; rs", &classifier, ElfOptions::default()).unwrap();
+        assert_eq!(flow.len(), 3);
+        assert_eq!(Arc::strong_count(&model), before + 3);
+        // Running the flow allocates no further weight references...
+        let mut aig = redundant_circuit();
+        flow.run(&mut aig);
+        assert_eq!(Arc::strong_count(&model), before + 3);
+        // ...and dropping it releases exactly what it borrowed.
+        drop(flow);
+        assert_eq!(Arc::strong_count(&model), before);
     }
 
     #[test]

@@ -157,6 +157,11 @@ impl Dataset {
     }
 }
 
+/// A cheaply-cloneable shared handle to fitted [`Normalizer`] statistics —
+/// the normalization half of the shared-weight pair whose model half is
+/// [`SharedMlp`](crate::SharedMlp).
+pub type SharedNormalizer = std::sync::Arc<Normalizer>;
+
 /// Mean–variance normalization fitted on a dataset.
 ///
 /// The paper fuses this normalization into the deployed model ("we merged a
@@ -235,6 +240,11 @@ impl Normalizer {
         rows.iter()
             .map(|row| self.transform_row(row.as_ref()))
             .collect()
+    }
+
+    /// Freezes the fitted statistics into a [`SharedNormalizer`] handle.
+    pub fn into_shared(self) -> SharedNormalizer {
+        std::sync::Arc::new(self)
     }
 
     /// Normalizes a whole dataset, returning a new dataset.

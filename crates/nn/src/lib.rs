@@ -48,12 +48,12 @@ mod optim;
 mod serialize;
 mod train;
 
-pub use data::{mixup, smote, Dataset, Normalizer, WeightedRandomSampler};
+pub use data::{mixup, smote, Dataset, Normalizer, SharedNormalizer, WeightedRandomSampler};
 pub use layer::{Activation, Dense};
 pub use loss::Loss;
 pub use matrix::Matrix;
 pub use metrics::ConfusionMatrix;
-pub use model::{Gradients, Mlp};
+pub use model::{Gradients, Mlp, SharedMlp};
 pub use optim::{Adam, CosineAnnealingWarmRestarts};
 pub use serialize::{model_from_text, model_to_text, ParseModelError};
 pub use train::{train, TrainConfig, TrainReport};

@@ -6,6 +6,16 @@ use rand::SeedableRng;
 use crate::layer::{Activation, Dense};
 use crate::matrix::Matrix;
 
+/// A cheaply-cloneable shared handle to trained [`Mlp`] weights.
+///
+/// Serving layers fan one trained model out to many flows, jobs and worker
+/// threads; cloning the handle bumps a reference count instead of copying
+/// the weight matrices ([`Mlp::weight_bytes`] of them), so a per-request
+/// clone allocates **zero** weight bytes.  The weights behind a handle are
+/// immutable — retraining produces a *new* model (and a new handle), which
+/// is what lets in-flight users keep the exact version they started with.
+pub type SharedMlp = std::sync::Arc<Mlp>;
+
 /// A feed-forward neural network (multi-layer perceptron).
 ///
 /// The ELF classifier is the 4-layer instance created by
@@ -96,6 +106,26 @@ impl Mlp {
     /// Total number of trainable parameters.
     pub fn num_params(&self) -> usize {
         self.layers.iter().map(Dense::num_params).sum()
+    }
+
+    /// Bytes of weight storage a deep copy of this model would allocate —
+    /// what sharing a [`SharedMlp`] handle saves per clone.
+    pub fn weight_bytes(&self) -> usize {
+        self.num_params() * std::mem::size_of::<f32>()
+    }
+
+    /// Freezes the trained model into a [`SharedMlp`] handle.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use elf_nn::Mlp;
+    /// let shared = Mlp::paper_architecture(42).into_shared();
+    /// let clone = std::sync::Arc::clone(&shared); // no weight copy
+    /// assert!(std::sync::Arc::ptr_eq(&shared, &clone));
+    /// ```
+    pub fn into_shared(self) -> SharedMlp {
+        std::sync::Arc::new(self)
     }
 
     /// Runs the network on a batch of inputs (`N x num_inputs`).

@@ -5,8 +5,16 @@
 //! any job's normalization) and send the rows here.  The batcher coalesces
 //! whatever requests are queued — up to `max_batch` rows, waiting at most
 //! `max_wait` ticks for stragglers — into **one**
-//! [`Mlp::predict_with`](elf_nn::Mlp::predict_with) forward pass, then
-//! scatters the probability slices back to the requesting workers.
+//! [`Mlp::predict_with`](elf_nn::Mlp::predict_with) forward pass *per model
+//! version*, then scatters the probability slices back to the requesting
+//! workers.
+//!
+//! The batcher owns no weights: each request carries the [`SharedMlp`]
+//! handle its job pinned at submission, so a coalescing window that spans a
+//! registry hot-swap simply splits into one forward pass per version.
+//! Requests with the same [`ModelId`] always share `Arc`-identical weights
+//! (the registry never mutates a published version), which is what makes
+//! grouping by id sound.
 //!
 //! Determinism: a dense forward pass is row-exact (output row `i` depends
 //! only on input row `i`, with a fixed inner accumulation order), so the
@@ -14,21 +22,28 @@
 //! request alone, regardless of which requests happened to share a batch.
 //! Batch composition therefore affects throughput only, never results — the
 //! service's determinism guarantee does not depend on wall-clock timing.
-//! Within a batch, requests are ordered by job id, so even the (observable
-//! but result-irrelevant) batch layout is deterministic given a composition.
+//! Within a window, requests are ordered by `(model, job id)`, so even the
+//! (observable but result-irrelevant) batch layout is deterministic given a
+//! composition.
 
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 
-use elf_nn::Mlp;
+use elf_nn::SharedMlp;
 use elf_par::Parallelism;
 
+use crate::registry::ModelId;
 use crate::service::Telemetry;
 
-/// One worker's inference request: normalized rows plus a reply channel.
+/// One worker's inference request: normalized rows, the pinned model, and a
+/// reply channel.
 pub(crate) struct InferRequest {
     pub(crate) job_id: u64,
+    /// The version the job pinned at submission — the grouping key.
+    pub(crate) model: ModelId,
+    /// The pinned weights themselves (an `Arc` bump, never a copy).
+    pub(crate) mlp: SharedMlp,
     pub(crate) rows: Vec<Vec<f32>>,
     pub(crate) reply: Sender<InferReply>,
 }
@@ -37,8 +52,9 @@ pub(crate) struct InferRequest {
 pub(crate) struct InferReply {
     /// One probability per requested row, in request order.
     pub(crate) probabilities: Vec<f32>,
-    /// Total rows of the coalesced batch this request rode in (the batch
-    /// occupancy reported in `ServeStats`).
+    /// Total rows of the coalesced forward pass this request rode in (the
+    /// batch occupancy reported in `ServeStats`) — rows of the same model
+    /// version only, since versions never share a pass.
     pub(crate) batch_rows: usize,
 }
 
@@ -52,11 +68,19 @@ impl BatcherClient {
         BatcherClient { tx }
     }
 
-    /// Sends `rows` for inference and blocks until the probabilities arrive.
+    /// Sends `rows` for inference under the job's pinned model and blocks
+    /// until the probabilities arrive.
     ///
     /// Rows are taken by value and moved across the channel — the serving
-    /// hot path never copies feature data.
-    pub(crate) fn infer(&self, job_id: u64, rows: Vec<Vec<f32>>) -> InferReply {
+    /// hot path never copies feature data, and the model travels as an
+    /// `Arc` handle.
+    pub(crate) fn infer(
+        &self,
+        job_id: u64,
+        model: ModelId,
+        mlp: &SharedMlp,
+        rows: Vec<Vec<f32>>,
+    ) -> InferReply {
         if rows.is_empty() {
             // Nothing to classify (e.g. an empty circuit): skip the round
             // trip instead of waking the batcher for zero rows.
@@ -69,6 +93,8 @@ impl BatcherClient {
         self.tx
             .send(InferRequest {
                 job_id,
+                model,
+                mlp: Arc::clone(mlp),
                 rows,
                 reply: reply_tx,
             })
@@ -79,17 +105,17 @@ impl BatcherClient {
     }
 }
 
-/// The batcher thread body: coalesce, forward, scatter — until every worker
-/// has exited and the request channel disconnects.
+/// The batcher thread body: coalesce, forward (once per model version),
+/// scatter — until every worker has exited and the request channel
+/// disconnects.
 pub(crate) fn run_batcher(
     rx: Receiver<InferRequest>,
-    model: Mlp,
     max_batch: usize,
     max_wait: usize,
     parallelism: Parallelism,
     telemetry: Arc<Telemetry>,
 ) {
-    // Block for the first request of each batch; the channel disconnecting
+    // Block for the first request of each window; the channel disconnecting
     // (all workers gone) is the shutdown signal.
     while let Ok(first) = rx.recv() {
         let mut pending = vec![first];
@@ -112,38 +138,52 @@ pub(crate) fn run_batcher(
             }
         }
 
-        // Deterministic batch layout: requests in job-id order.  The rows
-        // are *moved* out of each request into the coalesced batch (the
-        // per-request row counts are remembered for the scatter), so
-        // coalescing never copies feature data.
-        pending.sort_by_key(|request| request.job_id);
-        let counts: Vec<usize> = pending.iter().map(|request| request.rows.len()).collect();
-        let rows: Vec<Vec<f32>> = pending
-            .iter_mut()
-            .flat_map(|request| request.rows.drain(..))
-            .collect();
-        let probabilities = model.predict_with(&rows, parallelism);
+        // Deterministic batch layout: requests in (model, job id) order, so
+        // each model version's requests are contiguous and one forward pass
+        // per version covers the window.
+        pending.sort_by_key(|request| (request.model, request.job_id));
+        let mut window = pending.into_iter().peekable();
+        while let Some(first) = window.next() {
+            let mut group = vec![first];
+            while window
+                .peek()
+                .is_some_and(|request| request.model == group[0].model)
+            {
+                group.push(window.next().expect("peeked"));
+            }
 
-        telemetry.batches.fetch_add(1, Ordering::Relaxed);
-        telemetry
-            .batched_rows
-            .fetch_add(rows.len() as u64, Ordering::Relaxed);
-        telemetry
-            .max_occupancy
-            .fetch_max(rows.len(), Ordering::Relaxed);
-        if pending.len() > 1 {
-            telemetry.coalesced_batches.fetch_add(1, Ordering::Relaxed);
-        }
+            // The rows are *moved* out of each request into the coalesced
+            // batch (the per-request row counts are remembered for the
+            // scatter), so coalescing never copies feature data.
+            let counts: Vec<usize> = group.iter().map(|request| request.rows.len()).collect();
+            let rows: Vec<Vec<f32>> = group
+                .iter_mut()
+                .flat_map(|request| request.rows.drain(..))
+                .collect();
+            let probabilities = group[0].mlp.predict_with(&rows, parallelism);
 
-        let mut offset = 0;
-        for (request, count) in pending.into_iter().zip(counts) {
-            let slice = probabilities[offset..offset + count].to_vec();
-            offset += count;
-            // A worker that died mid-request cannot receive; nothing to do.
-            let _ = request.reply.send(InferReply {
-                probabilities: slice,
-                batch_rows: rows.len(),
-            });
+            telemetry.batches.fetch_add(1, Ordering::Relaxed);
+            telemetry
+                .batched_rows
+                .fetch_add(rows.len() as u64, Ordering::Relaxed);
+            telemetry
+                .max_occupancy
+                .fetch_max(rows.len(), Ordering::Relaxed);
+            if group.len() > 1 {
+                telemetry.coalesced_batches.fetch_add(1, Ordering::Relaxed);
+            }
+
+            let mut offset = 0;
+            for (request, count) in group.into_iter().zip(counts) {
+                let slice = probabilities[offset..offset + count].to_vec();
+                offset += count;
+                // A worker that died mid-request cannot receive; nothing to
+                // do.
+                let _ = request.reply.send(InferReply {
+                    probabilities: slice,
+                    batch_rows: rows.len(),
+                });
+            }
         }
     }
 }
@@ -151,6 +191,7 @@ pub(crate) fn run_batcher(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use elf_nn::Mlp;
     use std::sync::mpsc;
 
     fn spawn_batcher(
@@ -164,7 +205,6 @@ mod tests {
             std::thread::spawn(move || {
                 run_batcher(
                     rx,
-                    Mlp::paper_architecture(3),
                     max_batch,
                     max_wait,
                     Parallelism::sequential(),
@@ -181,16 +221,19 @@ mod tests {
             .collect()
     }
 
+    fn bits(probs: &[f32]) -> Vec<u32> {
+        probs.iter().map(|p| p.to_bits()).collect()
+    }
+
     #[test]
     fn batched_probabilities_match_a_direct_forward_pass() {
-        let model = Mlp::paper_architecture(3);
+        let model = Mlp::paper_architecture(3).into_shared();
         let (client, telemetry, thread) = spawn_batcher(64, 2);
         let batch = rows(9, 0.25);
-        let reply = client.infer(1, batch.clone());
+        let reply = client.infer(1, ModelId::for_tests(0), &model, batch.clone());
         assert_eq!(reply.probabilities.len(), 9);
         assert!(reply.batch_rows >= 9);
         let direct = model.predict(&batch);
-        let bits = |probs: &[f32]| probs.iter().map(|p| p.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(&reply.probabilities), bits(&direct));
         drop(client);
         thread.join().unwrap();
@@ -200,25 +243,24 @@ mod tests {
 
     #[test]
     fn concurrent_requests_get_their_own_slices_back() {
-        let model = Mlp::paper_architecture(3);
+        let model = Mlp::paper_architecture(3).into_shared();
         let (client, _telemetry, thread) = spawn_batcher(1024, 64);
-        let clients: Vec<BatcherClient> = (0..4)
-            .map(|_| BatcherClient::new(client.tx.clone()))
-            .collect();
-        let handles: Vec<_> = clients
-            .into_iter()
-            .enumerate()
-            .map(|(id, client)| {
+        let handles: Vec<_> = (0..4)
+            .map(|id| {
+                let client = BatcherClient::new(client.tx.clone());
+                let model = Arc::clone(&model);
                 std::thread::spawn(move || {
                     let batch = rows(5 + id, id as f32);
-                    (batch.clone(), client.infer(id as u64, batch.clone()))
+                    (
+                        batch.clone(),
+                        client.infer(id as u64, ModelId::for_tests(0), &model, batch.clone()),
+                    )
                 })
             })
             .collect();
         for handle in handles {
             let (batch, reply) = handle.join().unwrap();
             let direct = model.predict(&batch);
-            let bits = |probs: &[f32]| probs.iter().map(|p| p.to_bits()).collect::<Vec<_>>();
             assert_eq!(
                 bits(&reply.probabilities),
                 bits(&direct),
@@ -230,9 +272,48 @@ mod tests {
     }
 
     #[test]
+    fn a_window_spanning_two_model_versions_splits_into_two_passes() {
+        let model_a = Mlp::paper_architecture(3).into_shared();
+        let model_b = Mlp::paper_architecture(7).into_shared();
+        let (client, telemetry, thread) = spawn_batcher(1024, 256);
+        let handles: Vec<_> = (0..4)
+            .map(|id| {
+                let client = BatcherClient::new(client.tx.clone());
+                let (version, model) = if id % 2 == 0 {
+                    (ModelId::for_tests(0), Arc::clone(&model_a))
+                } else {
+                    (ModelId::for_tests(1), Arc::clone(&model_b))
+                };
+                std::thread::spawn(move || {
+                    let batch = rows(4 + id, id as f32 * 0.3);
+                    let reply = client.infer(id as u64, version, &model, batch.clone());
+                    (id, batch, reply)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (id, batch, reply) = handle.join().unwrap();
+            // Each request's probabilities come from *its* pinned version,
+            // never the other one sharing the window.
+            let own = if id % 2 == 0 { &model_a } else { &model_b };
+            assert_eq!(bits(&reply.probabilities), bits(&own.predict(&batch)));
+            // Occupancy counts same-version rows only: with 4 requests of
+            // 4..8 rows split 2/2 across versions, no pass covers all 22.
+            assert!(reply.batch_rows < 22);
+        }
+        drop(client);
+        thread.join().unwrap();
+        // At least one pass per version; exact count depends on how requests
+        // landed in windows, but rows are conserved.
+        assert!(telemetry.batches.load(Ordering::Relaxed) >= 2);
+        assert_eq!(telemetry.batched_rows.load(Ordering::Relaxed), 22);
+    }
+
+    #[test]
     fn empty_requests_skip_the_round_trip() {
+        let model = Mlp::paper_architecture(3).into_shared();
         let (client, telemetry, thread) = spawn_batcher(16, 0);
-        let reply = client.infer(0, Vec::new());
+        let reply = client.infer(0, ModelId::for_tests(0), &model, Vec::new());
         assert!(reply.probabilities.is_empty());
         assert_eq!(reply.batch_rows, 0);
         drop(client);

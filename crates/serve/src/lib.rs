@@ -13,25 +13,42 @@
 //!   [`submit`](ServiceHandle::submit) `(circuit, flow script)` jobs over a
 //!   channel; scripts are the same ABC-style `"rf; rw; rs"` strings
 //!   [`Flow::from_script`](elf_core::Flow::from_script) parses, with every
-//!   stage classifier-pruned.
+//!   stage classifier-pruned.  The queue is **bounded**
+//!   ([`ServeConfig::queue_bound`]): a full queue follows the configured
+//!   [`AdmissionPolicy`] — block for a slot (backpressure), reject
+//!   immediately, or wait a deadline then shed.  Shed jobs come back as
+//!   [`SubmitError::Overloaded`] *with the circuit handed back*, and are
+//!   counted in [`ServiceStats`].
 //! * **Sharding** — a fixed set of long-lived worker threads (the
 //!   [`ServeConfig::shards`] knob, following the workspace's
-//!   [`Parallelism`](elf_par::Parallelism) convention) pulls jobs FIFO from
-//!   the shared queue and runs each job's flow; graph mutation stays inside
-//!   one worker, sequential per job.
+//!   [`Parallelism`](elf_par::Parallelism) convention) pulls jobs from
+//!   per-shard deques, **stealing** from backlogged siblings when their own
+//!   runs dry — one giant circuit no longer convoys the jobs queued behind
+//!   it.  Graph mutation stays inside one worker, sequential per job.
+//! * **The model plane** — the classifier lives in a versioned
+//!   [`ModelRegistry`]: publish retrained versions, switch the default,
+//!   retire old ones, all while the service runs.  Plain `submit` uses the
+//!   current default; [`submit_with`](ServiceHandle::submit_with) selects a
+//!   version per request.  Jobs **pin** their version at submission, so a
+//!   hot-swap never perturbs in-flight work, and all model state travels by
+//!   `Arc` — submitting allocates zero model-weight bytes.
 //! * **Micro-batching** — workers do *not* run the classifier model.  They
 //!   normalize their job's cut features with that job's own statistics and
 //!   hand the rows to a central batcher thread, which coalesces the queued
 //!   work of all concurrent jobs — up to [`ServeConfig::max_batch`] rows,
 //!   waiting at most [`ServeConfig::max_wait`] scheduling ticks for
 //!   stragglers — into single
-//!   [`Mlp::predict_with`](elf_nn::Mlp::predict_with) forward passes.
+//!   [`Mlp::predict_with`](elf_nn::Mlp::predict_with) forward passes, one
+//!   per model version in the window.
 //! * **Responses** — each handle owns a private response channel:
 //!   [`recv`](ServiceHandle::recv)/[`try_recv`](ServiceHandle::try_recv)
 //!   deliver [`JobResponse`]s (optimized AIG plus per-job [`ServeStats`]:
-//!   queue depth, batch occupancy, nodes before/after, per-stage timings),
-//!   and [`run_sync`](ServiceHandle::run_sync) is the blocking one-job
-//!   convenience.
+//!   pinned model version, queue depth, batch occupancy, nodes
+//!   before/after, per-stage timings), and
+//!   [`run_sync`](ServiceHandle::run_sync) is the blocking one-job
+//!   convenience.  Every job is answered even if its worker dies mid-job
+//!   (the response arrives with [`JobResponse::failed`] set) — clients can
+//!   never hang on a job that will not complete.
 //! * **Shutdown** — [`ElfService::shutdown`] (or drop) closes admission,
 //!   drains the queue, joins every thread and reports [`ServiceStats`].
 //!
@@ -40,21 +57,26 @@
 //! Serving is **per-job deterministic**: a job's output AIG is node-for-node
 //! identical to running the same script offline through
 //! [`Flow::pruned_from_script`](elf_core::Flow::pruned_from_script) with the
-//! same classifier and options — for any shard count, batch knobs, client
-//! thread count or submission interleaving.  Three properties make this
-//! hold, none of which depends on wall-clock timing:
+//! job's pinned classifier version and the service options — for any shard
+//! count, batch knobs, queue bound, admission policy, client thread count,
+//! submission interleaving or concurrent registry swaps.  Four properties
+//! make this hold, none of which depends on wall-clock timing:
 //!
 //! 1. feature normalization uses *per-job* statistics, so batching cannot
 //!    leak one job's feature distribution into another's;
 //! 2. the dense forward pass is row-exact — output row `i` depends only on
 //!    input row `i` — so the composition of a coalesced batch cannot change
 //!    any row's probability (coalesced batches are additionally laid out in
-//!    job-id order);
+//!    `(model, job id)` order, and versions never share a forward pass);
 //! 3. graph mutation is sequential within the job's worker, exactly as in
-//!    the offline flow.
+//!    the offline flow;
+//! 4. a job resolves its classifier version exactly once, at submission,
+//!    and holds that `Arc` to completion — publish/retire/set-default can
+//!    only affect *later* submissions.
 //!
-//! The micro-batching knobs trade latency for throughput only; results
-//! never move.
+//! The micro-batching knobs, the queue bound and the admission policy trade
+//! latency for throughput and memory only; results never move — shedding
+//! changes *which* jobs run, never what an accepted job computes.
 //!
 //! # Examples
 //!
@@ -102,14 +124,35 @@
 //! assert_eq!(served[0].aig.num_reachable_ands(), offline.num_reachable_ands());
 //! service.shutdown();
 //! ```
+//!
+//! Shed load instead of queueing it, keeping the circuit on rejection:
+//!
+//! ```
+//! use elf_serve::{AdmissionPolicy, ServeConfig, SubmitError};
+//!
+//! let config = ServeConfig {
+//!     queue_bound: 64,
+//!     admission: AdmissionPolicy::Reject,
+//!     ..Default::default()
+//! };
+//! // ... submit as usual; a full queue returns
+//! // `SubmitError::Overloaded { circuit }` and the caller retries later:
+//! fn retry_later(err: SubmitError) -> elf_aig::Aig {
+//!     err.into_circuit()
+//! }
+//! # let _ = config;
+//! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod batcher;
 mod queue;
+mod registry;
 mod service;
 
+pub use queue::AdmissionPolicy;
+pub use registry::{ModelId, ModelRegistry};
 pub use service::{
     ElfService, JobId, JobResponse, ServeConfig, ServeStats, ServiceHandle, ServiceStats,
     SubmitError,

@@ -1,82 +1,274 @@
-//! The shared admission queue: FIFO jobs behind a mutex and condvar.
+//! The bounded admission queue: per-shard deques with work stealing behind
+//! one mutex/condvar pair, plus the load-shedding admission policy.
 //!
 //! `std::sync::mpsc` cannot serve as the job queue directly because every
 //! shard worker must pull from the same stream (an mpsc `Receiver` has one
-//! owner) and because graceful shutdown needs "closed" to mean *drain, then
-//! stop* rather than *drop everything*.  This queue gives both: `pop` blocks
-//! until a job arrives, hands out jobs strictly in submission order, and
-//! returns `None` only once the queue is closed **and** empty.
+//! owner), because graceful shutdown needs "closed" to mean *drain, then
+//! stop* rather than *drop everything* — and, since PR 7, because admission
+//! must be **bounded**: an unbounded FIFO in front of slow workers is an OOM
+//! under sustained traffic.  This queue gives all three:
+//!
+//! * **Bounded admission** — at most `capacity` jobs wait at any time.  A
+//!   push against a full queue follows the caller's [`AdmissionPolicy`]:
+//!   block until a slot frees, shed immediately, or shed after a deadline.
+//! * **Per-shard deques with work stealing** — jobs are dealt round-robin
+//!   onto one deque per shard worker.  A worker drains its own deque front
+//!   first; when that runs dry it *steals the oldest job of the most
+//!   backlogged shard*, so one giant circuit occupying a worker no longer
+//!   convoys the jobs dealt behind it — an idle worker takes them over.
+//!   Which worker executes a job never changes the job's result (each job
+//!   runs start-to-finish on one worker), so stealing is invisible to the
+//!   determinism guarantee.
+//! * **Drain-on-close** — `pop` blocks until a job arrives, and returns
+//!   `None` only once the queue is closed **and** empty; pushes against a
+//!   closed queue hand the job back so the caller keeps its circuit.
+//!
+//! The queue can also be **paused**: workers finish their in-flight job and
+//! then idle, while admission (and its policy) keeps operating.  That is
+//! both a maintenance valve and what makes overload tests deterministic —
+//! a paused service fills its queue the same way every run.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-struct QueueState<T> {
-    jobs: VecDeque<T>,
-    closed: bool,
+/// What a submit should do when the admission queue is full.
+///
+/// The shed policies (`Reject`, `Timeout`) surface as
+/// [`SubmitError::Overloaded`](crate::SubmitError::Overloaded) with the
+/// caller's circuit handed back, and are counted in
+/// [`ServiceStats`](crate::ServiceStats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Wait for a slot — backpressure propagates to the submitting client,
+    /// nothing is ever shed.  The default.
+    Block,
+    /// Shed immediately: a full queue fails the submit without blocking for
+    /// even one scheduling tick.
+    Reject,
+    /// Wait up to this many ~1 ms scheduling ticks for a slot, then shed.
+    /// `Timeout(0)` behaves like [`AdmissionPolicy::Reject`].
+    Timeout(u32),
 }
 
-/// A closable multi-consumer FIFO queue (see module docs).
+/// Duration of one admission scheduling tick (the unit of
+/// [`AdmissionPolicy::Timeout`]).
+pub(crate) const ADMISSION_TICK: Duration = Duration::from_millis(1);
+
+/// Why a push failed; the job itself travels back so the caller keeps it.
+#[cfg_attr(test, derive(Debug))]
+pub(crate) enum PushError<T> {
+    /// The queue has been closed (service shutdown).
+    Closed(T),
+    /// The queue stayed full past what the admission policy tolerates.
+    Overloaded(T),
+}
+
+struct QueueState<T> {
+    /// One deque per shard worker; jobs are dealt round-robin at push.
+    shards: Vec<VecDeque<T>>,
+    /// Total queued jobs across all shards (the bounded quantity).
+    len: usize,
+    /// Round-robin deal cursor.
+    next_shard: usize,
+    closed: bool,
+    paused: bool,
+    /// Threads currently blocked in `pop` / a full-queue `push` — lets tests
+    /// wait for a waiter deterministically instead of `yield_now` guessing.
+    #[cfg(test)]
+    pop_waiters: usize,
+    #[cfg(test)]
+    push_waiters: usize,
+}
+
+impl<T> QueueState<T> {
+    /// Takes the next job for `shard`: own deque first, then steal the
+    /// oldest job of the most backlogged other shard.
+    fn take(&mut self, shard: usize) -> Option<T> {
+        let own = shard % self.shards.len();
+        if let Some(job) = self.shards[own].pop_front() {
+            self.len -= 1;
+            return Some(job);
+        }
+        let victim = (0..self.shards.len())
+            .filter(|&s| s != own)
+            .max_by_key(|&s| self.shards[s].len())?;
+        let job = self.shards[victim].pop_front()?;
+        self.len -= 1;
+        Some(job)
+    }
+}
+
+/// A closable, bounded, multi-consumer queue of per-shard deques
+/// (see module docs).
 pub(crate) struct JobQueue<T> {
     state: Mutex<QueueState<T>>,
+    capacity: usize,
+    /// Signals waiting poppers (new job, close, resume).
     available: Condvar,
+    /// Signals pushers blocked on a full queue (slot freed, close).
+    space: Condvar,
 }
 
 impl<T> JobQueue<T> {
-    pub(crate) fn new() -> Self {
+    /// Creates a queue with one deque per shard and room for `capacity`
+    /// jobs in total (both clamped to at least 1).
+    pub(crate) fn new(shards: usize, capacity: usize) -> Self {
         JobQueue {
             state: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
+                shards: (0..shards.max(1)).map(|_| VecDeque::new()).collect(),
+                len: 0,
+                next_shard: 0,
                 closed: false,
+                paused: false,
+                #[cfg(test)]
+                pop_waiters: 0,
+                #[cfg(test)]
+                push_waiters: 0,
             }),
+            capacity: capacity.max(1),
             available: Condvar::new(),
+            space: Condvar::new(),
         }
     }
 
-    /// Enqueues a job, returning the queue depth after the push, or the job
-    /// itself when the queue has been closed.
-    pub(crate) fn push(&self, job: T) -> Result<usize, T> {
-        let mut state = self.state.lock().expect("job queue poisoned");
-        if state.closed {
-            return Err(job);
-        }
-        state.jobs.push_back(job);
-        let depth = state.jobs.len();
-        drop(state);
-        self.available.notify_one();
-        Ok(depth)
-    }
-
-    /// Blocks until a job is available, returning it together with the number
-    /// of jobs still waiting behind it.  Returns `None` once the queue is
-    /// closed and fully drained — the worker-shutdown signal.
-    pub(crate) fn pop(&self) -> Option<(T, usize)> {
+    /// Enqueues a job under `policy`, returning the queue depth after the
+    /// push, or the job itself when the queue is closed or stays full past
+    /// what the policy tolerates.
+    pub(crate) fn push(&self, job: T, policy: AdmissionPolicy) -> Result<usize, PushError<T>> {
+        let deadline = match policy {
+            AdmissionPolicy::Timeout(ticks) => Some(Instant::now() + ticks * ADMISSION_TICK),
+            _ => None,
+        };
         let mut state = self.state.lock().expect("job queue poisoned");
         loop {
-            if let Some(job) = state.jobs.pop_front() {
-                return Some((job, state.jobs.len()));
-            }
             if state.closed {
-                return None;
+                return Err(PushError::Closed(job));
+            }
+            if state.len < self.capacity {
+                let shard = state.next_shard;
+                state.next_shard = (shard + 1) % state.shards.len();
+                state.shards[shard].push_back(job);
+                state.len += 1;
+                let depth = state.len;
+                drop(state);
+                self.available.notify_one();
+                return Ok(depth);
+            }
+            match policy {
+                AdmissionPolicy::Reject => return Err(PushError::Overloaded(job)),
+                AdmissionPolicy::Block => {
+                    #[cfg(test)]
+                    {
+                        state.push_waiters += 1;
+                    }
+                    state = self
+                        .space
+                        .wait(state)
+                        .expect("job queue poisoned while waiting for space");
+                    #[cfg(test)]
+                    {
+                        state.push_waiters -= 1;
+                    }
+                }
+                AdmissionPolicy::Timeout(_) => {
+                    let deadline = deadline.expect("Timeout policy computed a deadline");
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        return Err(PushError::Overloaded(job));
+                    }
+                    #[cfg(test)]
+                    {
+                        state.push_waiters += 1;
+                    }
+                    let (next, _timeout) = self
+                        .space
+                        .wait_timeout(state, remaining)
+                        .expect("job queue poisoned while waiting for space");
+                    state = next;
+                    #[cfg(test)]
+                    {
+                        state.push_waiters -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Blocks until a job is available for `shard` (its own deque, or one
+    /// stolen from a backlogged sibling), returning it together with the
+    /// number of jobs still waiting across all shards.  Returns `None` once
+    /// the queue is closed and fully drained — the worker-shutdown signal.
+    /// While the queue is paused, `pop` waits even if jobs are queued
+    /// (close overrides pause so shutdown always drains).
+    pub(crate) fn pop(&self, shard: usize) -> Option<(T, usize)> {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        loop {
+            if !state.paused || state.closed {
+                if let Some(job) = state.take(shard) {
+                    let depth = state.len;
+                    drop(state);
+                    self.space.notify_one();
+                    return Some((job, depth));
+                }
+                if state.closed {
+                    return None;
+                }
+            }
+            #[cfg(test)]
+            {
+                state.pop_waiters += 1;
             }
             state = self
                 .available
                 .wait(state)
                 .expect("job queue poisoned while waiting");
+            #[cfg(test)]
+            {
+                state.pop_waiters -= 1;
+            }
         }
     }
 
-    /// Closes the queue: pending jobs are still handed out, new pushes fail,
-    /// and blocked `pop`s return `None` once the backlog drains.
+    /// Closes the queue: pending jobs are still handed out (even while
+    /// paused), new pushes fail with the job handed back, blocked pushers
+    /// wake with their job handed back, and blocked `pop`s return `None`
+    /// once the backlog drains.
     pub(crate) fn close(&self) {
         let mut state = self.state.lock().expect("job queue poisoned");
         state.closed = true;
         drop(state);
         self.available.notify_all();
+        self.space.notify_all();
     }
 
-    /// Number of jobs currently waiting.
+    /// Pauses or resumes job hand-out.  Paused workers idle after their
+    /// in-flight job; admission keeps operating under its policy.
+    pub(crate) fn set_paused(&self, paused: bool) {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        state.paused = paused;
+        drop(state);
+        if !paused {
+            self.available.notify_all();
+        }
+    }
+
+    /// Number of jobs currently waiting (across all shards).
     pub(crate) fn depth(&self) -> usize {
-        self.state.lock().expect("job queue poisoned").jobs.len()
+        self.state.lock().expect("job queue poisoned").len
+    }
+
+    /// The admission bound.
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Threads currently blocked in `pop` and in a full-queue `push` — the
+    /// deterministic replacement for "yield and hope the waiter blocked".
+    #[cfg(test)]
+    pub(crate) fn waiters(&self) -> (usize, usize) {
+        let state = self.state.lock().expect("job queue poisoned");
+        (state.pop_waiters, state.push_waiters)
     }
 }
 
@@ -85,50 +277,157 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
+    /// Spins until `queue` reports exactly `pops` blocked poppers and
+    /// `pushes` blocked pushers — the explicit gate the old
+    /// `yield_now`-based tests lacked.
+    fn wait_for_waiters<T>(queue: &JobQueue<T>, pops: usize, pushes: usize) {
+        while queue.waiters() != (pops, pushes) {
+            std::thread::yield_now();
+        }
+    }
+
+    fn unbounded<T>() -> JobQueue<T> {
+        JobQueue::new(1, usize::MAX)
+    }
+
     #[test]
-    fn fifo_order_and_depth() {
-        let queue = JobQueue::new();
-        assert_eq!(queue.push(1).unwrap(), 1);
-        assert_eq!(queue.push(2).unwrap(), 2);
+    fn fifo_order_and_depth_on_one_shard() {
+        let queue = unbounded();
+        assert_eq!(queue.push(1, AdmissionPolicy::Block).unwrap(), 1);
+        assert_eq!(queue.push(2, AdmissionPolicy::Block).unwrap(), 2);
         assert_eq!(queue.depth(), 2);
-        assert_eq!(queue.pop(), Some((1, 1)));
-        assert_eq!(queue.pop(), Some((2, 0)));
+        assert_eq!(queue.pop(0), Some((1, 1)));
+        assert_eq!(queue.pop(0), Some((2, 0)));
         assert_eq!(queue.depth(), 0);
     }
 
     #[test]
     fn close_drains_then_stops() {
-        let queue = JobQueue::new();
-        queue.push("a").unwrap();
+        let queue = unbounded();
+        queue.push("a", AdmissionPolicy::Block).unwrap();
         queue.close();
-        assert_eq!(queue.push("b"), Err("b"));
-        assert_eq!(queue.pop(), Some(("a", 0)));
-        assert_eq!(queue.pop(), None);
+        assert!(matches!(
+            queue.push("b", AdmissionPolicy::Block),
+            Err(PushError::Closed("b"))
+        ));
+        assert_eq!(queue.pop(0), Some(("a", 0)));
+        assert_eq!(queue.pop(0), None);
     }
 
     #[test]
     fn blocked_pop_wakes_on_close() {
-        let queue = Arc::new(JobQueue::<u32>::new());
+        let queue = Arc::new(unbounded::<u32>());
         let waiter = {
             let queue = Arc::clone(&queue);
-            std::thread::spawn(move || queue.pop())
+            std::thread::spawn(move || queue.pop(0))
         };
-        // Give the waiter a chance to block, then close.
-        std::thread::yield_now();
+        // Close only once the waiter has provably blocked.
+        wait_for_waiters(&queue, 1, 0);
         queue.close();
         assert_eq!(waiter.join().unwrap(), None);
     }
 
     #[test]
     fn blocked_pop_wakes_on_push() {
-        let queue = Arc::new(JobQueue::<u32>::new());
+        let queue = Arc::new(unbounded::<u32>());
         let waiter = {
             let queue = Arc::clone(&queue);
-            std::thread::spawn(move || queue.pop())
+            std::thread::spawn(move || queue.pop(0))
         };
-        std::thread::yield_now();
-        queue.push(7).unwrap();
+        wait_for_waiters(&queue, 1, 0);
+        queue.push(7, AdmissionPolicy::Block).unwrap();
         assert_eq!(waiter.join().unwrap(), Some((7, 0)));
         queue.close();
+    }
+
+    #[test]
+    fn reject_policy_sheds_at_capacity_without_blocking() {
+        let queue = JobQueue::new(2, 2);
+        assert!(queue.push(1, AdmissionPolicy::Reject).is_ok());
+        assert!(queue.push(2, AdmissionPolicy::Reject).is_ok());
+        // The full queue hands the job straight back...
+        assert!(matches!(
+            queue.push(3, AdmissionPolicy::Reject),
+            Err(PushError::Overloaded(3))
+        ));
+        // ...and a freed slot admits again.
+        assert!(queue.pop(0).is_some());
+        assert_eq!(queue.push(4, AdmissionPolicy::Reject).unwrap(), 2);
+        assert_eq!(queue.capacity(), 2);
+    }
+
+    #[test]
+    fn timeout_policy_sheds_after_the_deadline() {
+        let queue = JobQueue::new(1, 1);
+        queue.push(1, AdmissionPolicy::Timeout(2)).unwrap();
+        // Nothing pops, so the second push must shed after ~2 ticks.
+        assert!(matches!(
+            queue.push(2, AdmissionPolicy::Timeout(2)),
+            Err(PushError::Overloaded(2))
+        ));
+        // A zero-tick timeout is an immediate reject.
+        assert!(matches!(
+            queue.push(3, AdmissionPolicy::Timeout(0)),
+            Err(PushError::Overloaded(3))
+        ));
+    }
+
+    #[test]
+    fn blocked_push_wakes_on_pop_and_on_close() {
+        let queue = Arc::new(JobQueue::new(1, 1));
+        queue.push(1, AdmissionPolicy::Block).unwrap();
+        let pusher = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.push(2, AdmissionPolicy::Block))
+        };
+        wait_for_waiters(&queue, 0, 1);
+        // Freeing the slot admits the blocked pusher.
+        assert_eq!(queue.pop(0), Some((1, 0)));
+        assert_eq!(pusher.join().unwrap().ok(), Some(1));
+        // A pusher blocked at close gets its job handed back.
+        let pusher = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.push(3, AdmissionPolicy::Block))
+        };
+        wait_for_waiters(&queue, 0, 1);
+        queue.close();
+        assert!(matches!(pusher.join().unwrap(), Err(PushError::Closed(3))));
+    }
+
+    #[test]
+    fn round_robin_deal_and_work_stealing() {
+        let queue = JobQueue::new(2, 16);
+        for job in 0..4 {
+            queue.push(job, AdmissionPolicy::Block).unwrap();
+        }
+        // Jobs 0,2 land on shard 0; jobs 1,3 on shard 1.  Shard 0 drains its
+        // own deque first...
+        assert_eq!(queue.pop(0), Some((0, 3)));
+        assert_eq!(queue.pop(0), Some((2, 2)));
+        // ...then steals shard 1's oldest job instead of idling.
+        assert_eq!(queue.pop(0), Some((1, 1)));
+        assert_eq!(queue.pop(1), Some((3, 0)));
+    }
+
+    #[test]
+    fn pause_holds_jobs_and_resume_releases_them() {
+        let queue = Arc::new(JobQueue::new(1, 8));
+        queue.set_paused(true);
+        queue.push(5, AdmissionPolicy::Block).unwrap();
+        let waiter = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop(0))
+        };
+        // The popper blocks even though a job is queued.
+        wait_for_waiters(&queue, 1, 0);
+        assert_eq!(queue.depth(), 1);
+        queue.set_paused(false);
+        assert_eq!(waiter.join().unwrap(), Some((5, 0)));
+        // Close overrides pause so shutdown still drains.
+        queue.set_paused(true);
+        queue.push(6, AdmissionPolicy::Block).unwrap();
+        queue.close();
+        assert_eq!(queue.pop(0), Some((6, 0)));
+        assert_eq!(queue.pop(0), None);
     }
 }

@@ -1,5 +1,5 @@
-//! The long-lived [`ElfService`]: sharded workers, job admission, and the
-//! client-facing [`ServiceHandle`] channel API.
+//! The long-lived [`ElfService`]: sharded workers, bounded job admission,
+//! the model registry, and the client-facing [`ServiceHandle`] channel API.
 
 use std::collections::VecDeque;
 use std::error::Error;
@@ -11,11 +11,12 @@ use std::time::{Duration, Instant};
 
 use elf_aig::Aig;
 use elf_core::{ElfClassifier, ElfOptions, Flow, FlowStats, ParseFlowError};
-use elf_nn::{Dataset, TrainConfig, TrainReport};
+use elf_nn::{Dataset, SharedMlp, TrainConfig, TrainReport};
 use elf_par::Parallelism;
 
 use crate::batcher::{run_batcher, BatcherClient};
-use crate::queue::JobQueue;
+use crate::queue::{AdmissionPolicy, JobQueue, PushError};
+use crate::registry::{ModelId, ModelRegistry};
 
 /// Configuration of an [`ElfService`].
 ///
@@ -37,6 +38,17 @@ pub struct ServeConfig {
     /// waiting; queued requests are still merged.  Affects throughput only,
     /// never results.
     pub max_wait: usize,
+    /// Most jobs allowed to wait in the admission queue at once (clamped to
+    /// at least 1).  Submissions against a full queue follow
+    /// [`ServeConfig::admission`].  Bounding the queue is what keeps a
+    /// traffic burst from turning into unbounded memory growth.
+    pub queue_bound: usize,
+    /// What a submission does when the queue is full: block for a slot
+    /// (the default — backpressure, nothing shed), reject immediately, or
+    /// wait a deadline then shed.  Shed submissions return
+    /// [`SubmitError::Overloaded`] with the circuit handed back and are
+    /// counted in [`ServiceStats`].
+    pub admission: AdmissionPolicy,
     /// Flow options applied to every stage of every served job
     /// (normalization mode and the *within-job* engine parallelism).
     /// `batch_classification` is forced on at service start: the per-node
@@ -52,6 +64,8 @@ impl Default for ServeConfig {
             shards: Parallelism::default(),
             max_batch: 256,
             max_wait: 8,
+            queue_bound: 1024,
+            admission: AdmissionPolicy::Block,
             options: ElfOptions {
                 parallelism: Parallelism::sequential(),
                 ..ElfOptions::default()
@@ -84,6 +98,9 @@ impl fmt::Display for JobId {
 /// Per-job serving statistics, alongside the usual per-stage [`FlowStats`].
 #[derive(Debug, Clone)]
 pub struct ServeStats {
+    /// The classifier version this job was pruned with (pinned at
+    /// submission; registry swaps never affect an admitted job).
+    pub model: ModelId,
     /// Jobs still waiting in the admission queue when this job was picked up.
     pub queue_depth: usize,
     /// Inference round trips this job made to the batcher (one per pruned
@@ -91,8 +108,9 @@ pub struct ServeStats {
     pub inference_calls: usize,
     /// Feature rows this job sent for inference in total.
     pub inference_rows: usize,
-    /// Largest coalesced batch (total rows, including other jobs' work) any
-    /// of this job's requests rode in — the batch occupancy.
+    /// Largest coalesced batch (total rows, including other jobs' work under
+    /// the same model version) any of this job's requests rode in — the
+    /// batch occupancy.
     pub max_batch_occupancy: usize,
     /// Reachable AND count before the flow ran.
     pub nodes_before: usize,
@@ -107,39 +125,115 @@ pub struct ServeStats {
     pub flow: FlowStats,
 }
 
+impl ServeStats {
+    /// The all-zero statistics a failure placeholder response carries.
+    fn placeholder(model: ModelId) -> Self {
+        ServeStats {
+            model,
+            queue_depth: 0,
+            inference_calls: 0,
+            inference_rows: 0,
+            max_batch_occupancy: 0,
+            nodes_before: 0,
+            nodes_after: 0,
+            queued_time: Duration::ZERO,
+            service_time: Duration::ZERO,
+            flow: FlowStats::default(),
+        }
+    }
+}
+
 /// One finished job: the optimized circuit plus its serving statistics.
 #[derive(Debug, Clone)]
 pub struct JobResponse {
     /// The id returned by the matching [`ServiceHandle::submit`].
     pub job_id: JobId,
     /// The optimized circuit.  When [`JobResponse::failed`] is set, the
-    /// contents are unspecified (a partially transformed network) and must
-    /// not be used.
+    /// contents are unspecified (a partially transformed network, or empty)
+    /// and must not be used.
     pub aig: Aig,
     /// Serving statistics of this job.
     pub stats: ServeStats,
-    /// `true` when the worker panicked while executing this job (an
-    /// internal bug, e.g. an operator invariant violation — never a normal
-    /// outcome).  The response is still delivered so no client blocks
+    /// `true` when the worker panicked (or died) while executing this job —
+    /// an internal bug, e.g. an operator invariant violation, never a normal
+    /// outcome.  The response is still delivered so no client blocks
     /// forever on a job that cannot complete; check this flag before using
     /// [`JobResponse::aig`].
     pub failed: bool,
 }
 
-/// Why a submission was rejected.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Why a submission was rejected.  Every variant hands the submitted
+/// circuit back, so a rejected submit never costs the caller its `Aig`:
+/// retry later, route to a fallback, or drop it — the caller decides.
+///
+/// The circuit is boxed so the `Result` of a submit stays pointer-sized on
+/// the happy path; [`SubmitError::circuit`] and [`SubmitError::into_circuit`]
+/// hide the box.
+#[derive(Debug, Clone)]
 pub enum SubmitError {
     /// The flow script did not parse; the payload names the offending token.
-    Script(ParseFlowError),
+    Script {
+        /// What the parser rejected.
+        error: ParseFlowError,
+        /// The circuit of the failed submission, handed back unchanged.
+        circuit: Box<Aig>,
+    },
     /// The service has been shut down.
-    ServiceClosed,
+    ServiceClosed {
+        /// The circuit of the failed submission, handed back unchanged.
+        circuit: Box<Aig>,
+    },
+    /// The admission queue stayed full past what the configured
+    /// [`AdmissionPolicy`] tolerates: the job was shed.  Never returned
+    /// under [`AdmissionPolicy::Block`].
+    Overloaded {
+        /// The circuit of the shed submission, handed back unchanged.
+        circuit: Box<Aig>,
+    },
+    /// [`ServiceHandle::submit_with`] named a model id the registry does not
+    /// currently publish (never handed out, or retired).
+    UnknownModel {
+        /// The id that did not resolve.
+        model: ModelId,
+        /// The circuit of the failed submission, handed back unchanged.
+        circuit: Box<Aig>,
+    },
+}
+
+impl SubmitError {
+    /// The circuit of the failed submission, by reference.
+    pub fn circuit(&self) -> &Aig {
+        match self {
+            SubmitError::Script { circuit, .. }
+            | SubmitError::ServiceClosed { circuit }
+            | SubmitError::Overloaded { circuit }
+            | SubmitError::UnknownModel { circuit, .. } => circuit,
+        }
+    }
+
+    /// Recovers the circuit of the failed submission — the retry path:
+    /// `handle.submit(err.into_circuit(), script)`.
+    pub fn into_circuit(self) -> Aig {
+        match self {
+            SubmitError::Script { circuit, .. }
+            | SubmitError::ServiceClosed { circuit }
+            | SubmitError::Overloaded { circuit }
+            | SubmitError::UnknownModel { circuit, .. } => *circuit,
+        }
+    }
 }
 
 impl fmt::Display for SubmitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SubmitError::Script(err) => write!(f, "invalid flow script: {err}"),
-            SubmitError::ServiceClosed => write!(f, "the service has been shut down"),
+            SubmitError::Script { error, .. } => write!(f, "invalid flow script: {error}"),
+            SubmitError::ServiceClosed { .. } => write!(f, "the service has been shut down"),
+            SubmitError::Overloaded { .. } => {
+                write!(f, "the admission queue is full and the job was shed")
+            }
+            SubmitError::UnknownModel { model, .. } => {
+                write!(f, "{model} is not published by the service's registry")
+            }
         }
     }
 }
@@ -147,15 +241,9 @@ impl fmt::Display for SubmitError {
 impl Error for SubmitError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            SubmitError::Script(err) => Some(err),
-            SubmitError::ServiceClosed => None,
+            SubmitError::Script { error, .. } => Some(error),
+            _ => None,
         }
-    }
-}
-
-impl From<ParseFlowError> for SubmitError {
-    fn from(err: ParseFlowError) -> Self {
-        SubmitError::Script(err)
     }
 }
 
@@ -165,9 +253,16 @@ impl From<ParseFlowError> for SubmitError {
 pub struct ServiceStats {
     /// Jobs fully served (successful responses delivered).
     pub jobs_served: u64,
-    /// Jobs delivered as failed because the worker panicked executing them
-    /// (see [`JobResponse::failed`]); always 0 in a healthy service.
+    /// Jobs delivered as failed because the worker panicked or died
+    /// executing them (see [`JobResponse::failed`]); always 0 in a healthy
+    /// service.
     pub jobs_failed: u64,
+    /// Submissions shed immediately by [`AdmissionPolicy::Reject`] against a
+    /// full queue.
+    pub jobs_rejected: u64,
+    /// Submissions shed by [`AdmissionPolicy::Timeout`] after waiting out
+    /// their admission deadline.
+    pub jobs_timed_out: u64,
     /// Forward passes the batcher ran.
     pub inference_batches: u64,
     /// Feature rows across all forward passes.
@@ -188,13 +283,20 @@ impl ServiceStats {
             self.inference_rows as f64 / self.inference_batches as f64
         }
     }
+
+    /// Total load-shed submissions (rejected + timed out).
+    pub fn jobs_shed(&self) -> u64 {
+        self.jobs_rejected + self.jobs_timed_out
+    }
 }
 
-/// Shared service-wide counters (batcher + workers).
+/// Shared service-wide counters (admission + batcher + workers).
 #[derive(Debug, Default)]
 pub(crate) struct Telemetry {
     pub(crate) jobs: AtomicU64,
     pub(crate) jobs_failed: AtomicU64,
+    pub(crate) jobs_rejected: AtomicU64,
+    pub(crate) jobs_timed_out: AtomicU64,
     pub(crate) batches: AtomicU64,
     pub(crate) batched_rows: AtomicU64,
     pub(crate) max_occupancy: AtomicUsize,
@@ -206,6 +308,8 @@ impl Telemetry {
         ServiceStats {
             jobs_served: self.jobs.load(Ordering::Relaxed),
             jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
+            jobs_timed_out: self.jobs_timed_out.load(Ordering::Relaxed),
             inference_batches: self.batches.load(Ordering::Relaxed),
             inference_rows: self.batched_rows.load(Ordering::Relaxed),
             max_batch_occupancy: self.max_occupancy.load(Ordering::Relaxed),
@@ -214,21 +318,108 @@ impl Telemetry {
     }
 }
 
+/// The reply channel of one job, armed to deliver a failure placeholder if
+/// the job is dropped before a real response was sent.
+///
+/// This is what makes "a worker died mid-job" survivable: every handle holds
+/// its own reply sender, so the channel never disconnects and a silently
+/// dropped job would otherwise hang its client in `recv` forever.  The guard
+/// turns *any* path that destroys a job without answering — a panic
+/// unwinding the worker thread outside the flow's own catch, a worker killed
+/// by a bug — into a delivered [`JobResponse::failed`] response.
+struct ReplyGuard {
+    job_id: u64,
+    model: ModelId,
+    telemetry: Arc<Telemetry>,
+    tx: Option<mpsc::Sender<JobResponse>>,
+}
+
+impl ReplyGuard {
+    fn new(
+        job_id: u64,
+        model: ModelId,
+        telemetry: Arc<Telemetry>,
+        tx: mpsc::Sender<JobResponse>,
+    ) -> Self {
+        ReplyGuard {
+            job_id,
+            model,
+            telemetry,
+            tx: Some(tx),
+        }
+    }
+
+    /// Delivers the real response, disarming the failure placeholder.
+    fn send(mut self, response: JobResponse) {
+        if let Some(tx) = self.tx.take() {
+            // The handle may have been dropped without collecting its
+            // responses; the job's work is simply discarded then.
+            let _ = tx.send(response);
+        }
+    }
+
+    /// Disarms the guard without sending — for jobs handed back to the
+    /// caller (shed or closed), which never owe a response.
+    fn disarm(mut self) {
+        self.tx.take();
+    }
+}
+
+impl Drop for ReplyGuard {
+    fn drop(&mut self) {
+        if let Some(tx) = self.tx.take() {
+            self.telemetry.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(JobResponse {
+                job_id: JobId(self.job_id),
+                aig: Aig::new(),
+                stats: ServeStats::placeholder(self.model),
+                failed: true,
+            });
+        }
+    }
+}
+
 /// One admitted job, queued for a shard worker.
+///
+/// Everything model-related travels as pinned `Arc` handles: building and
+/// queueing a job allocates **zero model-weight bytes**, and the pinned
+/// version outlives any registry swap until the job completes.
 struct Job {
     id: u64,
+    /// The classifier version pinned at submission.
+    model: ModelId,
+    /// The pinned weights, for the job's batcher requests.
+    mlp: SharedMlp,
     aig: Aig,
     flow: Flow,
     submitted_at: Instant,
-    reply: mpsc::Sender<JobResponse>,
+    reply: ReplyGuard,
+}
+
+impl Job {
+    /// Hands the circuit back to the submitting caller, disarming the reply
+    /// guard — a job that was never admitted owes no response.
+    fn into_circuit(self) -> Aig {
+        let Job { aig, reply, .. } = self;
+        reply.disarm();
+        aig
+    }
 }
 
 /// State shared between the service, its workers and every handle.
 struct Shared {
-    classifier: ElfClassifier,
+    registry: Arc<ModelRegistry>,
+    /// The classifier the service was started with (registry id 0).
+    founding: Arc<ElfClassifier>,
     options: ElfOptions,
     queue: JobQueue<Job>,
+    admission: AdmissionPolicy,
+    telemetry: Arc<Telemetry>,
     next_job_id: AtomicU64,
+    /// Test hook: the next worker to pick up a job panics *outside* the
+    /// flow's catch-unwind — simulating a worker dying mid-job.
+    #[cfg(test)]
+    kill_next_worker: std::sync::atomic::AtomicBool,
 }
 
 /// A long-lived serving instance of the ELF flow.
@@ -236,12 +427,18 @@ struct Shared {
 /// Constructed once from a trained classifier (or trained on startup via
 /// [`ElfService::fit_and_start`]), the service owns a fixed shard of worker
 /// threads plus one micro-batching inference thread, and accepts circuits
-/// over the channel API of [`ServiceHandle`].  Results are **per-job
-/// deterministic**: every job's output AIG is node-for-node identical to
-/// running the same script offline through
-/// [`Flow::pruned_from_script`] with the same classifier and options,
-/// regardless of shard count, batch knobs, client threads or submission
-/// interleaving (see the crate docs for why).
+/// over the channel API of [`ServiceHandle`].  Admission is **bounded**
+/// ([`ServeConfig::queue_bound`]) with a configurable full-queue policy
+/// ([`ServeConfig::admission`]), and the classifier lives in a versioned
+/// [`ModelRegistry`] ([`ElfService::registry`]) that can hot-swap models
+/// while the service runs.
+///
+/// Results are **per-job deterministic**: every job's output AIG is
+/// node-for-node identical to running the same script offline through
+/// [`Flow::pruned_from_script`] with the job's pinned classifier version and
+/// the service options, regardless of shard count, batch knobs, queue bound,
+/// admission policy, client threads, submission interleaving or concurrent
+/// registry swaps (see the crate docs for why).
 ///
 /// Shutdown is graceful: [`ElfService::shutdown`] (or dropping the service)
 /// closes admission, drains the queue, and joins every thread.
@@ -282,7 +479,6 @@ struct Shared {
 #[derive(Debug)]
 pub struct ElfService {
     shared: Arc<Shared>,
-    telemetry: Arc<Telemetry>,
     config: ServeConfig,
     workers: Vec<JoinHandle<()>>,
     batcher: Option<JoinHandle<()>>,
@@ -292,7 +488,10 @@ impl fmt::Debug for Shared {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Shared")
             .field("options", &self.options)
+            .field("admission", &self.admission)
             .field("queue_depth", &self.queue.depth())
+            .field("queue_bound", &self.queue.capacity())
+            .field("registry_epoch", &self.registry.epoch())
             .field("next_job_id", &self.next_job_id.load(Ordering::Relaxed))
             .finish_non_exhaustive()
     }
@@ -300,6 +499,7 @@ impl fmt::Debug for Shared {
 
 impl ElfService {
     /// Starts the service: spawns the shard workers and the batcher thread.
+    /// `classifier` becomes the founding model (registry id 0).
     pub fn start(classifier: ElfClassifier, config: ServeConfig) -> Self {
         let mut options = config.options;
         // The per-node ablation mode classifies one cut at a time interleaved
@@ -307,14 +507,21 @@ impl ElfService {
         // serving layer always runs the paper's batched mode.
         options.batch_classification = true;
 
-        let model = classifier.model().clone();
-        let shared = Arc::new(Shared {
-            classifier,
-            options,
-            queue: JobQueue::new(),
-            next_job_id: AtomicU64::new(0),
-        });
+        let registry = Arc::new(ModelRegistry::with_initial(classifier));
+        let (_, founding) = registry.resolve_default();
         let telemetry = Arc::new(Telemetry::default());
+        let shards = config.shards.num_threads();
+        let shared = Arc::new(Shared {
+            registry,
+            founding,
+            options,
+            queue: JobQueue::new(shards, config.queue_bound),
+            admission: config.admission,
+            telemetry: Arc::clone(&telemetry),
+            next_job_id: AtomicU64::new(0),
+            #[cfg(test)]
+            kill_next_worker: std::sync::atomic::AtomicBool::new(false),
+        });
 
         let (batch_tx, batch_rx) = mpsc::channel();
         let batcher = {
@@ -323,20 +530,18 @@ impl ElfService {
             let inference = config.inference_parallelism;
             std::thread::Builder::new()
                 .name("elf-serve-batcher".into())
-                .spawn(move || {
-                    run_batcher(batch_rx, model, max_batch, max_wait, inference, telemetry)
-                })
+                .spawn(move || run_batcher(batch_rx, max_batch, max_wait, inference, telemetry))
                 .expect("spawn the batcher thread")
         };
 
-        let workers = (0..config.shards.num_threads())
+        let workers = (0..shards)
             .map(|shard| {
                 let shared = Arc::clone(&shared);
                 let telemetry = Arc::clone(&telemetry);
                 let client = BatcherClient::new(batch_tx.clone());
                 std::thread::Builder::new()
                     .name(format!("elf-serve-worker-{shard}"))
-                    .spawn(move || worker_loop(&shared, &client, &telemetry))
+                    .spawn(move || worker_loop(&shared, shard, &client, &telemetry))
                     .expect("spawn a shard worker thread")
             })
             .collect();
@@ -346,7 +551,6 @@ impl ElfService {
 
         ElfService {
             shared,
-            telemetry,
             config,
             workers,
             batcher: Some(batcher),
@@ -387,9 +591,19 @@ impl ElfService {
         }
     }
 
-    /// The classifier every served job is pruned with.
+    /// The founding classifier (registry id 0) — what
+    /// [`ServiceHandle::submit`] prunes with until the registry's default is
+    /// changed.
     pub fn classifier(&self) -> &ElfClassifier {
-        &self.shared.classifier
+        self.shared.founding.as_ref()
+    }
+
+    /// The versioned model registry: publish retrained classifiers, switch
+    /// the default, retire old versions — all while the service runs.
+    /// In-flight jobs are never affected (they pin their version at
+    /// submission).
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.shared.registry
     }
 
     /// The configuration the service was started with.
@@ -409,18 +623,38 @@ impl ElfService {
         self.shared.queue.depth()
     }
 
+    /// The admission bound ([`ServeConfig::queue_bound`], clamped to ≥ 1).
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.queue.capacity()
+    }
+
+    /// Pauses the shard workers: in-flight jobs finish, then workers idle
+    /// with the queue holding everything admitted since.  Admission itself
+    /// keeps running under its policy — which makes `pause` both a
+    /// maintenance valve and the way to fill the queue deterministically in
+    /// overload tests.
+    pub fn pause(&self) {
+        self.shared.queue.set_paused(true);
+    }
+
+    /// Resumes paused shard workers; the queued backlog drains in order.
+    pub fn resume(&self) {
+        self.shared.queue.set_paused(false);
+    }
+
     /// A live snapshot of the service-wide counters.
     pub fn stats(&self) -> ServiceStats {
-        self.telemetry.snapshot()
+        self.shared.telemetry.snapshot()
     }
 
     /// Gracefully shuts the service down: admission closes (further
     /// [`ServiceHandle::submit`] calls return
     /// [`SubmitError::ServiceClosed`]), queued jobs are drained and
-    /// delivered, and every thread is joined.  Returns the final counters.
+    /// delivered — even if the service was paused — and every thread is
+    /// joined.  Returns the final counters.
     pub fn shutdown(mut self) -> ServiceStats {
         self.shutdown_inner();
-        self.telemetry.snapshot()
+        self.shared.telemetry.snapshot()
     }
 
     fn shutdown_inner(&mut self) {
@@ -432,6 +666,13 @@ impl ElfService {
             let _ = batcher.join();
         }
     }
+
+    /// Test hook: make the next worker that picks up a job die (panic
+    /// outside the flow's catch) — the reply-guard regression scenario.
+    #[cfg(test)]
+    fn kill_next_worker(&self) {
+        self.shared.kill_next_worker.store(true, Ordering::SeqCst);
+    }
 }
 
 impl Drop for ElfService {
@@ -442,17 +683,26 @@ impl Drop for ElfService {
     }
 }
 
-/// One shard worker: pull a job, run its flow with inference routed through
-/// the batcher, deliver the response to the submitting handle.
-fn worker_loop(shared: &Shared, client: &BatcherClient, telemetry: &Telemetry) {
-    while let Some((job, queue_depth)) = shared.queue.pop() {
+/// One shard worker: pull a job (own deque first, stealing when idle), run
+/// its flow with inference routed through the batcher, deliver the response
+/// to the submitting handle.
+fn worker_loop(shared: &Shared, shard: usize, client: &BatcherClient, telemetry: &Telemetry) {
+    while let Some((job, queue_depth)) = shared.queue.pop(shard) {
         let Job {
             id,
+            model,
+            mlp,
             mut aig,
             flow,
             submitted_at,
             reply,
         } = job;
+        // Simulated worker death: the panic unwinds through `worker_loop`
+        // with `reply` alive, so the guard's Drop must deliver the failure.
+        #[cfg(test)]
+        if shared.kill_next_worker.swap(false, Ordering::SeqCst) {
+            panic!("test hook: worker killed mid-job");
+        }
         let queued_time = submitted_at.elapsed();
         let started = Instant::now();
         let nodes_before = aig.num_reachable_ands();
@@ -461,13 +711,12 @@ fn worker_loop(shared: &Shared, client: &BatcherClient, telemetry: &Telemetry) {
         let mut inference_rows = 0usize;
         let mut max_batch_occupancy = 0usize;
         // A panic inside the flow (an operator invariant violation — an
-        // internal bug) must not strand the client: the handle blocked in
-        // `recv` holds its own reply sender, so the channel never
-        // disconnects and a silently-dropped job would hang it forever.
-        // Catch the panic, deliver the job as failed, and keep the worker
-        // alive for the rest of the queue.  `AssertUnwindSafe` is justified
-        // because the possibly half-mutated `aig` is only handed back with
-        // `failed: true`, documented as unusable.
+        // internal bug) must not strand the client: catch it, deliver the
+        // job as failed, and keep the worker alive for the rest of the
+        // queue.  (The ReplyGuard additionally covers panics *outside* this
+        // catch, at the cost of the worker thread.)  `AssertUnwindSafe` is
+        // justified because the possibly half-mutated `aig` is only handed
+        // back with `failed: true`, documented as unusable.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let stats = flow.run_with_inference(&mut aig, &mut |rows| {
                 if !rows.is_empty() {
@@ -476,13 +725,13 @@ fn worker_loop(shared: &Shared, client: &BatcherClient, telemetry: &Telemetry) {
                     inference_calls += 1;
                     inference_rows += rows.len();
                 }
-                let answer = client.infer(id, rows);
+                let answer = client.infer(id, model, &mlp, rows);
                 max_batch_occupancy = max_batch_occupancy.max(answer.batch_rows);
                 answer.probabilities
             });
             // Counted inside the guard: walking a graph a panicking operator
             // left inconsistent could itself panic, and nothing after the
-            // catch may touch `aig` (a dead worker strands its clients).
+            // catch may touch `aig`.
             (stats, aig.num_reachable_ands())
         }));
         let (flow_stats, nodes_after, failed) = match outcome {
@@ -496,6 +745,7 @@ fn worker_loop(shared: &Shared, client: &BatcherClient, telemetry: &Telemetry) {
             telemetry.jobs.fetch_add(1, Ordering::Relaxed);
         }
         let stats = ServeStats {
+            model,
             queue_depth,
             inference_calls,
             inference_rows,
@@ -506,9 +756,7 @@ fn worker_loop(shared: &Shared, client: &BatcherClient, telemetry: &Telemetry) {
             service_time: started.elapsed(),
             flow: flow_stats,
         };
-        // The handle may have been dropped without collecting its responses;
-        // the job's work is simply discarded then.
-        let _ = reply.send(JobResponse {
+        reply.send(JobResponse {
             job_id: JobId(id),
             aig,
             stats,
@@ -554,34 +802,108 @@ impl Clone for ServiceHandle {
 
 impl ServiceHandle {
     /// Submits a circuit with an ABC-style flow script (e.g. `"rf; rw; rs"`),
-    /// returning the job's id immediately.
+    /// pruned by the registry's **current default** classifier, returning
+    /// the job's id immediately.
     ///
     /// Every stage runs classifier-pruned, exactly like
-    /// [`Flow::pruned_from_script`] with the service's classifier and
-    /// options.  The script is validated here, so a typo fails fast at the
-    /// submitting client instead of inside a worker.
+    /// [`Flow::pruned_from_script`] with that classifier and the service
+    /// options.  The job pins its classifier version here: registry swaps
+    /// after `submit` returns never affect it.  The script is validated
+    /// here, so a typo fails fast at the submitting client instead of
+    /// inside a worker.  Building and queueing the job allocates **no
+    /// model-weight bytes** — the classifier travels by `Arc`.
     ///
     /// # Errors
     ///
     /// [`SubmitError::Script`] when the script has an unknown token;
-    /// [`SubmitError::ServiceClosed`] after shutdown.
+    /// [`SubmitError::Overloaded`] when the admission queue sheds the job
+    /// (full queue under [`AdmissionPolicy::Reject`]/
+    /// [`AdmissionPolicy::Timeout`]);
+    /// [`SubmitError::ServiceClosed`] after shutdown.  Every error hands
+    /// the circuit back ([`SubmitError::into_circuit`]).
     pub fn submit(&mut self, aig: Aig, flow_script: &str) -> Result<JobId, SubmitError> {
-        let flow =
-            Flow::pruned_from_script(flow_script, &self.shared.classifier, self.shared.options)?;
+        let (model, classifier) = self.shared.registry.resolve_default();
+        self.submit_inner(aig, flow_script, model, classifier)
+    }
+
+    /// Like [`ServiceHandle::submit`], but prunes with a specific published
+    /// classifier version instead of the registry default — per-request
+    /// model selection for canarying or A/B comparison.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::UnknownModel`] when `model` is not currently
+    /// published, plus everything [`ServiceHandle::submit`] returns.
+    pub fn submit_with(
+        &mut self,
+        aig: Aig,
+        flow_script: &str,
+        model: ModelId,
+    ) -> Result<JobId, SubmitError> {
+        match self.shared.registry.get(model) {
+            Some(classifier) => self.submit_inner(aig, flow_script, model, classifier),
+            None => Err(SubmitError::UnknownModel {
+                model,
+                circuit: Box::new(aig),
+            }),
+        }
+    }
+
+    fn submit_inner(
+        &mut self,
+        aig: Aig,
+        flow_script: &str,
+        model: ModelId,
+        classifier: Arc<ElfClassifier>,
+    ) -> Result<JobId, SubmitError> {
+        let flow = match Flow::pruned_from_script(flow_script, &classifier, self.shared.options) {
+            Ok(flow) => flow,
+            Err(error) => {
+                return Err(SubmitError::Script {
+                    error,
+                    circuit: Box::new(aig),
+                })
+            }
+        };
         let id = self.shared.next_job_id.fetch_add(1, Ordering::Relaxed);
         let job = Job {
             id,
+            model,
+            mlp: Arc::clone(classifier.model_handle()),
             aig,
             flow,
             submitted_at: Instant::now(),
-            reply: self.reply_tx.clone(),
+            reply: ReplyGuard::new(
+                id,
+                model,
+                Arc::clone(&self.shared.telemetry),
+                self.reply_tx.clone(),
+            ),
         };
-        match self.shared.queue.push(job) {
+        match self.shared.queue.push(job, self.shared.admission) {
             Ok(_) => {
                 self.outstanding += 1;
                 Ok(JobId(id))
             }
-            Err(_) => Err(SubmitError::ServiceClosed),
+            Err(PushError::Closed(job)) => Err(SubmitError::ServiceClosed {
+                circuit: Box::new(job.into_circuit()),
+            }),
+            Err(PushError::Overloaded(job)) => {
+                let telemetry = &self.shared.telemetry;
+                match self.shared.admission {
+                    AdmissionPolicy::Reject => {
+                        telemetry.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                    AdmissionPolicy::Timeout(_) => {
+                        telemetry.jobs_timed_out.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // The queue never sheds under Block.
+                    AdmissionPolicy::Block => unreachable!("Block policy shed a job"),
+                }
+                Err(SubmitError::Overloaded {
+                    circuit: Box::new(job.into_circuit()),
+                })
+            }
         }
     }
 
@@ -603,10 +925,15 @@ impl ServiceHandle {
         if self.outstanding == 0 {
             return None;
         }
-        let response = self
-            .reply_rx
-            .recv()
-            .expect("a worker holds a reply sender for every outstanding job");
+        let response = match self.reply_rx.recv() {
+            Ok(response) => response,
+            // Defensively unreachable: the handle holds its own reply
+            // sender, so the channel cannot disconnect while it lives, and
+            // the ReplyGuard answers even for dying workers.  Were the
+            // invariant ever broken, surface a failed response instead of
+            // hanging or panicking the client.
+            Err(mpsc::RecvError) => dead_channel_response(),
+        };
         self.outstanding -= 1;
         Some(response)
     }
@@ -624,7 +951,15 @@ impl ServiceHandle {
                 self.outstanding -= 1;
                 Some(response)
             }
-            Err(_) => None,
+            Err(mpsc::TryRecvError::Empty) => None,
+            // See `recv` — defensively unreachable.
+            Err(mpsc::TryRecvError::Disconnected) => {
+                if self.outstanding == 0 {
+                    return None;
+                }
+                self.outstanding -= 1;
+                Some(dead_channel_response())
+            }
         }
     }
 
@@ -643,15 +978,189 @@ impl ServiceHandle {
         loop {
             // Read the channel directly: the stash can only contain earlier
             // jobs, never the one just submitted.
-            let response = self
-                .reply_rx
-                .recv()
-                .expect("a worker holds a reply sender for every outstanding job");
+            let response = match self.reply_rx.recv() {
+                Ok(response) => response,
+                // See `recv` — defensively unreachable; fail *this* job.
+                Err(mpsc::RecvError) => {
+                    self.outstanding -= 1;
+                    return Ok(JobResponse {
+                        job_id: id,
+                        ..dead_channel_response()
+                    });
+                }
+            };
             if response.job_id == id {
                 self.outstanding -= 1;
                 return Ok(response);
             }
             self.stash.push_back(response);
         }
+    }
+}
+
+/// The failure placeholder for the defensively-unreachable "reply channel
+/// disconnected" paths; carries the sentinel job id `u64::MAX` when the
+/// orphaned job cannot be named.
+fn dead_channel_response() -> JobResponse {
+    JobResponse {
+        job_id: JobId(u64::MAX),
+        aig: Aig::new(),
+        stats: ServeStats::placeholder(ModelId::dead_channel()),
+        failed: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classifier() -> ElfClassifier {
+        ElfClassifier::from_parts(
+            elf_nn::Normalizer::from_stats(vec![2.0; 6], vec![1.0; 6]),
+            elf_nn::Mlp::paper_architecture(5),
+            0.5,
+        )
+    }
+
+    fn circuit(salt: usize) -> Aig {
+        let mut aig = Aig::new();
+        let inputs = aig.add_inputs(4);
+        let t0 = aig.and(inputs[0], inputs[1]);
+        let t1 = aig.and(inputs[2], inputs[3]);
+        let t2 = aig.and(inputs[salt % 4], inputs[(salt + 1) % 4]);
+        let pair = aig.or(t0, t1);
+        let f = aig.or(pair, t2);
+        aig.add_output(f);
+        aig
+    }
+
+    fn two_shard_config() -> ServeConfig {
+        ServeConfig {
+            shards: Parallelism::threads(2),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn a_dying_worker_delivers_a_failed_response_and_the_service_survives() {
+        let service = ElfService::start(classifier(), two_shard_config());
+        let mut handle = service.handle();
+
+        service.kill_next_worker();
+        let id = handle.submit(circuit(0), "rf; rw").unwrap();
+        let response = handle.recv().expect("the reply guard must answer");
+        assert_eq!(response.job_id, id);
+        assert!(
+            response.failed,
+            "a killed worker's job must come back failed"
+        );
+
+        // The surviving shard keeps serving (work stealing covers the dead
+        // worker's deque).
+        for salt in 1..4 {
+            let response = handle.run_sync(circuit(salt), "rf; rw").unwrap();
+            assert!(!response.failed);
+        }
+
+        let stats = service.shutdown();
+        assert_eq!(stats.jobs_failed, 1);
+        assert_eq!(stats.jobs_served, 3);
+    }
+
+    #[test]
+    fn shed_and_closed_submissions_hand_the_circuit_back_intact() {
+        let service = ElfService::start(
+            classifier(),
+            ServeConfig {
+                shards: Parallelism::threads(1),
+                queue_bound: 1,
+                admission: AdmissionPolicy::Reject,
+                ..Default::default()
+            },
+        );
+        let mut handle = service.handle();
+        service.pause();
+
+        // Fill the one-slot queue, then shed.
+        let original = circuit(2);
+        let nodes = original.num_reachable_ands();
+        handle.submit(circuit(1), "rf").unwrap();
+        let err = handle.submit(original, "rf").unwrap_err();
+        assert!(matches!(err, SubmitError::Overloaded { .. }));
+        let recovered = err.into_circuit();
+        assert_eq!(recovered.num_reachable_ands(), nodes);
+        assert_eq!(service.stats().jobs_rejected, 1);
+        assert_eq!(service.stats().jobs_shed(), 1);
+
+        // A bad script also hands the circuit back, before touching the
+        // queue.
+        let err = handle.submit(recovered, "bogus_stage").unwrap_err();
+        assert!(matches!(err, SubmitError::Script { .. }));
+        let recovered = err.into_circuit();
+
+        // And so does submitting after shutdown.
+        service.resume();
+        while handle.recv().is_some() {}
+        drop(service);
+        let err = handle.submit(recovered, "rf").unwrap_err();
+        assert!(matches!(err, SubmitError::ServiceClosed { .. }));
+        assert_eq!(err.circuit().num_reachable_ands(), nodes);
+    }
+
+    #[test]
+    fn submit_with_rejects_unknown_and_retired_models() {
+        let service = ElfService::start(classifier(), two_shard_config());
+        let mut handle = service.handle();
+        let registry = service.registry();
+        let founding = registry.default_model();
+
+        let bogus = crate::registry::ModelId::for_tests(77);
+        let err = handle.submit_with(circuit(0), "rf", bogus).unwrap_err();
+        assert!(matches!(
+            err,
+            SubmitError::UnknownModel { model, .. } if model == bogus
+        ));
+
+        // Retire the founding model behind a replacement: selecting it
+        // explicitly now fails, while plain submit follows the new default.
+        let v1 = registry.publish(classifier());
+        registry.set_default(v1).unwrap();
+        assert!(registry.retire(founding));
+        let err = handle
+            .submit_with(err.into_circuit(), "rf", founding)
+            .unwrap_err();
+        assert!(matches!(err, SubmitError::UnknownModel { .. }));
+
+        let response = handle.run_sync(err.into_circuit(), "rf").unwrap();
+        assert_eq!(response.stats.model, v1);
+        assert!(!response.failed);
+    }
+
+    #[test]
+    fn submitting_allocates_no_model_weight_bytes() {
+        let classifier = classifier();
+        let weights = Arc::clone(classifier.model_handle());
+        let service = ElfService::start(classifier, two_shard_config());
+        let mut handle = service.handle();
+        service.pause();
+
+        // Registry snapshot + founding handle hold a fixed number of pins.
+        let resting = Arc::strong_count(&weights);
+        let mut ids = Vec::new();
+        for salt in 0..8 {
+            ids.push(handle.submit(circuit(salt), "rf; rw; rs").unwrap());
+        }
+        // Each queued job pins the weights: one Arc in the job itself plus
+        // one per flow stage — never a weight copy.  8 jobs × (1 + 3 stages).
+        assert_eq!(Arc::strong_count(&weights), resting + 8 * 4);
+
+        service.resume();
+        while handle.recv().is_some() {}
+        // Shutdown joins the workers, so every job's pins are provably
+        // released (a worker may still be dropping its last job right after
+        // sending the response).
+        let stats = service.shutdown();
+        assert_eq!(stats.jobs_served, 8);
+        assert_eq!(Arc::strong_count(&weights), resting);
     }
 }

@@ -316,13 +316,108 @@ fn shutdown_rejects_new_work_and_reports_counters() {
         delivered += 1;
     }
     assert_eq!(delivered, 4);
-    // New work is rejected, and bad scripts fail fast either way.
-    assert_eq!(
-        handle.submit(jobs[0].0.clone(), "rf"),
-        Err(SubmitError::ServiceClosed)
-    );
+    // New work is rejected — with the circuit handed back — and bad scripts
+    // fail fast either way.
+    let nodes = jobs[0].0.num_reachable_ands();
+    let err = handle.submit(jobs[0].0.clone(), "rf").unwrap_err();
+    assert!(matches!(err, SubmitError::ServiceClosed { .. }));
+    assert_eq!(err.into_circuit().num_reachable_ands(), nodes);
     assert!(matches!(
         handle.submit(jobs[0].0.clone(), "rf; balance"),
-        Err(SubmitError::Script(err)) if err.token() == "balance"
+        Err(SubmitError::Script { error, .. }) if error.token() == "balance"
     ));
+}
+
+#[test]
+fn registry_hot_swap_pins_inflight_jobs_and_switches_later_ones() {
+    // Two genuinely different classifier versions (different init seeds):
+    // jobs submitted before the swap must serve under version A, jobs after
+    // under version B — each bit-identical to its offline flow.
+    let classifier_b = ElfClassifier::from_parts(
+        Normalizer::from_stats(vec![2.0; 6], vec![1.0; 6]),
+        Mlp::paper_architecture(23),
+        DEFAULT_THRESHOLD,
+    );
+    let jobs = job_set();
+    let service = ElfService::start(
+        mixed_classifier(),
+        ServeConfig {
+            shards: Parallelism::threads(2),
+            ..Default::default()
+        },
+    );
+    let mut handle = service.handle();
+
+    // Pause the workers so the swap provably happens while the first batch
+    // is still queued — the pinning, not timing luck, must protect it.
+    service.pause();
+    let founding = service.registry().default_model();
+    for (aig, script) in jobs.iter().take(3) {
+        handle.submit(aig.clone(), script).unwrap();
+    }
+    let version_b = service.registry().publish(classifier_b.clone());
+    service.registry().set_default(version_b).unwrap();
+    assert!(service.registry().retire(founding));
+    for (aig, script) in jobs.iter().skip(3).take(3) {
+        handle.submit(aig.clone(), script).unwrap();
+    }
+    service.resume();
+
+    let mut served = std::collections::HashMap::new();
+    while let Some(response) = handle.recv() {
+        assert!(!response.failed);
+        served.insert(response.job_id.as_u64(), response);
+    }
+    assert_eq!(served.len(), 6);
+
+    let offline = |aig: &Aig, script: &str, classifier: &ElfClassifier| {
+        let mut aig = aig.clone();
+        Flow::pruned_from_script(script, classifier, service.options())
+            .expect("script parses")
+            .run(&mut aig);
+        fingerprint(&aig)
+    };
+    let classifier_a = mixed_classifier();
+    for (job, (aig, script)) in jobs.iter().take(6).enumerate() {
+        let response = &served[&(job as u64)];
+        let (expected_model, expected_classifier) = if job < 3 {
+            (founding, &classifier_a)
+        } else {
+            (version_b, &classifier_b)
+        };
+        assert_eq!(response.stats.model, expected_model);
+        assert_eq!(
+            fingerprint(&response.aig),
+            offline(aig, script, expected_classifier),
+            "job {job} diverged from the offline flow of its pinned version"
+        );
+    }
+    service.shutdown();
+}
+
+#[test]
+fn submit_with_serves_a_non_default_version_deterministically() {
+    let classifier_b = ElfClassifier::from_parts(
+        Normalizer::from_stats(vec![2.0; 6], vec![1.0; 6]),
+        Mlp::paper_architecture(23),
+        DEFAULT_THRESHOLD,
+    );
+    let service = ElfService::start(mixed_classifier(), ServeConfig::default());
+    let version_b = service.registry().publish(classifier_b.clone());
+    let mut handle = service.handle();
+    let (aig, script) = job_set().into_iter().next().expect("non-empty job set");
+
+    // The default stays A; this request explicitly canaries B.
+    let id = handle
+        .submit_with(aig.clone(), script, version_b)
+        .expect("submit_with");
+    let response = handle.recv().expect("one job outstanding");
+    assert_eq!(response.job_id, id);
+    assert_eq!(response.stats.model, version_b);
+
+    let mut offline = aig;
+    Flow::pruned_from_script(script, &classifier_b, service.options())
+        .expect("script parses")
+        .run(&mut offline);
+    assert_eq!(fingerprint(&response.aig), fingerprint(&offline));
 }

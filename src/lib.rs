@@ -17,7 +17,7 @@
 //! | [`nn`] (`elf-nn`) | Minimal MLP framework (Adam, cosine warm restarts, MixUp, stratified splits, metrics) |
 //! | [`par`] (`elf-par`) | Deterministic std-threads parallel engine (scoped pool, chunked queue, order-preserving gather) |
 //! | [`core`] (`elf-core`) | The ELF classifier, the generic pruned operator `Elf<O>`, script-style `Flow` pipelines and the experiment protocol |
-//! | [`serve`] (`elf-serve`) | Long-lived batching `ElfService`: sharded workers, micro-batched inference, channel request/response API |
+//! | [`serve`] (`elf-serve`) | Long-lived batching `ElfService`: bounded admission with load-shedding policies, work-stealing shard workers, versioned hot-swap `ModelRegistry`, micro-batched inference, channel request/response API |
 //! | [`circuits`] (`elf-circuits`) | EPFL-style arithmetic, industrial-like and synthetic workload generators |
 //! | [`analysis`] (`elf-analysis`) | t-SNE, exact Shapley values, PCA |
 //!
@@ -79,11 +79,18 @@
 //! ```
 //!
 //! Serve circuits from a long-lived [`serve::ElfService`] — a fixed shard of
-//! worker threads sharing one classifier, with the inference work of
-//! concurrent jobs coalesced into micro-batches.  Results are per-job
-//! deterministic: node-for-node identical to the offline
-//! [`core::Flow::pruned_from_script`] path, for any shard count, batch knobs
-//! or client interleaving:
+//! worker threads behind a **bounded** admission queue
+//! ([`serve::ServeConfig::queue_bound`], with a block/reject/timeout
+//! [`serve::AdmissionPolicy`] on overload that always hands the circuit
+//! back), sharing classifiers through a versioned hot-swap
+//! [`serve::ModelRegistry`] ([`serve::ServiceHandle::submit_with`] selects a
+//! version per request), with the inference work of concurrent jobs
+//! coalesced into micro-batches — one forward pass per model version, all
+//! weights behind `Arc` so submitting allocates zero model bytes.  Results
+//! are per-job deterministic: node-for-node identical to the offline
+//! [`core::Flow::pruned_from_script`] path with the job's pinned version,
+//! for any shard count, batch knobs, admission policy, registry activity or
+//! client interleaving:
 //!
 //! ```
 //! use elf::circuits::epfl::{arithmetic_circuit, Scale};
