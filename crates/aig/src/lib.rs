@@ -11,7 +11,10 @@
 //!   reference counts and levels, fanout tracking, MFFC computation and the
 //!   in-place [`Aig::replace`] primitive used to commit resynthesis results;
 //! * bit-parallel [simulation](Aig::simulate_word) and
-//!   [equivalence checking](check_equivalence);
+//!   [equivalence checking](check_equivalence), plus cone-bounded
+//!   [signatures](cone_signature) for commit-site soundness checks;
+//! * [`miter`] construction (shared-input XOR/OR reduction of two circuits)
+//!   — the entry point of SAT-based equivalence checking in `elf-cec`;
 //! * [reconvergence-driven cuts](Aig::reconvergence_cut) and the six
 //!   structural [`CutFeatures`] used by the ELF classifier;
 //! * ASCII [AIGER](aiger) input/output.
@@ -37,21 +40,20 @@
 //! assert_eq!(features.leaves as usize, cut.num_leaves());
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 mod aig;
 pub mod aiger;
 mod cut;
 mod lit;
+mod miter;
 mod node;
 mod sim;
 
 pub use aig::{Aig, Fanout, NodeToken};
 pub use cut::{Cut, CutFeatures, CutParams, CutScratch, FEATURE_NAMES, NUM_FEATURES};
 pub use lit::{Lit, NodeId};
+pub use miter::{miter, MiterError};
 pub use node::{Node, NodeKind};
 pub use sim::{
-    check_equivalence, elementary_word, simulation_signature, EquivalenceResult,
+    check_equivalence, cone_signature, elementary_word, simulation_signature, EquivalenceResult,
     MAX_EXHAUSTIVE_INPUTS,
 };

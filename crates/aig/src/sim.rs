@@ -233,6 +233,154 @@ pub fn simulation_signature(aig: &Aig, rounds: usize, seed: u64) -> u64 {
     hash
 }
 
+/// Functional fingerprint of a single cone, bounded by an explicit frontier.
+///
+/// Evaluates the cone of `root` treating the `frontier` literals as free
+/// variables (every path from `root` towards the primary inputs is cut at
+/// the first frontier node) and folds the resulting words into an FNV-1a
+/// hash.  Two literals *of the same AIG* that compute the same function of
+/// the same frontier always produce the same signature; with at most
+/// [`MAX_EXHAUSTIVE_INPUTS`] frontier variables the comparison is
+/// **exhaustive**, so differing signatures prove differing functions and
+/// equal signatures prove equality.  Larger frontiers fall back to `rounds`
+/// words of seeded random patterns (probabilistic).
+///
+/// Unlike [`Aig::simulate_word`] this works on cones that are not (yet)
+/// reachable from any primary output — exactly the situation at a
+/// resynthesis commit site, where the replacement cone has been built but
+/// [`Aig::replace`] has not run.  Leaves that are reached without appearing
+/// in `frontier` (stray inputs, non-AND nodes) receive a deterministic
+/// pseudorandom word keyed by node id, so two cones over the same leaves
+/// still agree on them.
+///
+/// # Examples
+///
+/// ```
+/// use elf_aig::{cone_signature, Aig};
+///
+/// let mut aig = Aig::new();
+/// let x = aig.add_input();
+/// let y = aig.add_input();
+/// let z = aig.add_input();
+/// // (x & y) | (x & z) and the factored x & (y | z) — same function.
+/// let t0 = aig.and(x, y);
+/// let t1 = aig.and(x, z);
+/// let redundant = aig.or(t0, t1);
+/// let yz = aig.or(y, z);
+/// let factored = aig.and(x, yz);
+///
+/// let frontier = [x, y, z];
+/// assert_eq!(
+///     cone_signature(&aig, redundant, &frontier, 4, 7),
+///     cone_signature(&aig, factored, &frontier, 4, 7),
+/// );
+/// assert_ne!(
+///     cone_signature(&aig, redundant, &frontier, 4, 7),
+///     cone_signature(&aig, !factored, &frontier, 4, 7),
+/// );
+/// ```
+pub fn cone_signature(aig: &Aig, root: Lit, frontier: &[Lit], rounds: usize, seed: u64) -> u64 {
+    use std::collections::HashMap;
+
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    // Frontier index per node; the first occurrence wins for duplicates.
+    let mut frontier_index: HashMap<u32, usize> = HashMap::new();
+    for (i, lit) in frontier.iter().enumerate() {
+        frontier_index.entry(lit.node().index()).or_insert(i);
+    }
+
+    // Collect the bounded cone in fanin-before-root order (iterative DFS;
+    // commit-site cones are small but recursion depth is unbounded).
+    let mut order: Vec<crate::lit::NodeId> = Vec::new();
+    let mut state: HashMap<u32, bool> = HashMap::new(); // false = open, true = done
+    let mut stack = vec![(root.node(), false)];
+    while let Some((id, expanded)) = stack.pop() {
+        if id.is_const0()
+            || frontier_index.contains_key(&id.index())
+            || state.get(&id.index()) == Some(&true)
+        {
+            continue;
+        }
+        if expanded {
+            state.insert(id.index(), true);
+            if aig.is_and(id) {
+                order.push(id);
+            }
+            continue;
+        }
+        if state.insert(id.index(), false).is_some() {
+            continue; // already scheduled
+        }
+        stack.push((id, true));
+        if aig.is_and(id) {
+            let (f0, f1) = aig.fanins(id);
+            stack.push((f0.node(), false));
+            stack.push((f1.node(), false));
+        }
+    }
+
+    // Exhaustive patterns fit in 2^k / 64 words for small frontiers; larger
+    // ones get `rounds` random words.
+    let k = frontier.len();
+    let exhaustive = k <= MAX_EXHAUSTIVE_INPUTS;
+    let num_words = if exhaustive {
+        1usize.max((1usize << k) / 64)
+    } else {
+        rounds.max(1)
+    };
+
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    let mut values: HashMap<u32, u64> = HashMap::new();
+    for word_index in 0..num_words {
+        values.clear();
+        let leaf_word = |id: crate::lit::NodeId| -> u64 {
+            match frontier_index.get(&id.index()) {
+                Some(&i) if exhaustive => elementary_word(i, word_index),
+                Some(&i) => splitmix64(
+                    seed ^ ((word_index as u64) << 32) ^ (i as u64).wrapping_mul(0x1_0001),
+                ),
+                // Stray leaf outside the declared frontier: keyed by node id
+                // so every cone over the same graph agrees on it.
+                None => splitmix64(seed ^ ((word_index as u64) << 32) ^ u64::from(id.index())),
+            }
+        };
+        let eval = |values: &HashMap<u32, u64>, lit: Lit| -> u64 {
+            let v = if lit.node().is_const0() {
+                0
+            } else if let Some(&word) = values.get(&lit.node().index()) {
+                word
+            } else {
+                leaf_word(lit.node())
+            };
+            if lit.is_complemented() {
+                !v
+            } else {
+                v
+            }
+        };
+        for &id in &order {
+            let (f0, f1) = aig.fanins(id);
+            let word = eval(&values, f0) & eval(&values, f1);
+            values.insert(id.index(), word);
+        }
+        let mut root_word = eval(&values, root);
+        if exhaustive && k < 6 {
+            root_word &= (1u64 << (1 << k)) - 1;
+        }
+        hash ^= root_word;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,9 +23,6 @@
 //! assert!(values[0] > values[1]);
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 mod pca;
 mod shap;
 mod tsne;

@@ -39,7 +39,7 @@ fn bench_threshold(c: &mut Criterion) {
                 || circuit.clone(),
                 |mut aig| std::hint::black_box(elf.run(&mut aig)),
                 BatchSize::SmallInput,
-            )
+            );
         });
     }
     group.finish();
@@ -63,7 +63,7 @@ fn bench_batching(c: &mut Criterion) {
                 || circuit.clone(),
                 |mut aig| std::hint::black_box(elf.run(&mut aig)),
                 BatchSize::SmallInput,
-            )
+            );
         });
     }
     group.finish();
@@ -111,7 +111,7 @@ fn bench_refactor_params(c: &mut Criterion) {
                 || circuit.clone(),
                 |mut aig| std::hint::black_box(Refactor::new(params).run(&mut aig)),
                 BatchSize::SmallInput,
-            )
+            );
         });
     }
     group.finish();

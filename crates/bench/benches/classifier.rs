@@ -34,17 +34,17 @@ fn bench_inference(c: &mut Criterion) {
     group.sample_size(30);
 
     group.bench_function("batched_inference_all_cuts", |b| {
-        b.iter(|| std::hint::black_box(classifier.classify_batch(&features)))
+        b.iter(|| std::hint::black_box(classifier.classify_batch(&features)));
     });
     group.bench_function("batched_inference_self_normalized", |b| {
-        b.iter(|| std::hint::black_box(classifier.classify_batch_self_normalized(&features)))
+        b.iter(|| std::hint::black_box(classifier.classify_batch_self_normalized(&features)));
     });
     group.bench_function("per_cut_inference", |b| {
         b.iter(|| {
             for feature in features.iter().take(64) {
                 std::hint::black_box(classifier.classify_batch(std::slice::from_ref(feature)));
             }
-        })
+        });
     });
     group.bench_function("feature_collection_whole_graph", |b| {
         let refactor = Refactor::new(RefactorParams::default());
@@ -52,7 +52,7 @@ fn bench_inference(c: &mut Criterion) {
         b.iter(|| {
             let mut aig = circuit.clone();
             std::hint::black_box(refactor.collect_features(&mut aig))
-        })
+        });
     });
     group.finish();
 }
@@ -73,7 +73,7 @@ fn bench_training(c: &mut Criterion) {
                 11,
             );
             std::hint::black_box(classifier)
-        })
+        });
     });
     group.finish();
 }

@@ -32,25 +32,25 @@ fn bench_cut_pipeline(c: &mut Criterion) {
     let mid = roots[roots.len() / 2];
 
     group.bench_function("reconvergence_cut", |b| {
-        b.iter(|| std::hint::black_box(aig.reconvergence_cut(mid, &params)))
+        b.iter(|| std::hint::black_box(aig.reconvergence_cut(mid, &params)));
     });
     let mut reusable = elf_aig::Cut::empty();
     group.bench_function("reconvergence_cut_into", |b| {
         b.iter(|| {
             aig.reconvergence_cut_into(mid, &params, &mut reusable);
             std::hint::black_box(reusable.root)
-        })
+        });
     });
     let cut = aig.reconvergence_cut(mid, &params);
     group.bench_function("cut_features", |b| {
-        b.iter(|| std::hint::black_box(aig.cut_features(&cut)))
+        b.iter(|| std::hint::black_box(aig.cut_features(&cut)));
     });
     group.bench_function("truth_table", |b| {
-        b.iter(|| std::hint::black_box(cut_truth_table(&aig, &cut)))
+        b.iter(|| std::hint::black_box(cut_truth_table(&aig, &cut)));
     });
     let truth = cut_truth_table(&aig, &cut);
     group.bench_function("isop_and_factor", |b| {
-        b.iter(|| std::hint::black_box(factor_truth_table(&truth)))
+        b.iter(|| std::hint::black_box(factor_truth_table(&truth)));
     });
     group.finish();
 }
@@ -67,7 +67,7 @@ fn bench_operator_passes(c: &mut Criterion) {
             || circuit.clone(),
             |mut aig| std::hint::black_box(Refactor::new(RefactorParams::default()).run(&mut aig)),
             BatchSize::SmallInput,
-        )
+        );
     });
     group.bench_function("elf_refactor", |b| {
         let elf = ElfRefactor::new(classifier.clone(), ElfConfig::default());
@@ -75,21 +75,21 @@ fn bench_operator_passes(c: &mut Criterion) {
             || circuit.clone(),
             |mut aig| std::hint::black_box(elf.run(&mut aig)),
             BatchSize::SmallInput,
-        )
+        );
     });
     group.bench_function("rewrite", |b| {
         b.iter_batched(
             || circuit.clone(),
             |mut aig| std::hint::black_box(Rewrite::default().run(&mut aig)),
             BatchSize::SmallInput,
-        )
+        );
     });
     group.bench_function("resubstitution", |b| {
         b.iter_batched(
             || circuit.clone(),
             |mut aig| std::hint::black_box(Resubstitution::default().run(&mut aig)),
             BatchSize::SmallInput,
-        )
+        );
     });
     group.finish();
 }

@@ -1,0 +1,132 @@
+//! Tseitin encoding of an AIG into the CNF solver.
+//!
+//! Each reachable node gets one propositional variable; an AND gate
+//! `n = a & b` becomes the three clauses `(!n | a)`, `(!n | b)`,
+//! `(n | !a | !b)`, with edge complements folded into the literals.  The
+//! constant-false node gets a variable pinned to false by a unit clause so
+//! that constant outputs need no special cases downstream.
+
+use elf_aig::{Aig, Lit, NodeId};
+
+use crate::solver::{SatLit, Solver, Var};
+
+/// The variable mapping of one encoded circuit.
+#[derive(Debug)]
+pub(crate) struct Encoding {
+    /// Per node slot: the solver variable, if the node was encoded.
+    node_var: Vec<Option<Var>>,
+}
+
+impl Encoding {
+    /// Encodes `aig` into `solver`: creates variables for the constant, all
+    /// primary inputs, and every output-reachable AND gate, and adds the
+    /// Tseitin clauses.
+    pub(crate) fn encode(aig: &Aig, solver: &mut Solver) -> Encoding {
+        let mut node_var: Vec<Option<Var>> = vec![None; aig.num_slots()];
+        let const_var = solver.new_var();
+        node_var[0] = Some(const_var);
+        solver.add_clause(&[const_var.negative()]);
+        for &input in aig.inputs() {
+            node_var[input.as_usize()] = Some(solver.new_var());
+        }
+        for id in aig.topological_order() {
+            let n = solver.new_var();
+            node_var[id.as_usize()] = Some(n);
+            let (f0, f1) = aig.fanins(id);
+            let a = lit_in(&node_var, f0);
+            let b = lit_in(&node_var, f1);
+            solver.add_clause(&[n.negative(), a]);
+            solver.add_clause(&[n.negative(), b]);
+            solver.add_clause(&[n.positive(), !a, !b]);
+        }
+        Encoding { node_var }
+    }
+
+    /// The solver variable of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was not reachable when the circuit was encoded.
+    pub(crate) fn var(&self, node: NodeId) -> Var {
+        match self.node_var[node.as_usize()] {
+            Some(v) => v,
+            None => unreachable!("queried a node that was never encoded"),
+        }
+    }
+
+    /// The solver literal of the AIG literal `lit`.
+    pub(crate) fn lit(&self, lit: Lit) -> SatLit {
+        lit_in(&self.node_var, lit)
+    }
+}
+
+/// The solver literal of `lit` under a (possibly partial) variable map.
+fn lit_in(node_var: &[Option<Var>], lit: Lit) -> SatLit {
+    match node_var[lit.node().as_usize()] {
+        Some(v) => v.lit(!lit.is_complemented()),
+        None => unreachable!("fanins are encoded before their fanouts"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveResult;
+
+    #[test]
+    fn encoded_and_gate_behaves_like_conjunction() {
+        let mut aig = Aig::new();
+        let ins = aig.add_inputs(2);
+        let f = aig.and(ins[0], ins[1]);
+        aig.add_output(f);
+
+        let mut solver = Solver::new();
+        let enc = Encoding::encode(&aig, &mut solver);
+        let out = enc.lit(f);
+        let a = enc.lit(ins[0]);
+        let b = enc.lit(ins[1]);
+
+        // The output can be true, and then both inputs are true.
+        assert_eq!(solver.solve(&[out], None), SolveResult::Sat);
+        assert_eq!(solver.solve(&[out, !a], None), SolveResult::Unsat);
+        assert_eq!(solver.solve(&[out, !b], None), SolveResult::Unsat);
+        // And false whenever some input is false.
+        assert_eq!(solver.solve(&[!a, out], None), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn constant_outputs_are_pinned() {
+        let mut aig = Aig::new();
+        aig.add_inputs(1);
+        aig.add_output(Lit::TRUE);
+        aig.add_output(Lit::FALSE);
+
+        let mut solver = Solver::new();
+        let enc = Encoding::encode(&aig, &mut solver);
+        assert_eq!(
+            solver.solve(&[enc.lit(Lit::FALSE)], None),
+            SolveResult::Unsat
+        );
+        assert_eq!(solver.solve(&[enc.lit(Lit::TRUE)], None), SolveResult::Sat);
+    }
+
+    #[test]
+    fn complemented_edges_fold_into_literals() {
+        let mut aig = Aig::new();
+        let ins = aig.add_inputs(2);
+        // NOR: !a & !b
+        let f = aig.and(!ins[0], !ins[1]);
+        aig.add_output(f);
+
+        let mut solver = Solver::new();
+        let enc = Encoding::encode(&aig, &mut solver);
+        assert_eq!(
+            solver.solve(&[enc.lit(f), enc.lit(ins[0])], None),
+            SolveResult::Unsat
+        );
+        assert_eq!(
+            solver.solve(&[enc.lit(f), enc.lit(!ins[0]), enc.lit(!ins[1])], None),
+            SolveResult::Sat
+        );
+    }
+}

@@ -1,0 +1,648 @@
+//! A hand-rolled CDCL SAT solver.
+//!
+//! The solver is deliberately small but implements the complete modern
+//! core: two-literal watched propagation, first-UIP conflict-clause
+//! learning, VSIDS-style variable activities with phase saving, Luby
+//! restarts, incremental solving under assumptions, and a conflict budget
+//! that turns an over-hard query into [`SolveResult::Unknown`] instead of
+//! running away.  There is no clause-database reduction — equivalence
+//! queries over miters of this workspace's circuit sizes never accumulate
+//! enough learnt clauses to need it.
+//!
+//! The clause database persists across [`Solver::solve`] calls, which is
+//! what makes the fraig-style sweep in [`crate::check_equivalence_with`]
+//! incremental: every proved internal equivalence is added as a pair of
+//! binary clauses that constrain all later queries.
+
+use std::collections::BinaryHeap;
+use std::ops::Not;
+
+/// A propositional variable, created by [`Solver::new_var`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// The variable's dense 0-based index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    pub fn positive(self) -> SatLit {
+        SatLit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    pub fn negative(self) -> SatLit {
+        SatLit(self.0 << 1 | 1)
+    }
+
+    /// The literal that is true exactly when the variable takes `value`.
+    pub fn lit(self, value: bool) -> SatLit {
+        if value {
+            self.positive()
+        } else {
+            self.negative()
+        }
+    }
+}
+
+/// A literal: a [`Var`] or its negation, encoded as `2 * var + negated`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SatLit(u32);
+
+impl SatLit {
+    /// The literal's variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` for the negative literal.
+    pub fn is_negated(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Dense index for watch lists.
+    fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Not for SatLit {
+    type Output = SatLit;
+
+    fn not(self) -> SatLit {
+        SatLit(self.0 ^ 1)
+    }
+}
+
+/// Three-valued assignment state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+/// Outcome of one [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment exists (query the model with
+    /// [`Solver::model_value`]).
+    Sat,
+    /// No satisfying assignment exists under the given assumptions.
+    Unsat,
+    /// The conflict budget ran out before a decision was reached.
+    Unknown,
+}
+
+/// Restart interval base, multiplied by the Luby sequence.
+const RESTART_BASE: u64 = 256;
+
+/// VSIDS decay: activities shrink by this factor per conflict (implemented
+/// by growing the increment).
+const VAR_DECAY: f64 = 0.95;
+
+/// The CDCL solver (see the module docs).
+#[derive(Debug, Default)]
+pub struct Solver {
+    /// All clauses, original and learnt; watched literals are slots 0 and 1.
+    clauses: Vec<Vec<SatLit>>,
+    /// Per literal code: indices of clauses currently watching that literal.
+    watches: Vec<Vec<usize>>,
+    /// Per variable: current assignment.
+    assign: Vec<LBool>,
+    /// Per variable: last assigned polarity (phase saving).
+    phase: Vec<bool>,
+    /// Per variable: VSIDS activity.
+    activity: Vec<f64>,
+    var_inc: f64,
+    /// Lazy max-activity heap of branching candidates; entries go stale and
+    /// are filtered on pop.
+    order: BinaryHeap<(u64, u32)>,
+    trail: Vec<SatLit>,
+    trail_lim: Vec<usize>,
+    /// Per variable: index of the clause that implied it (`None` for
+    /// decisions and assumption/level-0 enqueues).
+    reason: Vec<Option<usize>>,
+    /// Per variable: decision level of the assignment.
+    level: Vec<u32>,
+    /// Next trail position to propagate.
+    qhead: usize,
+    /// Scratch flags of conflict analysis.
+    seen: Vec<bool>,
+    /// Model of the last `Sat` answer, per variable.
+    model: Vec<bool>,
+    /// The formula was proved unsatisfiable without assumptions.
+    unsat: bool,
+    /// Total conflicts over the solver's lifetime.
+    conflicts: u64,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            var_inc: 1.0,
+            ..Solver::default()
+        }
+    }
+
+    /// Creates a fresh unassigned variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = self.assign.len() as u32;
+        self.assign.push(LBool::Undef);
+        self.phase.push(false);
+        self.activity.push(0.0);
+        self.reason.push(None);
+        self.level.push(0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.push((0, v));
+        Var(v)
+    }
+
+    /// Number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of clauses held (original plus learnt).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Total conflicts across all [`Solver::solve`] calls.
+    pub fn num_conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Adds a clause (a disjunction of literals).  Returns `false` when the
+    /// formula is now unsatisfiable without assumptions (an empty clause
+    /// arose), `true` otherwise.  Tautologies and clauses already satisfied
+    /// at level 0 are dropped silently.
+    pub fn add_clause(&mut self, lits: &[SatLit]) -> bool {
+        debug_assert!(self.trail_lim.is_empty(), "clauses are added at level 0");
+        if self.unsat {
+            return false;
+        }
+        let mut clause: Vec<SatLit> = lits.to_vec();
+        clause.sort_unstable();
+        clause.dedup();
+        // After sorting, a variable and its negation are adjacent.
+        if clause.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return true;
+        }
+        if clause.iter().any(|&l| self.value(l) == LBool::True) {
+            return true;
+        }
+        clause.retain(|&l| self.value(l) != LBool::False);
+        match clause.len() {
+            0 => {
+                self.unsat = true;
+                false
+            }
+            1 => {
+                self.enqueue(clause[0], None);
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                    false
+                } else {
+                    true
+                }
+            }
+            _ => {
+                let index = self.clauses.len();
+                self.watches[clause[0].code()].push(index);
+                self.watches[clause[1].code()].push(index);
+                self.clauses.push(clause);
+                true
+            }
+        }
+    }
+
+    /// Solves under `assumptions` (each forced true for this call only),
+    /// spending at most `max_conflicts` conflicts when a budget is given.
+    ///
+    /// The solver is left at decision level 0 afterwards: learnt clauses are
+    /// kept, so repeated calls get cheaper, and [`Solver::add_clause`] may
+    /// be called between solves.
+    pub fn solve(&mut self, assumptions: &[SatLit], max_conflicts: Option<u64>) -> SolveResult {
+        if self.unsat {
+            return SolveResult::Unsat;
+        }
+        debug_assert!(self.trail_lim.is_empty());
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SolveResult::Unsat;
+        }
+        let budget_end = max_conflicts.map(|b| self.conflicts.saturating_add(b));
+        let mut restarts = 0u32;
+        let mut limit = luby(restarts) * RESTART_BASE;
+        let mut conflicts_in_restart = 0u64;
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.conflicts += 1;
+                conflicts_in_restart += 1;
+                if self.decision_level() == 0 {
+                    self.unsat = true;
+                    return SolveResult::Unsat;
+                }
+                let (learnt, backtrack) = self.analyze(conflict);
+                self.cancel_until(backtrack);
+                self.record_learnt(learnt);
+                self.var_inc /= VAR_DECAY;
+                if budget_end.is_some_and(|end| self.conflicts >= end) {
+                    self.cancel_until(0);
+                    return SolveResult::Unknown;
+                }
+                if conflicts_in_restart >= limit {
+                    conflicts_in_restart = 0;
+                    restarts += 1;
+                    limit = luby(restarts) * RESTART_BASE;
+                    self.cancel_until(0);
+                }
+            } else {
+                // Assumptions occupy the first decision levels; already-true
+                // assumptions get an empty level so indices line up.
+                let mut next = None;
+                let mut failed = false;
+                while self.decision_level() < assumptions.len() {
+                    let p = assumptions[self.decision_level()];
+                    match self.value(p) {
+                        LBool::True => self.trail_lim.push(self.trail.len()),
+                        LBool::False => {
+                            failed = true;
+                            break;
+                        }
+                        LBool::Undef => {
+                            next = Some(p);
+                            break;
+                        }
+                    }
+                }
+                if failed {
+                    self.cancel_until(0);
+                    return SolveResult::Unsat;
+                }
+                let decision = match next {
+                    Some(p) => Some(p),
+                    None => self.pick_branch(),
+                };
+                match decision {
+                    Some(p) => {
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(p, None);
+                    }
+                    None => {
+                        self.model = self.assign.iter().map(|&a| a == LBool::True).collect();
+                        self.cancel_until(0);
+                        return SolveResult::Sat;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The value of `var` in the model of the last `Sat` answer (`false`
+    /// when the variable did not exist yet, or was never assigned).
+    pub fn model_value(&self, var: Var) -> bool {
+        self.model.get(var.index()).copied().unwrap_or(false)
+    }
+
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    fn value(&self, lit: SatLit) -> LBool {
+        match self.assign[lit.var().index()] {
+            LBool::Undef => LBool::Undef,
+            LBool::True if lit.is_negated() => LBool::False,
+            LBool::True => LBool::True,
+            LBool::False if lit.is_negated() => LBool::True,
+            LBool::False => LBool::False,
+        }
+    }
+
+    fn enqueue(&mut self, lit: SatLit, reason: Option<usize>) {
+        let v = lit.var().index();
+        debug_assert_eq!(self.assign[v], LBool::Undef);
+        self.assign[v] = if lit.is_negated() {
+            LBool::False
+        } else {
+            LBool::True
+        };
+        self.phase[v] = !lit.is_negated();
+        self.level[v] = self.decision_level() as u32;
+        self.reason[v] = reason;
+        self.trail.push(lit);
+    }
+
+    /// Propagates all queued assignments; returns the index of a falsified
+    /// clause on conflict.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let false_lit = !p;
+            let mut ws = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut i = 0;
+            let mut conflict = None;
+            'clauses: while i < ws.len() {
+                let ci = ws[i];
+                if self.clauses[ci][0] == false_lit {
+                    self.clauses[ci].swap(0, 1);
+                }
+                let first = self.clauses[ci][0];
+                if self.value(first) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                for k in 2..self.clauses[ci].len() {
+                    if self.value(self.clauses[ci][k]) != LBool::False {
+                        self.clauses[ci].swap(1, k);
+                        let moved = self.clauses[ci][1];
+                        // `moved` is not false, so it cannot be `false_lit`
+                        // and never targets the taken list.
+                        self.watches[moved.code()].push(ci);
+                        ws.swap_remove(i);
+                        continue 'clauses;
+                    }
+                }
+                if self.value(first) == LBool::False {
+                    conflict = Some(ci);
+                    break;
+                }
+                self.enqueue(first, Some(ci));
+                i += 1;
+            }
+            self.watches[false_lit.code()] = ws;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    /// First-UIP conflict analysis: returns the learnt clause (asserting
+    /// literal in slot 0, deepest remaining literal in slot 1) and the
+    /// backtrack level.
+    fn analyze(&mut self, conflict: usize) -> (Vec<SatLit>, usize) {
+        let current = self.decision_level() as u32;
+        let mut learnt: Vec<SatLit> = vec![SatLit(0)];
+        let mut counter = 0usize;
+        let mut along_trail = false;
+        let mut index = self.trail.len();
+        let mut clause = conflict;
+        loop {
+            // A reason clause implies its slot-0 literal — skip it when
+            // walking backwards along the trail.
+            let skip = usize::from(along_trail);
+            for pos in skip..self.clauses[clause].len() {
+                let q = self.clauses[clause][pos];
+                let v = q.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(v);
+                    if self.level[v] >= current {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            let uip_candidate = loop {
+                index -= 1;
+                let lit = self.trail[index];
+                if self.seen[lit.var().index()] {
+                    break lit;
+                }
+            };
+            self.seen[uip_candidate.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !uip_candidate;
+                break;
+            }
+            clause = match self.reason[uip_candidate.var().index()] {
+                Some(r) => r,
+                None => unreachable!("a non-UIP conflict-level literal is always implied"),
+            };
+            along_trail = true;
+        }
+        let backtrack = if learnt.len() == 1 {
+            0
+        } else {
+            let mut deepest = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[deepest].var().index()] {
+                    deepest = i;
+                }
+            }
+            learnt.swap(1, deepest);
+            self.level[learnt[1].var().index()] as usize
+        };
+        for &q in &learnt[1..] {
+            self.seen[q.var().index()] = false;
+        }
+        (learnt, backtrack)
+    }
+
+    /// Installs a learnt clause and enqueues its asserting literal.
+    fn record_learnt(&mut self, learnt: Vec<SatLit>) {
+        if learnt.len() == 1 {
+            debug_assert_eq!(self.decision_level(), 0);
+            self.enqueue(learnt[0], None);
+            return;
+        }
+        let index = self.clauses.len();
+        self.watches[learnt[0].code()].push(index);
+        self.watches[learnt[1].code()].push(index);
+        let asserting = learnt[0];
+        self.clauses.push(learnt);
+        self.enqueue(asserting, Some(index));
+    }
+
+    fn cancel_until(&mut self, target_level: usize) {
+        if self.decision_level() <= target_level {
+            return;
+        }
+        let target = self.trail_lim[target_level];
+        while self.trail.len() > target {
+            if let Some(lit) = self.trail.pop() {
+                let v = lit.var().index();
+                self.assign[v] = LBool::Undef;
+                self.reason[v] = None;
+                self.order.push((self.activity[v].to_bits(), v as u32));
+            }
+        }
+        self.trail_lim.truncate(target_level);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch(&mut self) -> Option<SatLit> {
+        while let Some((_, v)) = self.order.pop() {
+            let index = v as usize;
+            if self.assign[index] == LBool::Undef {
+                return Some(Var(v).lit(self.phase[index]));
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        // Positive finite activities compare correctly through their bits.
+        self.order.push((self.activity[v].to_bits(), v as u32));
+    }
+}
+
+/// The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, ... (as powers of two).
+fn luby(x: u32) -> u64 {
+    let (mut size, mut seq) = (1u64, 0u32);
+    while size < u64::from(x) + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    let mut x = u64::from(x);
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(solver: &mut Solver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| solver.new_var()).collect()
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let prefix: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(prefix, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut solver = Solver::new();
+        let v = vars(&mut solver, 2);
+        assert!(solver.add_clause(&[v[0].positive(), v[1].positive()]));
+        assert_eq!(solver.solve(&[], None), SolveResult::Sat);
+        assert!(solver.model_value(v[0]) || solver.model_value(v[1]));
+
+        assert!(solver.add_clause(&[v[0].negative()]));
+        // `!v0` forces `v1` at level 0, so `!v1` is the empty clause.
+        assert!(!solver.add_clause(&[v[1].negative()]));
+        assert_eq!(solver.solve(&[], None), SolveResult::Unsat);
+        // Once unsat, always unsat.
+        assert_eq!(solver.solve(&[], None), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_are_transient() {
+        let mut solver = Solver::new();
+        let v = vars(&mut solver, 2);
+        // v0 -> v1
+        assert!(solver.add_clause(&[v[0].negative(), v[1].positive()]));
+        assert_eq!(
+            solver.solve(&[v[0].positive(), v[1].negative()], None),
+            SolveResult::Unsat
+        );
+        // Without the contradictory assumptions the formula is satisfiable.
+        assert_eq!(solver.solve(&[], None), SolveResult::Sat);
+        assert_eq!(solver.solve(&[v[0].positive()], None), SolveResult::Sat);
+        assert!(solver.model_value(v[1]));
+    }
+
+    #[test]
+    fn pigeonhole_two_in_one_is_unsat() {
+        // Two pigeons, one hole: p0 and p1 both in hole, but not together.
+        let mut solver = Solver::new();
+        let v = vars(&mut solver, 2);
+        assert!(solver.add_clause(&[v[0].positive()]));
+        assert!(solver.add_clause(&[v[1].positive()]));
+        assert!(!solver.add_clause(&[v[0].negative(), v[1].negative()]));
+        assert_eq!(solver.solve(&[], None), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn php_3_pigeons_2_holes_needs_real_search() {
+        // var p_{i,h}: pigeon i sits in hole h.
+        let mut solver = Solver::new();
+        let v = vars(&mut solver, 6);
+        let p = |i: usize, h: usize| v[i * 2 + h];
+        for i in 0..3 {
+            assert!(solver.add_clause(&[p(i, 0).positive(), p(i, 1).positive()]));
+        }
+        for h in 0..2 {
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    assert!(solver.add_clause(&[p(i, h).negative(), p(j, h).negative()]));
+                }
+            }
+        }
+        assert_eq!(solver.solve(&[], None), SolveResult::Unsat);
+        assert!(solver.num_conflicts() > 0);
+    }
+
+    #[test]
+    fn a_zero_budget_query_returns_unknown_on_hard_instances() {
+        // A random-ish 3-SAT instance that needs at least one conflict.
+        let mut solver = Solver::new();
+        let v = vars(&mut solver, 8);
+        let lit = |i: usize, sign: bool| v[i % 8].lit(sign);
+        for i in 0..24 {
+            let c = [
+                lit(i, i % 3 == 0),
+                lit(i + 3, i % 2 == 0),
+                lit(i + 5, i % 5 == 0),
+            ];
+            solver.add_clause(&c);
+        }
+        let result = solver.solve(&[], Some(0));
+        assert!(
+            result == SolveResult::Unknown || result == SolveResult::Sat,
+            "a zero budget may only fail by running out, got {result:?}"
+        );
+        // With an ample budget the same instance resolves definitively.
+        let result = solver.solve(&[], Some(1_000_000));
+        assert_ne!(result, SolveResult::Unknown);
+    }
+
+    #[test]
+    fn xor_chain_equivalence_is_unsat() {
+        // Tseitin-style: y = a ^ b encoded twice, outputs constrained to
+        // differ — unsatisfiable.
+        let mut solver = Solver::new();
+        let v = vars(&mut solver, 4); // a, b, y1, y2
+        let (a, b, y1, y2) = (v[0], v[1], v[2], v[3]);
+        for y in [y1, y2] {
+            assert!(solver.add_clause(&[y.negative(), a.positive(), b.positive()]));
+            assert!(solver.add_clause(&[y.negative(), a.negative(), b.negative()]));
+            assert!(solver.add_clause(&[y.positive(), a.negative(), b.positive()]));
+            assert!(solver.add_clause(&[y.positive(), a.positive(), b.negative()]));
+        }
+        assert_eq!(
+            solver.solve(&[y1.positive(), y2.negative()], None),
+            SolveResult::Unsat
+        );
+        assert_eq!(
+            solver.solve(&[y1.negative(), y2.positive()], None),
+            SolveResult::Unsat
+        );
+        assert_eq!(solver.solve(&[y1.positive()], None), SolveResult::Sat);
+        assert!(solver.model_value(a) != solver.model_value(b));
+    }
+}

@@ -1,0 +1,244 @@
+//! Simulation-guided SAT sweeping of a miter.
+//!
+//! A raw miter query hands the solver one monolithic problem.  The
+//! fraig-style sweep instead mines the miter for *internal* equivalences
+//! first: bit-parallel random simulation partitions the AND nodes into
+//! candidate-equivalence classes (nodes whose simulation words agree up to
+//! complementation), and each candidate pair is discharged with two small
+//! incremental SAT queries.  Proved pairs become permanent binary clauses
+//! that effectively merge the nodes for every later query; refuted pairs
+//! yield counterexample patterns that are fed back into the simulation to
+//! split the classes further.  The final miter query then runs on a CNF
+//! that is already riddled with short-cuts.
+
+use std::collections::HashMap;
+
+use elf_aig::{Aig, Lit, NodeId};
+
+use crate::cnf::Encoding;
+use crate::solver::{SolveResult, Solver};
+use crate::{CecParams, CecReport, Equivalence};
+
+/// Decides a single-output miter: is its output satisfiable?
+///
+/// `Proved` means the output is constant false (the two original circuits
+/// agree everywhere); `CounterExample` carries an input assignment on which
+/// they disagree.
+pub(crate) fn solve_miter(m: &Aig, params: &CecParams) -> CecReport {
+    let mut report = CecReport {
+        result: Equivalence::Undecided(params.conflict_budget),
+        miter_ands: m.num_reachable_ands(),
+        candidate_classes: 0,
+        proved_pairs: 0,
+        disproved_pairs: 0,
+        undecided_pairs: 0,
+        sat_calls: 0,
+        conflicts: 0,
+    };
+    let out = m.outputs()[0];
+    // Structural hashing may have decided the miter already.
+    if out == Lit::FALSE {
+        report.result = Equivalence::Proved;
+        return report;
+    }
+    if out == Lit::TRUE {
+        report.result = Equivalence::CounterExample(vec![false; m.num_inputs()]);
+        return report;
+    }
+
+    let mut solver = Solver::new();
+    let enc = Encoding::encode(m, &mut solver);
+    let start_conflicts = solver.num_conflicts();
+
+    if params.sweep {
+        sweep(m, &mut solver, &enc, params, &mut report, start_conflicts);
+    }
+
+    let spent = solver.num_conflicts() - start_conflicts;
+    let final_budget = params.conflict_budget.saturating_sub(spent).max(1);
+    report.sat_calls += 1;
+    let result = solver.solve(&[enc.lit(out)], Some(final_budget));
+    report.result = match result {
+        SolveResult::Unsat => Equivalence::Proved,
+        SolveResult::Sat => Equivalence::CounterExample(
+            m.inputs()
+                .iter()
+                .map(|&input| solver.model_value(enc.var(input)))
+                .collect(),
+        ),
+        SolveResult::Unknown => Equivalence::Undecided(params.conflict_budget),
+    };
+    report.conflicts = solver.num_conflicts() - start_conflicts;
+    report
+}
+
+/// One simulation state: accumulated 64-pattern words per node slot.
+struct Sim {
+    /// `words[slot]` holds one word per completed simulation round;
+    /// unreachable slots stay empty.
+    words: Vec<Vec<u64>>,
+    order: Vec<NodeId>,
+}
+
+impl Sim {
+    fn new(m: &Aig) -> Sim {
+        Sim {
+            words: vec![Vec::new(); m.num_slots()],
+            order: m.topological_order(),
+        }
+    }
+
+    /// Appends one simulation round driven by the given per-input words.
+    fn round(&mut self, m: &Aig, input_words: &[u64]) {
+        self.words[0].push(0);
+        for (input, &word) in m.inputs().iter().zip(input_words) {
+            self.words[input.as_usize()].push(word);
+        }
+        for &id in &self.order {
+            let (f0, f1) = m.fanins(id);
+            let v0 = self.eval_last(f0);
+            let v1 = self.eval_last(f1);
+            self.words[id.as_usize()].push(v0 & v1);
+        }
+    }
+
+    /// The newest word of `lit` (complement applied).
+    fn eval_last(&self, lit: Lit) -> u64 {
+        let words = &self.words[lit.node().as_usize()];
+        let w = words[words.len() - 1];
+        if lit.is_complemented() {
+            !w
+        } else {
+            w
+        }
+    }
+
+    /// Whether the node's words are complemented for canonicalization.
+    fn phase(&self, id: NodeId) -> bool {
+        self.words[id.as_usize()][0] & 1 == 1
+    }
+
+    /// The node's words with the canonical phase applied.
+    fn canonical(&self, id: NodeId) -> Vec<u64> {
+        let flip = self.phase(id);
+        self.words[id.as_usize()]
+            .iter()
+            .map(|&w| if flip { !w } else { w })
+            .collect()
+    }
+
+    /// Re-checks (over every accumulated word, including refinement rounds)
+    /// that `a` and `b` still look equal up to `complemented`.
+    fn still_matches(&self, a: NodeId, b: NodeId, complemented: bool) -> bool {
+        let wa = &self.words[a.as_usize()];
+        let wb = &self.words[b.as_usize()];
+        wa.len() == wb.len()
+            && wa
+                .iter()
+                .zip(wb)
+                .all(|(&x, &y)| x == if complemented { !y } else { y })
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mines candidate equivalences and discharges them with incremental SAT.
+fn sweep(
+    m: &Aig,
+    solver: &mut Solver,
+    enc: &Encoding,
+    params: &CecParams,
+    report: &mut CecReport,
+    start_conflicts: u64,
+) {
+    let mut sim = Sim::new(m);
+    let mut rng = params.seed ^ 0x5EED_CEC5_EED0_CEC5;
+    let rounds = params.sim_rounds.max(1);
+    let mut input_words = vec![0u64; m.num_inputs()];
+    for _ in 0..rounds {
+        for word in &mut input_words {
+            *word = splitmix64(&mut rng);
+        }
+        sim.round(m, &input_words);
+    }
+
+    // Partition constant + AND nodes by canonical signature; the class member
+    // list keeps topological order, so representatives and proof order are
+    // deterministic.
+    let mut classes: HashMap<Vec<u64>, Vec<NodeId>> = HashMap::new();
+    let const0 = Lit::FALSE.node();
+    classes.insert(sim.canonical(const0), vec![const0]);
+    for &id in &sim.order {
+        classes.entry(sim.canonical(id)).or_default().push(id);
+    }
+    let mut rank: HashMap<NodeId, usize> = HashMap::new();
+    rank.insert(const0, 0);
+    for (i, &id) in sim.order.iter().enumerate() {
+        rank.insert(id, i + 1);
+    }
+    let mut class_list: Vec<Vec<NodeId>> = classes
+        .into_values()
+        .filter(|members| members.len() > 1)
+        .collect();
+    class_list.sort_by_key(|members| rank[&members[0]]);
+    report.candidate_classes = class_list.len();
+
+    // The sweep may spend at most half the conflict budget; the final miter
+    // query gets the rest.
+    let sweep_budget = params.conflict_budget / 2;
+    'sweeping: for members in &class_list {
+        let rep = members[0];
+        for &cand in &members[1..] {
+            let spent = solver.num_conflicts() - start_conflicts;
+            let Some(remaining) = sweep_budget.checked_sub(spent).filter(|&r| r > 0) else {
+                break 'sweeping;
+            };
+            let complemented = sim.phase(rep) != sim.phase(cand);
+            // Refinement rounds from earlier counterexamples may have split
+            // the pair since the classes were formed.
+            if !sim.still_matches(rep, cand, complemented) {
+                continue;
+            }
+            let lr = enc.var(rep).positive();
+            let lc = if complemented {
+                enc.var(cand).negative()
+            } else {
+                enc.var(cand).positive()
+            };
+            report.sat_calls += 2;
+            let forward = solver.solve(&[lr, !lc], Some(remaining));
+            let backward = match forward {
+                SolveResult::Unsat => solver.solve(&[!lr, lc], Some(remaining)),
+                other => other,
+            };
+            match (forward, backward) {
+                (SolveResult::Unsat, SolveResult::Unsat) => {
+                    // Proved: merge the nodes for all later queries.
+                    solver.add_clause(&[!lr, lc]);
+                    solver.add_clause(&[lr, !lc]);
+                    report.proved_pairs += 1;
+                }
+                (SolveResult::Sat, _) | (_, SolveResult::Sat) => {
+                    report.disproved_pairs += 1;
+                    // Feed the distinguishing assignment back into the
+                    // simulation so related classes split too.
+                    for (word, &input) in input_words.iter_mut().zip(m.inputs()) {
+                        *word = if solver.model_value(enc.var(input)) {
+                            !0
+                        } else {
+                            0
+                        };
+                    }
+                    sim.round(m, &input_words);
+                }
+                _ => report.undecided_pairs += 1,
+            }
+        }
+    }
+}

@@ -28,9 +28,6 @@
 //! assert!(multiplier.num_ands() > 100);
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod epfl;
 pub mod industrial;
 pub mod large;

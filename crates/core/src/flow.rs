@@ -13,6 +13,7 @@ use elf_opt::{OpStats, PrunableOperator, Refactor, RefactorParams};
 use elf_par::Parallelism;
 
 use crate::classifier::ElfClassifier;
+use crate::verify::{VerifyMode, VerifyVerdict};
 
 /// An injected inference backend: maps a batch of already-normalized feature
 /// rows to the model's output probabilities, one per row.
@@ -44,6 +45,11 @@ pub struct ElfConfig {
     /// inference (graph mutation always stays sequential, so results are
     /// identical for every thread count).  Defaults to `ELF_THREADS`.
     pub parallelism: Parallelism,
+    /// SAT-prove every pass equivalent to its input (off by default).  For
+    /// a single operator [`VerifyMode::Final`] and [`VerifyMode::PerStage`]
+    /// coincide; the distinction matters for multi-stage
+    /// [`Flow`](crate::Flow) pipelines.
+    pub verify: VerifyMode,
 }
 
 impl Default for ElfConfig {
@@ -53,6 +59,7 @@ impl Default for ElfConfig {
             self_normalize: true,
             batch_classification: true,
             parallelism: Parallelism::default(),
+            verify: VerifyMode::Off,
         }
     }
 }
@@ -67,6 +74,8 @@ pub struct ElfOptions {
     /// Worker-thread count for batch feature collection and batched
     /// inference.  Defaults to `ELF_THREADS`.
     pub parallelism: Parallelism,
+    /// SAT-prove every pass equivalent to its input (off by default).
+    pub verify: VerifyMode,
 }
 
 impl Default for ElfOptions {
@@ -75,6 +84,7 @@ impl Default for ElfOptions {
             self_normalize: true,
             batch_classification: true,
             parallelism: Parallelism::default(),
+            verify: VerifyMode::Off,
         }
     }
 }
@@ -85,6 +95,7 @@ impl From<ElfConfig> for ElfOptions {
             self_normalize: config.self_normalize,
             batch_classification: config.batch_classification,
             parallelism: config.parallelism,
+            verify: config.verify,
         }
     }
 }
@@ -104,6 +115,9 @@ pub struct ElfStats {
     pub kept: usize,
     /// Total wall-clock time of the ELF pass.
     pub total_time: Duration,
+    /// Verdict of the pass's equivalence check, when
+    /// [`ElfOptions::verify`] enabled one.
+    pub verify: Option<VerifyVerdict>,
 }
 
 impl ElfStats {
@@ -162,6 +176,7 @@ impl ElfRefactor {
             self_normalize: self.options.self_normalize,
             batch_classification: self.options.batch_classification,
             parallelism: self.options.parallelism,
+            verify: self.options.verify,
         }
     }
 }
@@ -208,11 +223,14 @@ impl<O: PrunableOperator> Elf<O> {
     /// (The per-node ablation mode classifies one cut at a time interleaved
     /// with mutation, so it has no parallel phase and ignores the override.)
     pub fn run_with(&self, aig: &mut Aig, parallelism: Parallelism) -> ElfStats {
-        if self.options.batch_classification {
+        let before = self.verify_snapshot(aig);
+        let mut stats = if self.options.batch_classification {
             self.run_batched(aig, parallelism)
         } else {
             self.run_per_node(aig)
-        }
+        };
+        self.verify_pass(before, aig, &mut stats);
+        stats
     }
 
     /// Runs ELF `applications` times in sequence (the paper's "ELF x 2"),
@@ -245,10 +263,31 @@ impl<O: PrunableOperator> Elf<O> {
         parallelism: Parallelism,
         infer: &mut InferenceFn<'_>,
     ) -> ElfStats {
-        if self.options.batch_classification {
+        let before = self.verify_snapshot(aig);
+        let mut stats = if self.options.batch_classification {
             self.run_batched_infer(aig, parallelism, Some(infer))
         } else {
             self.run_per_node(aig)
+        };
+        self.verify_pass(before, aig, &mut stats);
+        stats
+    }
+
+    /// Clones the input circuit when [`ElfOptions::verify`] asks for a
+    /// check of this pass.
+    fn verify_snapshot(&self, aig: &Aig) -> Option<Aig> {
+        self.options.verify.is_enabled().then(|| aig.clone())
+    }
+
+    /// SAT-checks the pass result against the snapshot and records the
+    /// verdict; the check never panics on a refutation — the verdict is
+    /// the caller's to act on.
+    fn verify_pass(&self, before: Option<Aig>, aig: &Aig, stats: &mut ElfStats) {
+        if let Some(before) = before {
+            let check_start = Instant::now();
+            let result = elf_cec::check_equivalence(&before, aig);
+            stats.verify = Some(VerifyVerdict::from(&result));
+            stats.total_time += check_start.elapsed();
         }
     }
 
@@ -335,6 +374,7 @@ impl<O: PrunableOperator> Elf<O> {
             pruned,
             kept,
             total_time: start.elapsed(),
+            verify: None,
         }
     }
 
@@ -362,6 +402,7 @@ impl<O: PrunableOperator> Elf<O> {
             pruned,
             kept,
             total_time: start.elapsed(),
+            verify: None,
         }
     }
 }

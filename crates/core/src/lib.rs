@@ -25,6 +25,9 @@
 //!   conclusion's first extension target;
 //! * [`Flow`] — script-style pipelines (`rf; rw; rs`) mixing plain and
 //!   classifier-pruned stages, with uniform per-stage [`FlowStats`];
+//! * [`VerifyMode`] — the correctness gate: SAT-prove (via `elf-cec`) that
+//!   a run preserved the circuit's function, per stage or end to end, with
+//!   the verdict reported in [`FlowStats::verify`] / [`ElfStats::verify`];
 //! * [`experiment`] — the leave-one-out protocol, baseline-vs-ELF comparison
 //!   rows and classifier quality metrics that regenerate the paper's tables,
 //!   with operator-generic cores (`compare_with_operator`).
@@ -75,14 +78,12 @@
 //! assert!(stats.ands_after <= stats.ands_before);
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 mod classifier;
 mod dataset;
 pub mod experiment;
 mod flow;
 mod pipeline;
+mod verify;
 
 pub use classifier::{ElfClassifier, ParseClassifierError, DEFAULT_THRESHOLD, RECALL_TARGET};
 pub use dataset::{
@@ -98,6 +99,11 @@ pub use experiment::{
 };
 pub use flow::{Elf, ElfConfig, ElfOptions, ElfRefactor, ElfStats, InferenceFn};
 pub use pipeline::{Flow, FlowStats, ParseFlowError, StageStats};
+pub use verify::{VerifyCheck, VerifyMode, VerifyOutcome, VerifyVerdict};
+// Convenience re-export: the equivalence verdict carried by
+// [`VerifyCheck::result`], so callers inspecting counterexamples need no
+// explicit `elf-cec` dependency.
+pub use elf_cec::Equivalence;
 // Convenience re-export: the parallelism knob lives inside `ElfConfig`,
 // `ElfOptions` and `Flow`, so callers configuring it should not need an
 // explicit `elf-par` dependency.

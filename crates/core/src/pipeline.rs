@@ -47,6 +47,7 @@ use elf_par::Parallelism;
 
 use crate::classifier::ElfClassifier;
 use crate::flow::{Elf, ElfOptions, ElfStats, InferenceFn};
+use crate::verify::{VerifyCheck, VerifyMode, VerifyOutcome};
 
 /// One stage of a [`Flow`].
 #[derive(Debug, Clone)]
@@ -98,6 +99,9 @@ pub struct FlowStats {
     pub ands_after: usize,
     /// Total wall-clock time of the pipeline.
     pub runtime: Duration,
+    /// Equivalence-check results when the flow ran with a
+    /// [`VerifyMode`] other than `Off` (see [`Flow::with_verify`]).
+    pub verify: Option<VerifyOutcome>,
 }
 
 impl FlowStats {
@@ -142,6 +146,8 @@ pub struct Flow {
     stages: Vec<Stage>,
     /// When set, overrides the parallelism of every classifier-pruned stage.
     parallelism: Option<Parallelism>,
+    /// How much SAT-based equivalence checking the run performs.
+    verify: VerifyMode,
 }
 
 impl Flow {
@@ -201,7 +207,14 @@ impl Flow {
         classifier: &ElfClassifier,
         options: ElfOptions,
     ) -> Result<Self, ParseFlowError> {
-        let mut flow = Flow::new();
+        let mut flow = Flow::new().with_verify(options.verify);
+        // Verification is hoisted to the flow level: [`ElfOptions::verify`]
+        // selects the mode, the flow runs the checks.  Clearing the
+        // per-stage knob avoids checking every stage twice under `Final`.
+        let options = ElfOptions {
+            verify: VerifyMode::Off,
+            ..options
+        };
         for word in Self::script_words(script) {
             flow = match word {
                 "rf" | "refactor" => flow.elf_refactor(Elf::with_operator(
@@ -247,6 +260,21 @@ impl Flow {
     /// The flow-wide parallelism override, if any.
     pub fn parallelism(&self) -> Option<Parallelism> {
         self.parallelism
+    }
+
+    /// Selects how much SAT-based equivalence checking the run performs:
+    /// [`VerifyMode::Final`] proves the end result against the input
+    /// circuit, [`VerifyMode::PerStage`] additionally localizes any
+    /// miscompile to the stage that introduced it.  Results land in
+    /// [`FlowStats::verify`]; a refutation never panics.
+    pub fn with_verify(mut self, verify: VerifyMode) -> Self {
+        self.verify = verify;
+        self
+    }
+
+    /// The configured verification mode.
+    pub fn verify(&self) -> VerifyMode {
+        self.verify
     }
 
     /// Appends a plain refactor stage.
@@ -320,7 +348,10 @@ impl Flow {
         let start = Instant::now();
         let ands_before = aig.num_reachable_ands();
         let mut stages = Vec::with_capacity(self.stages.len());
+        let flow_snapshot = (self.verify == VerifyMode::Final).then(|| aig.clone());
+        let mut checks: Vec<VerifyCheck> = Vec::new();
         for stage in &self.stages {
+            let stage_snapshot = (self.verify == VerifyMode::PerStage).then(|| aig.clone());
             let stage_start = Instant::now();
             // One generic call site per pruned operator: route through the
             // injected backend when one was supplied.
@@ -359,12 +390,34 @@ impl Flow {
                 ands_after: aig.num_reachable_ands(),
                 runtime: stage_start.elapsed(),
             });
+            if let Some(before) = stage_snapshot {
+                checks.push(Self::check_stage(Some(stage.name()), &before, aig));
+            }
+        }
+        if let Some(before) = flow_snapshot {
+            checks.push(Self::check_stage(None, &before, aig));
         }
         FlowStats {
             stages,
             ands_before,
             ands_after: aig.num_reachable_ands(),
             runtime: start.elapsed(),
+            verify: self.verify.is_enabled().then_some(VerifyOutcome {
+                mode: self.verify,
+                checks,
+            }),
+        }
+    }
+
+    /// One SAT equivalence check of `after` against `before`, attributed to
+    /// `stage` (`None` for the whole-flow check).
+    fn check_stage(stage: Option<&'static str>, before: &Aig, after: &Aig) -> VerifyCheck {
+        let check_start = Instant::now();
+        let result = elf_cec::check_equivalence(before, after);
+        VerifyCheck {
+            stage,
+            result,
+            runtime: check_start.elapsed(),
         }
     }
 
@@ -575,6 +628,75 @@ mod tests {
         // ...and dropping it releases exactly what it borrowed.
         drop(flow);
         assert_eq!(Arc::strong_count(&model), before);
+    }
+
+    #[test]
+    fn final_verify_proves_a_full_pruned_flow() {
+        let options = ElfOptions {
+            verify: VerifyMode::Final,
+            ..ElfOptions::default()
+        };
+        let flow =
+            Flow::pruned_from_script("rf; rw; rs", &always_keep_classifier(), options).unwrap();
+        assert_eq!(flow.verify(), VerifyMode::Final);
+        let mut aig = redundant_circuit();
+        let stats = flow.run(&mut aig);
+        let outcome = stats.verify.expect("verify was requested");
+        assert_eq!(outcome.mode, VerifyMode::Final);
+        assert_eq!(outcome.checks.len(), 1, "Final runs exactly one check");
+        assert_eq!(outcome.checks[0].stage, None);
+        assert!(outcome.proved());
+        assert_eq!(outcome.verdict(), crate::VerifyVerdict::Proved);
+        // The per-stage knob was hoisted, so stage stats carry no verdicts.
+        assert!(stats
+            .stages
+            .iter()
+            .all(|s| s.elf.as_ref().is_some_and(|e| e.verify.is_none())));
+    }
+
+    #[test]
+    fn per_stage_verify_checks_every_stage() {
+        let options = ElfOptions {
+            verify: VerifyMode::PerStage,
+            ..ElfOptions::default()
+        };
+        let flow =
+            Flow::pruned_from_script("rf; rw; rs", &always_keep_classifier(), options).unwrap();
+        let mut aig = redundant_circuit();
+        let stats = flow.run(&mut aig);
+        let outcome = stats.verify.expect("verify was requested");
+        assert_eq!(outcome.checks.len(), 3, "one check per stage");
+        assert_eq!(
+            outcome.checks.iter().map(|c| c.stage).collect::<Vec<_>>(),
+            vec![Some("elf-refactor"), Some("elf-rewrite"), Some("elf-resub")]
+        );
+        assert!(outcome.proved());
+    }
+
+    #[test]
+    fn plain_flows_verify_through_the_builder() {
+        let mut aig = redundant_circuit();
+        let stats = Flow::from_script("rf; rw; rs")
+            .unwrap()
+            .with_verify(VerifyMode::PerStage)
+            .run(&mut aig);
+        let outcome = stats.verify.expect("verify was requested");
+        assert_eq!(outcome.checks.len(), 3);
+        assert!(outcome.proved());
+        // Verification must not change the result.
+        let mut unchecked = redundant_circuit();
+        Flow::from_script("rf; rw; rs").unwrap().run(&mut unchecked);
+        assert_eq!(
+            check_equivalence(&unchecked, &aig, 8, 45),
+            EquivalenceResult::Equivalent
+        );
+    }
+
+    #[test]
+    fn verify_off_reports_nothing() {
+        let mut aig = redundant_circuit();
+        let stats = Flow::from_script("rf").unwrap().run(&mut aig);
+        assert!(stats.verify.is_none());
     }
 
     #[test]

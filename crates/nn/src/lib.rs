@@ -35,9 +35,6 @@
 //! assert_eq!(report.train_losses.len(), report.epochs_run);
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 mod data;
 mod layer;
 mod loss;

@@ -38,9 +38,6 @@
 //! assert_eq!(stats.cuts_formed, 3);
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 mod build;
 mod operator;
 mod refactor;

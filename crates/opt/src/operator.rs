@@ -28,6 +28,61 @@ use std::time::Duration;
 use elf_aig::{Aig, Cut, CutFeatures, CutParams, CutScratch, NodeId};
 use elf_par::Parallelism;
 
+/// Debug-build spot-check of one accepted resynthesis commit.
+///
+/// Runs *before* `aig.replace(old_root, replacement)`, while both cones
+/// still exist side by side: the old root and its accepted replacement are
+/// simulated over their combined structural support
+/// ([`elf_aig::cone_signature`]), and a disagreement panics at the exact
+/// commit that introduced it — an operator bug surfaces at its source
+/// instead of as a whole-flow SAT refutation much later.
+///
+/// The check deliberately runs over the *primary-input* support, not the
+/// resynthesis cut: cut leaves may be structurally dependent on each other
+/// (strashing can even return one leaf as the implementation of a function
+/// of the others), so equivalence over independent leaf assignments is
+/// stricter than the soundness of the commit.  Supports of up to 16 inputs
+/// are checked exhaustively (a complete equivalence proof for the commit);
+/// larger ones probabilistically.  Compiled out of release builds entirely.
+#[cfg(debug_assertions)]
+pub(crate) fn debug_assert_commit_equivalence(
+    aig: &Aig,
+    operator: &str,
+    old_root: NodeId,
+    replacement: elf_aig::Lit,
+) {
+    const ROUNDS: usize = 4;
+    const SEED: u64 = 0x0DD_5EED;
+
+    // The combined non-AND support of both cones, in first-visit order.
+    let mut support: Vec<elf_aig::Lit> = Vec::new();
+    let mut seen: Vec<u32> = Vec::new();
+    let mut stack = vec![old_root, replacement.node()];
+    while let Some(id) = stack.pop() {
+        if id.is_const0() || seen.contains(&id.index()) {
+            continue;
+        }
+        seen.push(id.index());
+        if aig.is_and(id) {
+            let (f0, f1) = aig.fanins(id);
+            stack.push(f0.node());
+            stack.push(f1.node());
+        } else {
+            support.push(id.lit());
+        }
+    }
+
+    let old = elf_aig::cone_signature(aig, old_root.lit(), &support, ROUNDS, SEED);
+    let new = elf_aig::cone_signature(aig, replacement, &support, ROUNDS, SEED);
+    assert_eq!(
+        old,
+        new,
+        "{operator}: accepted a non-equivalent resynthesis at {old_root:?} \
+         (replacement {replacement:?}, {} support inputs)",
+        support.len()
+    );
+}
+
 /// The statistics core shared by every [`AigOperator`].
 ///
 /// Each operator's own stats type ([`RefactorStats`](crate::RefactorStats)

@@ -271,6 +271,8 @@ impl Refactor {
             return None;
         }
         aig.commit_speculation();
+        #[cfg(debug_assertions)]
+        crate::operator::debug_assert_commit_equivalence(aig, Self::NAME, node, new_lit);
         aig.replace(node, new_lit);
         Some(ands_before - aig.num_ands() as i64)
     }

@@ -200,6 +200,13 @@ impl Resubstitution {
                     continue;
                 }
                 let before = aig.num_ands() as i64;
+                #[cfg(debug_assertions)]
+                crate::operator::debug_assert_commit_equivalence(
+                    aig,
+                    Self::NAME,
+                    node,
+                    replacement,
+                );
                 aig.replace(node, replacement);
                 return Some((0, before - aig.num_ands() as i64));
             }
@@ -236,6 +243,13 @@ impl Resubstitution {
                         continue;
                     }
                     aig.commit_speculation();
+                    #[cfg(debug_assertions)]
+                    crate::operator::debug_assert_commit_equivalence(
+                        aig,
+                        Self::NAME,
+                        node,
+                        new_lit,
+                    );
                     aig.replace(node, new_lit);
                     let gain = before - aig.num_ands() as i64;
                     if gain > 0 {

@@ -209,6 +209,8 @@ impl Rewrite {
             return (evaluated, None);
         }
         aig.commit_speculation();
+        #[cfg(debug_assertions)]
+        crate::operator::debug_assert_commit_equivalence(aig, Self::NAME, node, new_lit);
         aig.replace(node, new_lit);
         (evaluated, Some(before - aig.num_ands() as i64))
     }

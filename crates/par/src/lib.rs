@@ -37,9 +37,6 @@
 //! assert_eq!(squares, seq);
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 

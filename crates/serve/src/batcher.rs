@@ -74,34 +74,35 @@ impl BatcherClient {
     /// Rows are taken by value and moved across the channel — the serving
     /// hot path never copies feature data, and the model travels as an
     /// `Arc` handle.
+    ///
+    /// Returns `None` if the batcher thread is gone (it normally outlives
+    /// every shard worker, but a panicked batcher must not cascade into
+    /// worker panics — the caller marks the job failed instead).
     pub(crate) fn infer(
         &self,
         job_id: u64,
         model: ModelId,
         mlp: &SharedMlp,
         rows: Vec<Vec<f32>>,
-    ) -> InferReply {
+    ) -> Option<InferReply> {
         if rows.is_empty() {
             // Nothing to classify (e.g. an empty circuit): skip the round
             // trip instead of waking the batcher for zero rows.
-            return InferReply {
+            return Some(InferReply {
                 probabilities: Vec::new(),
                 batch_rows: 0,
-            };
+            });
         }
         let (reply_tx, reply_rx) = std::sync::mpsc::channel();
-        self.tx
-            .send(InferRequest {
-                job_id,
-                model,
-                mlp: Arc::clone(mlp),
-                rows,
-                reply: reply_tx,
-            })
-            .expect("the batcher outlives every shard worker");
-        reply_rx
-            .recv()
-            .expect("the batcher answers every request before exiting")
+        let request = InferRequest {
+            job_id,
+            model,
+            mlp: Arc::clone(mlp),
+            rows,
+            reply: reply_tx,
+        };
+        self.tx.send(request).ok()?;
+        reply_rx.recv().ok()
     }
 }
 
@@ -144,12 +145,10 @@ pub(crate) fn run_batcher(
         pending.sort_by_key(|request| (request.model, request.job_id));
         let mut window = pending.into_iter().peekable();
         while let Some(first) = window.next() {
+            let model = first.model;
             let mut group = vec![first];
-            while window
-                .peek()
-                .is_some_and(|request| request.model == group[0].model)
-            {
-                group.push(window.next().expect("peeked"));
+            while let Some(request) = window.next_if(|request| request.model == model) {
+                group.push(request);
             }
 
             // The rows are *moved* out of each request into the coalesced
@@ -209,7 +208,7 @@ mod tests {
                     max_wait,
                     Parallelism::sequential(),
                     telemetry,
-                )
+                );
             })
         };
         (BatcherClient::new(tx), telemetry, thread)
@@ -230,7 +229,9 @@ mod tests {
         let model = Mlp::paper_architecture(3).into_shared();
         let (client, telemetry, thread) = spawn_batcher(64, 2);
         let batch = rows(9, 0.25);
-        let reply = client.infer(1, ModelId::for_tests(0), &model, batch.clone());
+        let reply = client
+            .infer(1, ModelId::for_tests(0), &model, batch.clone())
+            .expect("batcher alive");
         assert_eq!(reply.probabilities.len(), 9);
         assert!(reply.batch_rows >= 9);
         let direct = model.predict(&batch);
@@ -253,7 +254,9 @@ mod tests {
                     let batch = rows(5 + id, id as f32);
                     (
                         batch.clone(),
-                        client.infer(id as u64, ModelId::for_tests(0), &model, batch.clone()),
+                        client
+                            .infer(id as u64, ModelId::for_tests(0), &model, batch.clone())
+                            .expect("batcher alive"),
                     )
                 })
             })
@@ -286,7 +289,9 @@ mod tests {
                 };
                 std::thread::spawn(move || {
                     let batch = rows(4 + id, id as f32 * 0.3);
-                    let reply = client.infer(id as u64, version, &model, batch.clone());
+                    let reply = client
+                        .infer(id as u64, version, &model, batch.clone())
+                        .expect("batcher alive");
                     (id, batch, reply)
                 })
             })
@@ -313,7 +318,9 @@ mod tests {
     fn empty_requests_skip_the_round_trip() {
         let model = Mlp::paper_architecture(3).into_shared();
         let (client, telemetry, thread) = spawn_batcher(16, 0);
-        let reply = client.infer(0, ModelId::for_tests(0), &model, Vec::new());
+        let reply = client
+            .infer(0, ModelId::for_tests(0), &model, Vec::new())
+            .expect("empty requests never touch the channel");
         assert!(reply.probabilities.is_empty());
         assert_eq!(reply.batch_rows, 0);
         drop(client);

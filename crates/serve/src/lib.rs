@@ -143,9 +143,6 @@
 //! # let _ = config;
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 mod batcher;
 mod queue;
 mod registry;
@@ -157,3 +154,7 @@ pub use service::{
     ElfService, JobId, JobResponse, ServeConfig, ServeStats, ServiceHandle, ServiceStats,
     SubmitError,
 };
+// Convenience re-exports: the verification knob and its outcome live in
+// `elf-core`, but they are set and read through `ServeConfig`/`ServeStats`,
+// so serving callers should not need an explicit `elf-core` dependency.
+pub use elf_core::{VerifyMode, VerifyOutcome};

@@ -29,7 +29,7 @@
 //! a paused service fills its queue the same way every run.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// What a submit should do when the admission queue is full.
@@ -132,6 +132,14 @@ impl<T> JobQueue<T> {
         }
     }
 
+    /// Locks the queue state.  A poisoned mutex only means some thread
+    /// panicked while holding the lock; the state itself (deques + counters)
+    /// is kept consistent at every await point, so the queue keeps operating
+    /// instead of cascading the panic into every worker and client.
+    fn lock(&self) -> MutexGuard<'_, QueueState<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Enqueues a job under `policy`, returning the queue depth after the
     /// push, or the job itself when the queue is closed or stays full past
     /// what the policy tolerates.
@@ -140,7 +148,7 @@ impl<T> JobQueue<T> {
             AdmissionPolicy::Timeout(ticks) => Some(Instant::now() + ticks * ADMISSION_TICK),
             _ => None,
         };
-        let mut state = self.state.lock().expect("job queue poisoned");
+        let mut state = self.lock();
         loop {
             if state.closed {
                 return Err(PushError::Closed(job));
@@ -165,14 +173,16 @@ impl<T> JobQueue<T> {
                     state = self
                         .space
                         .wait(state)
-                        .expect("job queue poisoned while waiting for space");
+                        .unwrap_or_else(PoisonError::into_inner);
                     #[cfg(test)]
                     {
                         state.push_waiters -= 1;
                     }
                 }
                 AdmissionPolicy::Timeout(_) => {
-                    let deadline = deadline.expect("Timeout policy computed a deadline");
+                    let Some(deadline) = deadline else {
+                        unreachable!("Timeout policy computes a deadline up front")
+                    };
                     let remaining = deadline.saturating_duration_since(Instant::now());
                     if remaining.is_zero() {
                         return Err(PushError::Overloaded(job));
@@ -184,7 +194,7 @@ impl<T> JobQueue<T> {
                     let (next, _timeout) = self
                         .space
                         .wait_timeout(state, remaining)
-                        .expect("job queue poisoned while waiting for space");
+                        .unwrap_or_else(PoisonError::into_inner);
                     state = next;
                     #[cfg(test)]
                     {
@@ -202,7 +212,7 @@ impl<T> JobQueue<T> {
     /// While the queue is paused, `pop` waits even if jobs are queued
     /// (close overrides pause so shutdown always drains).
     pub(crate) fn pop(&self, shard: usize) -> Option<(T, usize)> {
-        let mut state = self.state.lock().expect("job queue poisoned");
+        let mut state = self.lock();
         loop {
             if !state.paused || state.closed {
                 if let Some(job) = state.take(shard) {
@@ -222,7 +232,7 @@ impl<T> JobQueue<T> {
             state = self
                 .available
                 .wait(state)
-                .expect("job queue poisoned while waiting");
+                .unwrap_or_else(PoisonError::into_inner);
             #[cfg(test)]
             {
                 state.pop_waiters -= 1;
@@ -235,7 +245,7 @@ impl<T> JobQueue<T> {
     /// wake with their job handed back, and blocked `pop`s return `None`
     /// once the backlog drains.
     pub(crate) fn close(&self) {
-        let mut state = self.state.lock().expect("job queue poisoned");
+        let mut state = self.lock();
         state.closed = true;
         drop(state);
         self.available.notify_all();
@@ -245,7 +255,7 @@ impl<T> JobQueue<T> {
     /// Pauses or resumes job hand-out.  Paused workers idle after their
     /// in-flight job; admission keeps operating under its policy.
     pub(crate) fn set_paused(&self, paused: bool) {
-        let mut state = self.state.lock().expect("job queue poisoned");
+        let mut state = self.lock();
         state.paused = paused;
         drop(state);
         if !paused {
@@ -255,7 +265,7 @@ impl<T> JobQueue<T> {
 
     /// Number of jobs currently waiting (across all shards).
     pub(crate) fn depth(&self) -> usize {
-        self.state.lock().expect("job queue poisoned").len
+        self.lock().len
     }
 
     /// The admission bound.
@@ -267,7 +277,7 @@ impl<T> JobQueue<T> {
     /// deterministic replacement for "yield and hope the waiter blocked".
     #[cfg(test)]
     pub(crate) fn waiters(&self) -> (usize, usize) {
-        let state = self.state.lock().expect("job queue poisoned");
+        let state = self.lock();
         (state.pop_waiters, state.push_waiters)
     }
 }

@@ -26,7 +26,7 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use elf_core::ElfClassifier;
 
@@ -139,14 +139,17 @@ impl ModelRegistry {
         }
     }
 
+    /// A poisoned mutex only means a writer panicked between two complete
+    /// snapshots — the slot always holds a consistent `Arc<Snapshot>`, so
+    /// readers and writers keep operating rather than cascading the panic.
     fn load(&self) -> Arc<Snapshot> {
-        Arc::clone(&self.snapshot.lock().expect("model registry poisoned"))
+        Arc::clone(&self.snapshot.lock().unwrap_or_else(PoisonError::into_inner))
     }
 
     /// Swaps in a new snapshot built by `build` from the current one,
     /// bumping the epoch.  Returns `build`'s extra output.
     fn swap<R>(&self, build: impl FnOnce(&Snapshot, u64) -> Option<(Snapshot, R)>) -> Option<R> {
-        let mut slot = self.snapshot.lock().expect("model registry poisoned");
+        let mut slot = self.snapshot.lock().unwrap_or_else(PoisonError::into_inner);
         let next_epoch = slot.epoch + 1;
         let (snapshot, result) = build(&slot, next_epoch)?;
         *slot = Arc::new(snapshot);
@@ -235,11 +238,12 @@ impl ModelRegistry {
     /// read — immune to a concurrent `set_default` between two calls.
     pub fn resolve_default(&self) -> (ModelId, Arc<ElfClassifier>) {
         let snapshot = self.load();
-        let classifier = snapshot
-            .get(snapshot.default)
-            .expect("the default model is always live")
-            .clone();
-        (snapshot.default, classifier)
+        match snapshot.get(snapshot.default) {
+            Some(classifier) => (snapshot.default, Arc::clone(classifier)),
+            // `set_default` validates its id and `retire` refuses the
+            // default, so every snapshot contains its own default.
+            None => unreachable!("the default model is always live"),
+        }
     }
 
     /// The ids of every live (selectable) version, in publication order.

@@ -10,7 +10,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use elf_aig::Aig;
-use elf_core::{ElfClassifier, ElfOptions, Flow, FlowStats, ParseFlowError};
+use elf_core::{
+    ElfClassifier, ElfOptions, Flow, FlowStats, ParseFlowError, VerifyMode, VerifyOutcome,
+};
 use elf_nn::{Dataset, SharedMlp, TrainConfig, TrainReport};
 use elf_par::Parallelism;
 
@@ -56,6 +58,11 @@ pub struct ServeConfig {
     pub options: ElfOptions,
     /// Worker threads of the forward pass inside a coalesced batch.
     pub inference_parallelism: Parallelism,
+    /// The correctness gate: SAT-prove that every served job preserved its
+    /// circuit's function ([`VerifyMode::Final`] — one check per job) or
+    /// that every stage did ([`VerifyMode::PerStage`]).  The verdict rides
+    /// in [`ServeStats::verify`]; off by default.
+    pub verify: VerifyMode,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +78,7 @@ impl Default for ServeConfig {
                 ..ElfOptions::default()
             },
             inference_parallelism: Parallelism::sequential(),
+            verify: VerifyMode::Off,
         }
     }
 }
@@ -123,6 +131,10 @@ pub struct ServeStats {
     /// Per-stage statistics of the executed flow (stage timings, prune
     /// rates, feature/classify split).
     pub flow: FlowStats,
+    /// The equivalence-checking outcome when the service runs with
+    /// [`ServeConfig::verify`] enabled; `None` under [`VerifyMode::Off`]
+    /// and on failure placeholders.
+    pub verify: Option<VerifyOutcome>,
 }
 
 impl ServeStats {
@@ -139,6 +151,7 @@ impl ServeStats {
             queued_time: Duration::ZERO,
             service_time: Duration::ZERO,
             flow: FlowStats::default(),
+            verify: None,
         }
     }
 }
@@ -500,12 +513,36 @@ impl fmt::Debug for Shared {
 impl ElfService {
     /// Starts the service: spawns the shard workers and the batcher thread.
     /// `classifier` becomes the founding model (registry id 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operating system refuses to spawn a service thread
+    /// (resource exhaustion); [`ElfService::try_start`] surfaces that as an
+    /// error instead.
     pub fn start(classifier: ElfClassifier, config: ServeConfig) -> Self {
+        match Self::try_start(classifier, config) {
+            Ok(service) => service,
+            Err(error) => panic!("cannot spawn the service threads: {error}"),
+        }
+    }
+
+    /// Fallible variant of [`ElfService::start`]: returns the OS error when
+    /// a service thread cannot be spawned, after joining whatever threads a
+    /// partial start already created — no thread outlives the error.
+    ///
+    /// # Errors
+    ///
+    /// The [`std::io::Error`] of the failed thread spawn.
+    pub fn try_start(classifier: ElfClassifier, config: ServeConfig) -> std::io::Result<Self> {
         let mut options = config.options;
         // The per-node ablation mode classifies one cut at a time interleaved
         // with mutation; there is no batched forward pass to coalesce, so the
         // serving layer always runs the paper's batched mode.
         options.batch_classification = true;
+        // The verify knob rides in the options so the offline twin —
+        // `Flow::pruned_from_script(script, classifier, service.options())` —
+        // checks exactly what the served job checked.
+        options.verify = config.verify;
 
         let registry = Arc::new(ModelRegistry::with_initial(classifier));
         let (_, founding) = registry.resolve_default();
@@ -524,37 +561,53 @@ impl ElfService {
         });
 
         let (batch_tx, batch_rx) = mpsc::channel();
+        // Nothing else is running yet, so a failed batcher spawn has nothing
+        // to unwind: the channel and shared state simply drop.
         let batcher = {
             let telemetry = Arc::clone(&telemetry);
             let (max_batch, max_wait) = (config.max_batch.max(1), config.max_wait);
             let inference = config.inference_parallelism;
             std::thread::Builder::new()
                 .name("elf-serve-batcher".into())
-                .spawn(move || run_batcher(batch_rx, max_batch, max_wait, inference, telemetry))
-                .expect("spawn the batcher thread")
+                .spawn(move || run_batcher(batch_rx, max_batch, max_wait, inference, telemetry))?
         };
 
-        let workers = (0..shards)
-            .map(|shard| {
+        let mut workers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let spawned = {
                 let shared = Arc::clone(&shared);
                 let telemetry = Arc::clone(&telemetry);
                 let client = BatcherClient::new(batch_tx.clone());
                 std::thread::Builder::new()
                     .name(format!("elf-serve-worker-{shard}"))
                     .spawn(move || worker_loop(&shared, shard, &client, &telemetry))
-                    .expect("spawn a shard worker thread")
-            })
-            .collect();
+            };
+            match spawned {
+                Ok(worker) => workers.push(worker),
+                Err(error) => {
+                    // Partial start: closing the queue ends the spawned
+                    // workers, and dropping the last request sender ends the
+                    // batcher; join them all before surfacing the error.
+                    drop(batch_tx);
+                    shared.queue.close();
+                    for worker in workers {
+                        let _ = worker.join();
+                    }
+                    let _ = batcher.join();
+                    return Err(error);
+                }
+            }
+        }
         // The batcher exits when the last request sender disconnects; only
         // the workers hold one from here on.
         drop(batch_tx);
 
-        ElfService {
+        Ok(ElfService {
             shared,
             config,
             workers,
             batcher: Some(batcher),
-        }
+        })
     }
 
     /// Trains a classifier on `data` and starts a service around it — the
@@ -710,6 +763,7 @@ fn worker_loop(shared: &Shared, shard: usize, client: &BatcherClient, telemetry:
         let mut inference_calls = 0usize;
         let mut inference_rows = 0usize;
         let mut max_batch_occupancy = 0usize;
+        let mut batcher_lost = false;
         // A panic inside the flow (an operator invariant violation — an
         // internal bug) must not strand the client: catch it, deliver the
         // job as failed, and keep the worker alive for the rest of the
@@ -725,9 +779,21 @@ fn worker_loop(shared: &Shared, shard: usize, client: &BatcherClient, telemetry:
                     inference_calls += 1;
                     inference_rows += rows.len();
                 }
-                let answer = client.infer(id, model, &mlp, rows);
-                max_batch_occupancy = max_batch_occupancy.max(answer.batch_rows);
-                answer.probabilities
+                let requested = rows.len();
+                match client.infer(id, model, &mlp, rows) {
+                    Some(answer) => {
+                        max_batch_occupancy = max_batch_occupancy.max(answer.batch_rows);
+                        answer.probabilities
+                    }
+                    None => {
+                        // The batcher died (an internal bug, never a normal
+                        // shutdown — it outlives the workers).  Keep the
+                        // flow alive with neutral probabilities so the
+                        // worker survives, and deliver the job as failed.
+                        batcher_lost = true;
+                        vec![0.0; requested]
+                    }
+                }
             });
             // Counted inside the guard: walking a graph a panicking operator
             // left inconsistent could itself panic, and nothing after the
@@ -735,7 +801,7 @@ fn worker_loop(shared: &Shared, shard: usize, client: &BatcherClient, telemetry:
             (stats, aig.num_reachable_ands())
         }));
         let (flow_stats, nodes_after, failed) = match outcome {
-            Ok((stats, nodes_after)) => (stats, nodes_after, false),
+            Ok((stats, nodes_after)) => (stats, nodes_after, batcher_lost),
             Err(_) => (FlowStats::default(), nodes_before, true),
         };
 
@@ -754,6 +820,7 @@ fn worker_loop(shared: &Shared, shard: usize, client: &BatcherClient, telemetry:
             nodes_after,
             queued_time,
             service_time: started.elapsed(),
+            verify: flow_stats.verify.clone(),
             flow: flow_stats,
         };
         reply.send(JobResponse {
@@ -1134,6 +1201,66 @@ mod tests {
         let response = handle.run_sync(err.into_circuit(), "rf").unwrap();
         assert_eq!(response.stats.model, v1);
         assert!(!response.failed);
+    }
+
+    #[test]
+    fn a_verified_job_returns_proved_and_matches_the_offline_flow() {
+        let service = ElfService::start(
+            classifier(),
+            ServeConfig {
+                verify: VerifyMode::Final,
+                ..two_shard_config()
+            },
+        );
+        let mut handle = service.handle();
+        let original = circuit(3);
+
+        let response = handle.run_sync(original.clone(), "rf; rw; rs").unwrap();
+        assert!(!response.failed);
+        let outcome = response.stats.verify.as_ref().expect("verify was enabled");
+        assert_eq!(outcome.mode, VerifyMode::Final);
+        assert_eq!(
+            outcome.checks.len(),
+            1,
+            "Final mode runs one whole-flow check"
+        );
+        assert!(outcome.proved(), "the served flow must be SAT-proved");
+
+        // Verification is an observer: the served result stays node-for-node
+        // identical to the offline pruned flow under the service options.
+        let mut offline = original;
+        let offline_stats =
+            Flow::pruned_from_script("rf; rw; rs", service.classifier(), service.options())
+                .unwrap()
+                .run(&mut offline);
+        assert_eq!(response.aig.num_slots(), offline.num_slots());
+        assert_eq!(
+            response.aig.num_reachable_ands(),
+            offline.num_reachable_ands()
+        );
+        assert!(offline_stats
+            .verify
+            .expect("offline twin verifies too")
+            .proved());
+        service.shutdown();
+    }
+
+    #[test]
+    fn per_stage_verification_names_every_stage() {
+        let service = ElfService::start(
+            classifier(),
+            ServeConfig {
+                verify: VerifyMode::PerStage,
+                ..two_shard_config()
+            },
+        );
+        let mut handle = service.handle();
+        let response = handle.run_sync(circuit(1), "rf; rw").unwrap();
+        let outcome = response.stats.verify.expect("verify was enabled");
+        assert_eq!(outcome.checks.len(), 2, "one check per stage");
+        assert!(outcome.checks.iter().all(|check| check.stage.is_some()));
+        assert!(outcome.proved());
+        service.shutdown();
     }
 
     #[test]

@@ -25,9 +25,6 @@
 //! assert_eq!(Sop::isop(&f).num_cubes(), 2);
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 mod cover;
 mod factor;
 mod truth;

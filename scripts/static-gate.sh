@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Static panic-path gate: the crates on the serving and verification paths
+# must not reach for `.unwrap()` / `.expect(...)` in non-test code.  A panic
+# in a long-lived service thread (or inside the correctness gate itself)
+# turns one bad job into a poisoned worker; these crates plumb errors
+# instead, and this gate keeps it that way.
+#
+# Test code (everything from the first `#[cfg(test)]` line onward) and doc
+# comments (whose examples run as doctests) are exempt: panicking asserts
+# are exactly what tests are for.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+GATED_DIRS=(crates/serve/src crates/cec/src)
+
+status=0
+for dir in "${GATED_DIRS[@]}"; do
+    for file in "$dir"/*.rs; do
+        # Strip the in-file test module: offenders are only counted in the
+        # non-test region before the first `#[cfg(test)]`.
+        offenders=$(awk '
+            /^[[:space:]]*#\[cfg\(test\)\]/ { exit }
+            /^[[:space:]]*\/\/[\/!]/ { next }
+            /\.unwrap\(\)|\.expect\(/ { printf "%s:%d: %s\n", FILENAME, FNR, $0 }
+        ' "$file")
+        if [ -n "$offenders" ]; then
+            echo "$offenders"
+            status=1
+        fi
+    done
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "static-gate: unwrap()/expect() found in non-test serving/verification code" >&2
+    exit 1
+fi
+echo "static-gate: clean (${GATED_DIRS[*]})"

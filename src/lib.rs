@@ -18,6 +18,7 @@
 //! | [`par`] (`elf-par`) | Deterministic std-threads parallel engine (scoped pool, chunked queue, order-preserving gather) |
 //! | [`core`] (`elf-core`) | The ELF classifier, the generic pruned operator `Elf<O>`, script-style `Flow` pipelines and the experiment protocol |
 //! | [`serve`] (`elf-serve`) | Long-lived batching `ElfService`: bounded admission with load-shedding policies, work-stealing shard workers, versioned hot-swap `ModelRegistry`, micro-batched inference, channel request/response API |
+//! | [`cec`] (`elf-cec`) | SAT-based combinational equivalence checking: a zero-dependency CDCL solver, miter construction, fraig-style simulation-guided SAT sweeping — the correctness gate behind `core::VerifyMode` |
 //! | [`circuits`] (`elf-circuits`) | EPFL-style arithmetic, industrial-like and synthetic workload generators |
 //! | [`analysis`] (`elf-analysis`) | t-SNE, exact Shapley values, PCA |
 //!
@@ -125,11 +126,32 @@
 //! );
 //! assert_eq!(service.shutdown().jobs_served, 1);
 //! ```
-
-#![warn(missing_docs)]
+//!
+//! Prove (by SAT, not simulation) that an optimization preserved the
+//! circuit's function, either standalone through [`cec`] or as a flow-level
+//! gate through [`core::VerifyMode`]:
+//!
+//! ```
+//! use elf::cec::check_equivalence;
+//! use elf::circuits::epfl::{arithmetic_circuit, Scale};
+//! use elf::core::{Flow, VerifyMode};
+//!
+//! let mut aig = arithmetic_circuit("square", Scale::Tiny);
+//! let golden = aig.clone();
+//!
+//! let stats = Flow::from_script("rf; rw").unwrap()
+//!     .with_verify(VerifyMode::Final)
+//!     .run(&mut aig);
+//! assert!(stats.verify.unwrap().proved());
+//!
+//! // The standalone checker agrees (and would hand back a concrete
+//! // counterexample input vector if it did not).
+//! assert!(check_equivalence(&golden, &aig).is_proved());
+//! ```
 
 pub use elf_aig as aig;
 pub use elf_analysis as analysis;
+pub use elf_cec as cec;
 pub use elf_circuits as circuits;
 pub use elf_core as core;
 pub use elf_nn as nn;

@@ -14,9 +14,6 @@
 //! classification); absolute numbers should be taken from `--release` runs
 //! of the `elf-bench` binaries.
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

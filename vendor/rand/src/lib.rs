@@ -14,9 +14,6 @@
 //! All generation is deterministic in the seed — there is no entropy source
 //! anywhere in this crate, which keeps tests and experiments reproducible.
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 use core::ops::{Range, RangeInclusive};
 
 /// Low-level source of random 64-bit words.
