@@ -9,7 +9,7 @@
 use std::time::{Duration, Instant};
 
 use elf_aig::{Aig, NodeId, NodeToken, NUM_FEATURES};
-use elf_opt::{OpStats, PrunableOperator, Refactor, RefactorParams};
+use elf_opt::{CutCache, CutCacheConfig, OpStats, PrunableOperator, Refactor, RefactorParams};
 use elf_par::Parallelism;
 
 use crate::classifier::ElfClassifier;
@@ -50,6 +50,11 @@ pub struct ElfConfig {
     /// coincide; the distinction matters for multi-stage
     /// [`Flow`](crate::Flow) pipelines.
     pub verify: VerifyMode,
+    /// Sizing and on/off switch of the NPN-canonical cut-factoring cache the
+    /// wrapped operator consults (see [`elf_opt::CutCache`]).  The cache is
+    /// result-transparent: the produced AIG is node-for-node identical with
+    /// the cache enabled, disabled, warm or cold.
+    pub cut_cache: CutCacheConfig,
 }
 
 impl Default for ElfConfig {
@@ -60,6 +65,7 @@ impl Default for ElfConfig {
             batch_classification: true,
             parallelism: Parallelism::default(),
             verify: VerifyMode::Off,
+            cut_cache: CutCacheConfig::default(),
         }
     }
 }
@@ -76,6 +82,9 @@ pub struct ElfOptions {
     pub parallelism: Parallelism,
     /// SAT-prove every pass equivalent to its input (off by default).
     pub verify: VerifyMode,
+    /// Sizing and on/off switch of the NPN-canonical cut-factoring cache
+    /// (see [`elf_opt::CutCache`]).  Result-transparent either way.
+    pub cut_cache: CutCacheConfig,
 }
 
 impl Default for ElfOptions {
@@ -85,6 +94,7 @@ impl Default for ElfOptions {
             batch_classification: true,
             parallelism: Parallelism::default(),
             verify: VerifyMode::Off,
+            cut_cache: CutCacheConfig::default(),
         }
     }
 }
@@ -96,6 +106,7 @@ impl From<ElfConfig> for ElfOptions {
             batch_classification: config.batch_classification,
             parallelism: config.parallelism,
             verify: config.verify,
+            cut_cache: config.cut_cache,
         }
     }
 }
@@ -177,6 +188,7 @@ impl ElfRefactor {
             batch_classification: self.options.batch_classification,
             parallelism: self.options.parallelism,
             verify: self.options.verify,
+            cut_cache: self.options.cut_cache,
         }
     }
 }
@@ -184,12 +196,25 @@ impl ElfRefactor {
 impl<O: PrunableOperator> Elf<O> {
     /// Wraps `operator` with a trained classifier: the classifier decides,
     /// per node, whether the operator is worth attempting.
-    pub fn with_operator(classifier: ElfClassifier, operator: O, options: ElfOptions) -> Self {
+    ///
+    /// The operator receives a fresh cut-factoring cache sized by
+    /// [`ElfOptions::cut_cache`]; callers that want several passes (or
+    /// several concurrent jobs) to share one cache override it afterwards
+    /// with [`Elf::set_cut_cache`].
+    pub fn with_operator(classifier: ElfClassifier, mut operator: O, options: ElfOptions) -> Self {
+        operator.set_cut_cache(CutCache::new(options.cut_cache));
         Elf {
             classifier,
             operator,
             options,
         }
+    }
+
+    /// Replaces the wrapped operator's cut-factoring cache, typically with a
+    /// handle shared across stages or jobs (see [`CutCache::job_view`]).
+    /// Purely a performance knob: results are bit-identical either way.
+    pub fn set_cut_cache(&mut self, cache: CutCache) {
+        self.operator.set_cut_cache(cache);
     }
 
     /// The wrapped classifier.

@@ -108,3 +108,8 @@ pub use elf_cec::Equivalence;
 // `ElfOptions` and `Flow`, so callers configuring it should not need an
 // explicit `elf-par` dependency.
 pub use elf_par::Parallelism;
+// Convenience re-export: the cut-factoring cache knob lives inside
+// `ElfConfig`/`ElfOptions` and the handle attaches through
+// `Flow::with_cut_cache`, so callers sizing or sharing it should not need
+// an explicit `elf-opt` dependency.
+pub use elf_opt::{CutCache, CutCacheConfig, CutCacheStats};

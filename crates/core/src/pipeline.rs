@@ -40,7 +40,7 @@ use std::time::{Duration, Instant};
 
 use elf_aig::Aig;
 use elf_opt::{
-    AigOperator, OpStats, Refactor, RefactorParams, ResubParams, Resubstitution, Rewrite,
+    AigOperator, CutCache, OpStats, Refactor, RefactorParams, ResubParams, Resubstitution, Rewrite,
     RewriteParams,
 };
 use elf_par::Parallelism;
@@ -148,6 +148,9 @@ pub struct Flow {
     parallelism: Option<Parallelism>,
     /// How much SAT-based equivalence checking the run performs.
     verify: VerifyMode,
+    /// When set, every stage — pruned and plain — factors cut functions
+    /// through this shared NPN-canonical cache instead of its own.
+    cut_cache: Option<CutCache>,
 }
 
 impl Flow {
@@ -239,7 +242,10 @@ impl Flow {
                 }
             };
         }
-        Ok(flow)
+        // One cache for the whole pipeline: `rf` and `rw` meet the same NPN
+        // classes, so sharing beats the per-stage caches `with_operator`
+        // just built.  Bit-identical either way.
+        Ok(flow.with_cut_cache(CutCache::new(options.cut_cache)))
     }
 
     /// The words of an ABC-style script: separator and whitespace handling
@@ -277,6 +283,46 @@ impl Flow {
         self.verify
     }
 
+    /// Shares one NPN-canonical cut-factoring cache across every stage of
+    /// the flow — the stages already added and any added later, pruned and
+    /// plain alike.  A serving layer passes a per-job view of its
+    /// service-lifetime cache here so factoring work learned on one job
+    /// speeds up the next.  Purely a performance knob: the produced AIG is
+    /// node-for-node identical whatever cache (or none) is attached.
+    pub fn with_cut_cache(mut self, cache: CutCache) -> Self {
+        for stage in &mut self.stages {
+            Self::attach_cache(stage, &cache);
+        }
+        self.cut_cache = Some(cache);
+        self
+    }
+
+    /// The shared cut-factoring cache, when one was attached.
+    pub fn cut_cache(&self) -> Option<&CutCache> {
+        self.cut_cache.as_ref()
+    }
+
+    /// Points a pruned stage at the flow-shared cache.  Plain stages carry
+    /// parameters only — their operators are built (and wired) per run.
+    fn attach_cache(stage: &mut Stage, cache: &CutCache) {
+        match stage {
+            Stage::Refactor(_) | Stage::Rewrite(_) | Stage::Resub(_) => {}
+            Stage::ElfRefactor(elf) => elf.set_cut_cache(cache.clone()),
+            Stage::ElfRewrite(elf) => elf.set_cut_cache(cache.clone()),
+            Stage::ElfResub(elf) => elf.set_cut_cache(cache.clone()),
+        }
+    }
+
+    /// Registers a freshly pushed stage with the shared cache, if any.
+    fn wire_last_stage(mut self) -> Self {
+        if let Some(cache) = self.cut_cache.clone() {
+            if let Some(stage) = self.stages.last_mut() {
+                Self::attach_cache(stage, &cache);
+            }
+        }
+        self
+    }
+
     /// Appends a plain refactor stage.
     pub fn refactor(mut self, params: RefactorParams) -> Self {
         self.stages.push(Stage::Refactor(params));
@@ -298,19 +344,19 @@ impl Flow {
     /// Appends a classifier-pruned refactor stage.
     pub fn elf_refactor(mut self, elf: Elf<Refactor>) -> Self {
         self.stages.push(Stage::ElfRefactor(Box::new(elf)));
-        self
+        self.wire_last_stage()
     }
 
     /// Appends a classifier-pruned rewrite stage.
     pub fn elf_rewrite(mut self, elf: Elf<Rewrite>) -> Self {
         self.stages.push(Stage::ElfRewrite(Box::new(elf)));
-        self
+        self.wire_last_stage()
     }
 
     /// Appends a classifier-pruned resubstitution stage.
     pub fn elf_resub(mut self, elf: Elf<Resubstitution>) -> Self {
         self.stages.push(Stage::ElfResub(Box::new(elf)));
-        self
+        self.wire_last_stage()
     }
 
     /// Number of stages in the flow.
@@ -367,8 +413,20 @@ impl Flow {
                 }
             }
             let (op, elf): (OpStats, Option<ElfStats>) = match stage {
-                Stage::Refactor(params) => (Refactor::new(*params).run(aig), None),
-                Stage::Rewrite(params) => (Rewrite::new(*params).run(aig).into(), None),
+                Stage::Refactor(params) => {
+                    let mut operator = Refactor::new(*params);
+                    if let Some(cache) = &self.cut_cache {
+                        operator.set_cut_cache(cache.clone());
+                    }
+                    (operator.run(aig), None)
+                }
+                Stage::Rewrite(params) => {
+                    let mut operator = Rewrite::new(*params);
+                    if let Some(cache) = &self.cut_cache {
+                        operator.set_cut_cache(cache.clone());
+                    }
+                    (operator.run(aig).into(), None)
+                }
                 Stage::Resub(params) => (Resubstitution::new(*params).run(aig).into(), None),
                 Stage::ElfRefactor(elf) => {
                     let stats = pruned(elf, aig, self.stage_parallelism(elf.options()), &mut infer);

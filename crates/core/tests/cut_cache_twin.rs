@@ -1,0 +1,238 @@
+//! Cut-cache transparency layer: the NPN-canonical factoring cache is a
+//! pure performance knob, so every pipeline must produce **node-for-node
+//! identical** AIGs with the cache enabled, disabled, freshly built or
+//! pre-warmed by earlier jobs.
+//!
+//! Both cache states route factoring through the same canonical path
+//! (canonicalize, factor the representative, decanonicalize); the cache only
+//! memoizes the middle step, which is a pure function of the canonical key.
+//! These twins are the end-to-end check that the construction actually
+//! holds through `Flow` composition, pruning and parallel collection.
+
+use elf_aig::{check_equivalence, simulation_signature, Aig, EquivalenceResult};
+use elf_circuits::{script_strategy, scripted_circuit, GateChoice};
+use elf_core::{
+    CutCache, CutCacheConfig, ElfClassifier, ElfOptions, Flow, Parallelism, DEFAULT_THRESHOLD,
+};
+use elf_nn::{Mlp, Normalizer};
+use proptest::prelude::*;
+
+/// An untrained classifier with hand-set statistics and a mid threshold:
+/// deterministic, and it genuinely prunes some cuts while keeping others.
+fn mixed_classifier() -> ElfClassifier {
+    let normalizer = Normalizer::from_stats(vec![2.0; 6], vec![1.0; 6]);
+    ElfClassifier::from_parts(normalizer, Mlp::paper_architecture(5), DEFAULT_THRESHOLD)
+}
+
+/// One AND node of a structural fingerprint: id plus both fanin literals.
+type StructuralNode = (u32, u32, bool, u32, bool);
+
+/// Exact structural fingerprint: every reachable AND node (in topological
+/// order) with its fanin literals, plus the output literals.
+fn structure(aig: &Aig) -> (Vec<StructuralNode>, Vec<(u32, bool)>) {
+    let nodes = aig
+        .topological_order()
+        .into_iter()
+        .map(|id| {
+            let (f0, f1) = aig.fanins(id);
+            (
+                id.index(),
+                f0.node().index(),
+                f0.is_complemented(),
+                f1.node().index(),
+                f1.is_complemented(),
+            )
+        })
+        .collect();
+    let outputs = aig
+        .outputs()
+        .iter()
+        .map(|lit| (lit.node().index(), lit.is_complemented()))
+        .collect();
+    (nodes, outputs)
+}
+
+/// Options with the cache knob forced to `config` (everything else default).
+fn options_with_cache(config: CutCacheConfig) -> ElfOptions {
+    ElfOptions {
+        cut_cache: config,
+        ..ElfOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Headline twin property: the pruned `rf; rw; rs` pipeline lands on the
+    /// same simulation fingerprint and the same node-for-node structure with
+    /// the cache on and off, at one and at several threads.
+    #[test]
+    fn pruned_flow_is_bit_identical_with_cache_on_and_off(script in script_strategy(28)) {
+        let source = scripted_circuit(5, &script);
+        let classifier = mixed_classifier();
+
+        let mut cached_aig = source.clone();
+        let cached_flow = Flow::pruned_from_script(
+            "rf; rw; rs",
+            &classifier,
+            options_with_cache(CutCacheConfig::default()),
+        )
+        .expect("script parses");
+        prop_assert!(cached_flow
+            .cut_cache()
+            .is_some_and(CutCache::is_enabled));
+        cached_flow.run(&mut cached_aig);
+
+        let mut plain_aig = source.clone();
+        let plain_flow = Flow::pruned_from_script(
+            "rf; rw; rs",
+            &classifier,
+            options_with_cache(CutCacheConfig::disabled()),
+        )
+        .expect("script parses");
+        prop_assert!(!plain_flow.cut_cache().is_some_and(CutCache::is_enabled));
+        plain_flow.run(&mut plain_aig);
+
+        prop_assert_eq!(structure(&cached_aig), structure(&plain_aig));
+        prop_assert_eq!(
+            simulation_signature(&cached_aig, 8, 0xCAC4E),
+            simulation_signature(&plain_aig, 8, 0xCAC4E)
+        );
+        // Cache on or off, still at several thread counts.
+        for threads in [2usize, 7] {
+            let mut parallel_aig = source.clone();
+            let flow = Flow::pruned_from_script(
+                "rf; rw; rs",
+                &classifier,
+                options_with_cache(CutCacheConfig::default()),
+            )
+            .expect("script parses")
+            .with_parallelism(Parallelism::threads(threads));
+            flow.run(&mut parallel_aig);
+            prop_assert_eq!(structure(&parallel_aig), structure(&plain_aig));
+        }
+        prop_assert_eq!(
+            check_equivalence(&source, &cached_aig, 16, 91),
+            EquivalenceResult::Equivalent
+        );
+    }
+
+    /// A warm cache (pre-populated by an earlier job on a *different*
+    /// circuit) changes hit counters, never results.
+    #[test]
+    fn warm_and_cold_caches_produce_identical_networks(script in script_strategy(24)) {
+        let warmup_source = scripted_circuit(6, &script);
+        let source = scripted_circuit(5, &script);
+        let classifier = mixed_classifier();
+        let service_cache = CutCache::new(CutCacheConfig::default());
+
+        // Warm the shared cache on the other circuit, like a prior job.
+        let mut warmup = warmup_source.clone();
+        Flow::pruned_from_script("rf; rw", &classifier, ElfOptions::default())
+            .expect("script parses")
+            .with_cut_cache(service_cache.job_view())
+            .run(&mut warmup);
+
+        let mut warm_aig = source.clone();
+        let warm_view = service_cache.job_view();
+        Flow::pruned_from_script("rf; rw", &classifier, ElfOptions::default())
+            .expect("script parses")
+            .with_cut_cache(warm_view.clone())
+            .run(&mut warm_aig);
+
+        let mut cold_aig = source.clone();
+        Flow::pruned_from_script("rf; rw", &classifier, ElfOptions::default())
+            .expect("script parses")
+            .run(&mut cold_aig);
+
+        prop_assert_eq!(structure(&warm_aig), structure(&cold_aig));
+        // Any factoring at all must have consulted the shared cache.
+        let stats = service_cache.stats();
+        prop_assert_eq!(
+            warm_view.local_hits() + warm_view.local_misses() > 0,
+            stats.hits + stats.misses > 0
+        );
+    }
+}
+
+/// A denser fixed circuit, shared with the parallel stress suite.
+fn stress_circuit() -> Aig {
+    let script: Vec<GateChoice> = (0..48)
+        .map(|i| (i as u8, 3 * i + 1, 5 * i + 2, 7 * i + 3))
+        .collect();
+    scripted_circuit(7, &script)
+}
+
+/// Plain (un-pruned) flows honor `with_cut_cache` the same way: identical
+/// structure with a shared cache attached and without, and the shared cache
+/// records genuine traffic including hits from NPN-equivalent cuts.
+#[test]
+fn plain_flow_with_shared_cache_matches_uncached_run() {
+    let source = stress_circuit();
+
+    let mut uncached_aig = source.clone();
+    Flow::from_script("rf; rw; rf")
+        .expect("script parses")
+        .run(&mut uncached_aig);
+
+    let cache = CutCache::new(CutCacheConfig::default());
+    let mut cached_aig = source.clone();
+    Flow::from_script("rf; rw; rf")
+        .expect("script parses")
+        .with_cut_cache(cache.clone())
+        .run(&mut cached_aig);
+
+    assert_eq!(structure(&cached_aig), structure(&uncached_aig));
+    let stats = cache.stats();
+    assert!(stats.misses > 0, "the flow factored through the cache");
+    assert!(
+        stats.hits > 0,
+        "repeating `rf` must re-meet cached NPN classes (hits={} misses={})",
+        stats.hits,
+        stats.misses
+    );
+    assert_eq!(
+        check_equivalence(&source, &cached_aig, 16, 83),
+        EquivalenceResult::Equivalent
+    );
+}
+
+/// Repeated jobs against one service-lifetime cache: every job after the
+/// first sees a strictly better global hit total, and every result matches
+/// the cache-free reference — the serving layer's persistence contract.
+#[test]
+fn repeated_jobs_reuse_the_service_cache_without_changing_results() {
+    let source = stress_circuit();
+    let classifier = mixed_classifier();
+
+    let mut reference_aig = source.clone();
+    Flow::pruned_from_script(
+        "rf; rw",
+        &classifier,
+        options_with_cache(CutCacheConfig::disabled()),
+    )
+    .expect("script parses")
+    .run(&mut reference_aig);
+    let reference = structure(&reference_aig);
+
+    let service_cache = CutCache::new(CutCacheConfig::default());
+    let mut previous_hits = 0;
+    for job in 0..3 {
+        let view = service_cache.job_view();
+        let mut aig = source.clone();
+        Flow::pruned_from_script("rf; rw", &classifier, ElfOptions::default())
+            .expect("script parses")
+            .with_cut_cache(view.clone())
+            .run(&mut aig);
+        assert_eq!(structure(&aig), reference, "job {job}");
+        if job > 0 {
+            assert!(
+                view.local_hits() > 0,
+                "job {job} re-submitted the same circuit and must hit"
+            );
+        }
+        let hits = service_cache.stats().hits;
+        assert!(hits >= previous_hits, "job {job}");
+        previous_hits = hits;
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests pinning the blocked GEMM kernels to the naive oracles.
+//!
+//! The blocked kernels promise bit-identical results on finite inputs (see
+//! the determinism contract in `elf_nn::matrix`), so these suites compare
+//! with `f32::to_bits`, not approximate equality.  Shapes are drawn small
+//! and skewed on purpose: empty matrices, single rows, and dimensions that
+//! straddle the `LANES`/`MC`/`KC`/`NR` block boundaries.
+
+use elf_nn::Matrix;
+use proptest::prelude::*;
+
+/// Deterministic finite data with wildly mixed magnitudes, so that float
+/// addition order is observable (catching any accumulation reordering).
+fn pseudo_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+    let data = (0..rows * cols)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let mantissa = ((state >> 33) as i32 % 2000) as f32 / 64.0;
+            let scale = [1.0f32, 1e-5, 1e5][(state >> 13) as usize % 3];
+            mantissa * scale
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+fn transpose(m: &Matrix) -> Matrix {
+    let mut t = Matrix::zeros(m.cols(), m.rows());
+    for i in 0..m.rows() {
+        for j in 0..m.cols() {
+            t.set(j, i, m.get(i, j));
+        }
+    }
+    t
+}
+
+fn assert_bits_eq(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "{what}: shape");
+    for (index, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: element {index} diverges ({x} vs {y})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn blocked_matmul_matches_naive_oracle(
+        m in 0usize..40,
+        k in 0usize..80,
+        n in 0usize..20,
+        seed in any::<u64>(),
+    ) {
+        let a = pseudo_matrix(m, k, seed);
+        let b = pseudo_matrix(k, n, seed.wrapping_add(1));
+        assert_bits_eq(&a.matmul(&b), &a.matmul_naive(&b), "matmul");
+    }
+
+    #[test]
+    fn blocked_transpose_kernels_match_naive_oracles(
+        m in 0usize..40,
+        k in 0usize..80,
+        n in 0usize..20,
+        seed in any::<u64>(),
+    ) {
+        let a = pseudo_matrix(m, k, seed);
+        let b = pseudo_matrix(k, n, seed.wrapping_add(1));
+        let at = transpose(&a);
+        assert_bits_eq(
+            &at.matmul_transpose_self(&b),
+            &at.matmul_transpose_self_naive(&b),
+            "matmul_transpose_self",
+        );
+        let bt = transpose(&b);
+        assert_bits_eq(
+            &a.matmul_transpose_other(&bt),
+            &a.matmul_transpose_other_naive(&bt),
+            "matmul_transpose_other",
+        );
+    }
+
+    #[test]
+    fn all_three_kernels_compute_the_same_product(
+        m in 1usize..24,
+        k in 1usize..48,
+        n in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        // A*B through all three kernels (transposing operands as needed):
+        // the per-element ascending-k chain makes them bitwise interchangeable.
+        let a = pseudo_matrix(m, k, seed);
+        let b = pseudo_matrix(k, n, seed.wrapping_add(1));
+        let product = a.matmul(&b);
+        assert_bits_eq(
+            &transpose(&a).matmul_transpose_self(&b),
+            &product,
+            "transpose_self route",
+        );
+        assert_bits_eq(
+            &a.matmul_transpose_other(&transpose(&b)),
+            &product,
+            "transpose_other route",
+        );
+    }
+}

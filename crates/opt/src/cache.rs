@@ -1,0 +1,538 @@
+//! Hash-consed NPN-canonical cut cache.
+//!
+//! Refactor and rewrite spend most of their resynthesis time in
+//! `TruthTable -> irredundant SOP -> factored form`, and real circuits
+//! present the same handful of truth-table classes thousands of times —
+//! usually under different input orderings, input polarities, or output
+//! polarity.  This module collapses those presentations into one cache entry:
+//!
+//! 1. [`semi_canonicalize`] maps a truth table to an NPN *semi*-canonical
+//!    representative (output polarity, per-variable phases, and a variable
+//!    permutation are normalized by cofactor-count heuristics, ABC-style;
+//!    ties are left unresolved, so the class split is coarser than true NPN
+//!    but the mapping is cheap and deterministic).
+//! 2. [`CutCache`] memoizes `factor_truth_table` of the representative and
+//!    replays the recorded inverse transform onto the factored form
+//!    ([`NpnTransform::decanonicalize`] — a literal remap plus a De Morgan
+//!    push-down, which preserves gate count exactly).
+//!
+//! # Determinism contract
+//!
+//! [`CutCache::factor`] is a pure function of the truth table: canonicalize,
+//! factor the representative, undo the transform.  The cache only memoizes
+//! the middle step, whose output is itself a pure function of the
+//! representative — so cache-enabled and cache-disabled runs produce
+//! node-for-node identical AIGs by construction (enforced by twin tests in
+//! `elf-core`), and a cache shared across concurrently-served jobs cannot
+//! leak one job's timing into another's result.  A deliberate non-feature:
+//! the cache stores no "no gain" verdicts — whether a factored form wins is
+//! decided against the *local* MFFC of each commit site, so a class-level
+//! verdict would change results depending on which site populated the entry.
+//!
+//! The canonical step means plain (uncached) operators also factor the
+//! representative rather than the raw table.  Both are functionally
+//! identical implementations of the cut; only which of several same-gain
+//! implementations gets built changes, and it changes for every flow
+//! uniformly — all twin suites compare within one code version.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use elf_sop::{factor_truth_table, FactoredForm, TruthTable};
+
+/// Sizing/enable knob for the [`CutCache`] (plumbed through `ElfOptions` and
+/// `ServeConfig`; `Copy` so those configs stay `Copy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CutCacheConfig {
+    /// Whether lookups are memoized at all.  Disabled caches still
+    /// canonicalize (the uniform path is what keeps on/off bit-identical);
+    /// they just never store or share anything.
+    pub enabled: bool,
+    /// Maximum number of canonical classes retained.  Once full the cache
+    /// stops inserting (no eviction: deterministic and contention-free; the
+    /// hot classes of a workload are the ones seen first and most often).
+    pub capacity: usize,
+}
+
+impl Default for CutCacheConfig {
+    fn default() -> Self {
+        CutCacheConfig {
+            enabled: true,
+            capacity: 1 << 16,
+        }
+    }
+}
+
+impl CutCacheConfig {
+    /// A configuration with memoization turned off.
+    pub fn disabled() -> Self {
+        CutCacheConfig {
+            enabled: false,
+            capacity: 0,
+        }
+    }
+}
+
+/// The NPN transform recorded by [`semi_canonicalize`]: how to get from the
+/// canonical representative back to the original function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NpnTransform {
+    /// `placement[v]` is the canonical position of original variable `v`.
+    placement: Vec<usize>,
+    /// Whether original variable `v` was complemented.
+    phase: Vec<bool>,
+    /// Whether the output was complemented.
+    output_negated: bool,
+}
+
+impl NpnTransform {
+    /// Whether the output polarity was flipped by canonicalization.
+    pub fn output_negated(&self) -> bool {
+        self.output_negated
+    }
+
+    /// Rewrites a factored form of the canonical representative into a
+    /// factored form of the original function: literals are remapped to the
+    /// original variable (XOR-ing the phase back in), and an output
+    /// complement is pushed down with De Morgan (And <-> Or, literals
+    /// negated), which keeps [`FactoredForm::num_gates`] unchanged.
+    pub fn decanonicalize(&self, expr: &FactoredForm) -> FactoredForm {
+        // original[j] = the original variable sitting at canonical position j.
+        let mut original = vec![0usize; self.placement.len()];
+        for (v, &j) in self.placement.iter().enumerate() {
+            original[j] = v;
+        }
+        self.remap(expr, &original, self.output_negated)
+    }
+
+    fn remap(&self, expr: &FactoredForm, original: &[usize], negate: bool) -> FactoredForm {
+        match expr {
+            FactoredForm::Const(value) => FactoredForm::Const(*value != negate),
+            FactoredForm::Literal { var, negated } => {
+                let var = original[*var];
+                FactoredForm::Literal {
+                    var,
+                    negated: *negated ^ self.phase[var] ^ negate,
+                }
+            }
+            FactoredForm::And(a, b) => {
+                let left = Box::new(self.remap(a, original, negate));
+                let right = Box::new(self.remap(b, original, negate));
+                if negate {
+                    FactoredForm::Or(left, right)
+                } else {
+                    FactoredForm::And(left, right)
+                }
+            }
+            FactoredForm::Or(a, b) => {
+                let left = Box::new(self.remap(a, original, negate));
+                let right = Box::new(self.remap(b, original, negate));
+                if negate {
+                    FactoredForm::And(left, right)
+                } else {
+                    FactoredForm::Or(left, right)
+                }
+            }
+        }
+    }
+}
+
+/// Maps a truth table to its NPN semi-canonical representative and the
+/// transform that undoes the mapping.
+///
+/// The normalization is the classic cofactor-count heuristic:
+///
+/// * output polarity — keep the polarity with the smaller ON-set (words
+///   compared lexicographically on a tie), so a function and its complement
+///   share a representative;
+/// * variable phases — each variable is flipped (in index order, on the
+///   running table) until its positive cofactor has the smaller ON-set;
+/// * variable order — variables are stable-sorted by positive-cofactor
+///   ON-set size.
+///
+/// Ties left unresolved make this *semi*-canonical: two NPN-equivalent
+/// functions may still map to different representatives, which costs cache
+/// capacity but never correctness (the key *is* the representative).
+pub fn semi_canonicalize(function: &TruthTable) -> (TruthTable, NpnTransform) {
+    let ones = function.count_ones();
+    let zeros = (1usize << function.num_vars()) - ones;
+    match ones.cmp(&zeros) {
+        std::cmp::Ordering::Greater => canonicalize_polarity(&!function, true),
+        std::cmp::Ordering::Less => canonicalize_polarity(function, false),
+        std::cmp::Ordering::Equal => {
+            // Balanced ON-set: canonicalize both polarities fully and keep
+            // the lexicographically smaller representative, so a function
+            // and its complement still collapse onto one entry.
+            let plain = canonicalize_polarity(function, false);
+            let complemented = canonicalize_polarity(&!function, true);
+            if complemented.0.words() < plain.0.words() {
+                complemented
+            } else {
+                plain
+            }
+        }
+    }
+}
+
+/// Phase + permutation normalization of one output polarity.
+fn canonicalize_polarity(
+    function: &TruthTable,
+    output_negated: bool,
+) -> (TruthTable, NpnTransform) {
+    let num_vars = function.num_vars();
+    let mut work = function.clone();
+    let mut phase = vec![false; num_vars];
+    for (var, flip) in phase.iter_mut().enumerate() {
+        let positive = work.cofactor1(var).count_ones();
+        let negative = work.cofactor0(var).count_ones();
+        if positive > negative {
+            work = work.flip_var(var);
+            *flip = true;
+        }
+    }
+
+    let mut order: Vec<usize> = (0..num_vars).collect();
+    let keys: Vec<usize> = (0..num_vars)
+        .map(|var| work.cofactor1(var).count_ones())
+        .collect();
+    order.sort_by_key(|&var| keys[var]);
+    let mut placement = vec![0usize; num_vars];
+    for (position, &var) in order.iter().enumerate() {
+        placement[var] = position;
+    }
+    let canonical = work.permute_vars(&placement);
+    (
+        canonical,
+        NpnTransform {
+            placement,
+            phase,
+            output_negated,
+        },
+    )
+}
+
+/// Shared state behind every view of one cache (the map plus lifetime-global
+/// counters; see [`CutCache::job_view`] for the per-view ones).
+struct CacheShared {
+    map: RwLock<HashMap<TruthTable, FactoredForm>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Per-view hit/miss counters (one fresh pair per [`CutCache::job_view`], so
+/// a served job can report its own hit rate without racing on deltas of the
+/// global counters).
+#[derive(Default)]
+struct ViewCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A handle to the NPN-canonical factored-form cache.
+///
+/// Cloning shares both the map and the view counters; [`CutCache::job_view`]
+/// shares the map but issues fresh view counters.  The default handle is
+/// disabled: it canonicalizes (so results never depend on whether a cache is
+/// attached) but memoizes nothing.
+///
+/// # Examples
+///
+/// ```
+/// use elf_opt::{CutCache, CutCacheConfig};
+/// use elf_sop::{factor_truth_table, TruthTable};
+///
+/// let cache = CutCache::new(CutCacheConfig::default());
+/// let f = TruthTable::from_fn(3, |m| m.count_ones() >= 2);
+/// let expr = cache.factor(&f);
+/// assert_eq!(expr.to_truth_table(3), f);
+/// // A permuted, phase-flipped presentation of the same class hits.
+/// let g = f.permute_vars(&[2, 0, 1]).flip_var(1);
+/// let _ = cache.factor(&g);
+/// assert_eq!(cache.local_hits(), 1);
+/// ```
+#[derive(Clone, Default)]
+pub struct CutCache {
+    shared: Option<Arc<CacheShared>>,
+    view: Arc<ViewCounters>,
+}
+
+impl fmt::Debug for CutCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CutCache")
+            .field("enabled", &self.shared.is_some())
+            .field("entries", &self.stats().entries)
+            .field("local_hits", &self.local_hits())
+            .field("local_misses", &self.local_misses())
+            .finish()
+    }
+}
+
+/// A point-in-time snapshot of a cache's global counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CutCacheStats {
+    /// Whether this handle memoizes at all.
+    pub enabled: bool,
+    /// Canonical classes currently stored.
+    pub entries: usize,
+    /// Capacity the map stops growing at.
+    pub capacity: usize,
+    /// Lifetime lookup hits across every view of the cache.
+    pub hits: u64,
+    /// Lifetime lookup misses across every view of the cache.
+    pub misses: u64,
+}
+
+impl CutCacheStats {
+    /// Lifetime hit rate in `[0, 1]` (zero when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl CutCache {
+    /// Creates a cache from its configuration (disabled configurations yield
+    /// the memoization-free handle).
+    pub fn new(config: CutCacheConfig) -> Self {
+        if !config.enabled {
+            return CutCache::default();
+        }
+        CutCache {
+            shared: Some(Arc::new(CacheShared {
+                map: RwLock::new(HashMap::new()),
+                capacity: config.capacity,
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+            })),
+            view: Arc::new(ViewCounters::default()),
+        }
+    }
+
+    /// A handle that canonicalizes but never memoizes.
+    pub fn disabled() -> Self {
+        CutCache::default()
+    }
+
+    /// Whether this handle memoizes.
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// A new handle onto the same map with fresh per-view counters: one per
+    /// served job, so each job reports its own hit rate.
+    pub fn job_view(&self) -> CutCache {
+        CutCache {
+            shared: self.shared.clone(),
+            view: Arc::new(ViewCounters::default()),
+        }
+    }
+
+    /// Factors `function`, memoizing by NPN semi-canonical class.
+    ///
+    /// Pure in its argument regardless of cache state (see the module docs),
+    /// and functionally sound: the result's truth table equals `function`.
+    pub fn factor(&self, function: &TruthTable) -> FactoredForm {
+        let (canonical, transform) = semi_canonicalize(function);
+        let canonical_expr = match &self.shared {
+            None => factor_truth_table(&canonical),
+            Some(shared) => shared.factor_canonical(&canonical, &self.view),
+        };
+        transform.decanonicalize(&canonical_expr)
+    }
+
+    /// Lookup hits recorded through this view (see [`CutCache::job_view`]).
+    pub fn local_hits(&self) -> u64 {
+        self.view.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookup misses recorded through this view.
+    pub fn local_misses(&self) -> u64 {
+        self.view.misses.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the cache-lifetime counters (all views combined).
+    pub fn stats(&self) -> CutCacheStats {
+        match &self.shared {
+            None => CutCacheStats::default(),
+            Some(shared) => CutCacheStats {
+                enabled: true,
+                entries: shared.map.read().map_or(0, |map| map.len()),
+                capacity: shared.capacity,
+                hits: shared.hits.load(Ordering::Relaxed),
+                misses: shared.misses.load(Ordering::Relaxed),
+            },
+        }
+    }
+}
+
+impl CacheShared {
+    fn factor_canonical(&self, canonical: &TruthTable, view: &ViewCounters) -> FactoredForm {
+        if let Ok(map) = self.map.read() {
+            if let Some(expr) = map.get(canonical) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                view.hits.fetch_add(1, Ordering::Relaxed);
+                return expr.clone();
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        view.misses.fetch_add(1, Ordering::Relaxed);
+        let expr = factor_truth_table(canonical);
+        if let Ok(mut map) = self.map.write() {
+            // Two racing misses insert the same value (the entry is a pure
+            // function of the key), so last-writer-wins is harmless.
+            if map.len() < self.capacity {
+                map.insert(canonical.clone(), expr.clone());
+            }
+        }
+        expr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tables() -> Vec<TruthTable> {
+        let mut tables = Vec::new();
+        for num_vars in 1..=5usize {
+            for salt in 0..6usize {
+                tables.push(TruthTable::from_fn(num_vars, |m| {
+                    (m.wrapping_mul(2654435761).wrapping_add(salt * 97) >> 2) & 3 == 1
+                }));
+            }
+        }
+        tables.push(TruthTable::zeros(3));
+        tables.push(TruthTable::ones(3));
+        tables.push(TruthTable::var(1, 4));
+        tables
+    }
+
+    #[test]
+    fn decanonicalized_factoring_reproduces_the_function() {
+        for function in sample_tables() {
+            let (canonical, transform) = semi_canonicalize(&function);
+            let expr = transform.decanonicalize(&factor_truth_table(&canonical));
+            assert_eq!(
+                expr.to_truth_table(function.num_vars()),
+                function,
+                "round-trip failed for {function}"
+            );
+        }
+    }
+
+    #[test]
+    fn canonicalization_collapses_npn_presentations() {
+        let f = TruthTable::from_fn(4, |m| m.count_ones() >= 3 || m == 0b0101);
+        let (canonical, _) = semi_canonicalize(&f);
+        // Output complement, variable phases and variable order all collapse
+        // onto the same representative.
+        for presentation in [
+            !&f,
+            f.flip_var(0),
+            f.flip_var(2).flip_var(3),
+            f.permute_vars(&[3, 2, 1, 0]),
+            !&f.permute_vars(&[1, 0, 3, 2]).flip_var(1),
+        ] {
+            let (other, transform) = semi_canonicalize(&presentation);
+            assert_eq!(other, canonical, "presentation {presentation} diverged");
+            let expr = transform.decanonicalize(&factor_truth_table(&other));
+            assert_eq!(expr.to_truth_table(4), presentation);
+        }
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent() {
+        for function in sample_tables() {
+            let (canonical, _) = semi_canonicalize(&function);
+            let num_vars = canonical.num_vars();
+            let ones = canonical.count_ones();
+            assert!(
+                2 * ones <= 1 << num_vars,
+                "representative keeps the smaller ON-set"
+            );
+            // Exactly balanced ON-sets are semi-canonical ties (the winner
+            // is picked lexicographically between fully-normalized
+            // polarities); everything else must be a strict fixpoint.
+            if 2 * ones < 1 << num_vars {
+                let (again, transform) = semi_canonicalize(&canonical);
+                assert_eq!(again, canonical, "representative must be a fixpoint");
+                assert!(!transform.output_negated());
+            }
+        }
+    }
+
+    #[test]
+    fn decanonicalization_preserves_gate_count() {
+        for function in sample_tables() {
+            let (canonical, transform) = semi_canonicalize(&function);
+            let canonical_expr = factor_truth_table(&canonical);
+            let expr = transform.decanonicalize(&canonical_expr);
+            assert_eq!(expr.num_gates(), canonical_expr.num_gates());
+            assert_eq!(expr.num_literals(), canonical_expr.num_literals());
+            assert_eq!(expr.depth(), canonical_expr.depth());
+        }
+    }
+
+    #[test]
+    fn cache_on_and_off_agree_exactly() {
+        let cached = CutCache::new(CutCacheConfig::default());
+        let uncached = CutCache::disabled();
+        for function in sample_tables() {
+            // Factor twice through the cache so the second pass replays a
+            // stored entry; all three answers must be identical.
+            let first = cached.factor(&function);
+            let second = cached.factor(&function);
+            let bare = uncached.factor(&function);
+            assert_eq!(first, second);
+            assert_eq!(first, bare, "cache changed the result for {function}");
+        }
+        assert!(cached.local_hits() > 0);
+        assert_eq!(uncached.stats(), CutCacheStats::default());
+    }
+
+    #[test]
+    fn views_share_the_map_but_not_the_counters() {
+        let cache = CutCache::new(CutCacheConfig::default());
+        let f = TruthTable::from_fn(3, |m| m % 3 == 1);
+        let _ = cache.factor(&f);
+        let view = cache.job_view();
+        let _ = view.factor(&f);
+        assert_eq!(view.local_hits(), 1, "the view should hit the warm map");
+        assert_eq!(view.local_misses(), 0);
+        assert_eq!(cache.local_hits(), 0, "parent counters are separate");
+        assert_eq!(cache.stats().hits, 1, "global counters aggregate views");
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn complement_and_permutation_presentations_hit_the_cache() {
+        let cache = CutCache::new(CutCacheConfig::default());
+        let f = TruthTable::from_fn(4, |m| (m & 0b11) == 0b10 || m.count_ones() == 4);
+        let _ = cache.factor(&f);
+        assert_eq!(cache.local_misses(), 1);
+        let _ = cache.factor(&!&f);
+        let _ = cache.factor(&f.permute_vars(&[2, 3, 0, 1]));
+        assert_eq!(cache.local_hits(), 2);
+        assert_eq!(cache.local_misses(), 1);
+    }
+
+    #[test]
+    fn capacity_zero_never_stores() {
+        let cache = CutCache::new(CutCacheConfig {
+            enabled: true,
+            capacity: 0,
+        });
+        let f = TruthTable::var(0, 3);
+        let _ = cache.factor(&f);
+        let _ = cache.factor(&f);
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.local_misses(), 2, "nothing stored, nothing hit");
+    }
+}

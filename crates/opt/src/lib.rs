@@ -39,12 +39,14 @@
 //! ```
 
 mod build;
+mod cache;
 mod operator;
 mod refactor;
 mod resub;
 mod rewrite;
 
 pub use build::{build_expr, count_new_nodes, cut_truth_table, ImplementationCost};
+pub use cache::{semi_canonicalize, CutCache, CutCacheConfig, CutCacheStats, NpnTransform};
 pub use operator::{
     collect_cut_features, collect_cut_features_par, AigOperator, LabeledCut, NodeOutcome, OpStats,
     PrunableOperator,

@@ -233,6 +233,16 @@ pub trait AigOperator {
         let outcome = self.apply_node(aig, node);
         outcome.committed.then_some(outcome.gain)
     }
+
+    /// Attaches a shared NPN-canonical factored-form cache
+    /// ([`crate::CutCache`]) for the operator's resynthesis step to consult.
+    ///
+    /// Results must not depend on the cache (it memoizes a pure function),
+    /// so the default is a no-op: operators that never factor truth tables
+    /// (resubstitution) simply ignore the handle.
+    fn set_cut_cache(&mut self, cache: crate::CutCache) {
+        let _ = cache;
+    }
 }
 
 /// A keep/prune decision callback consulted per node: returning `true` lets

@@ -9,9 +9,9 @@
 use std::time::Instant;
 
 use elf_aig::{Aig, Cut, CutFeatures, CutParams, Lit, NodeId};
-use elf_sop::factor_truth_table;
 
 use crate::build::{build_expr, count_new_nodes, cut_truth_table};
+use crate::cache::CutCache;
 use crate::operator::{
     collect_cut_features, AigOperator, LabeledCut, NodeOutcome, OpStats, PrunableOperator,
 };
@@ -84,17 +84,27 @@ pub type RefactorStats = OpStats;
 #[derive(Debug, Clone, Default)]
 pub struct Refactor {
     params: RefactorParams,
+    cache: CutCache,
 }
 
 impl Refactor {
     /// Creates a refactor operator with the given parameters.
     pub fn new(params: RefactorParams) -> Self {
-        Refactor { params }
+        Refactor {
+            params,
+            cache: CutCache::disabled(),
+        }
     }
 
     /// Returns the operator's parameters.
     pub fn params(&self) -> &RefactorParams {
         &self.params
+    }
+
+    /// The factored-form cache consulted by resynthesis (disabled by
+    /// default; attach one via [`AigOperator::set_cut_cache`]).
+    pub fn cut_cache(&self) -> &CutCache {
+        &self.cache
     }
 
     /// Runs the baseline operator over every node of the graph (Algorithm 1).
@@ -215,12 +225,14 @@ impl Refactor {
             return None;
         }
 
-        // Resynthesize: truth table -> ISOP -> factored form (both polarities).
+        // Resynthesize: truth table -> ISOP -> factored form (both
+        // polarities), memoized by NPN class through the cut cache (the
+        // complement maps to the same class, so it is a guaranteed hit).
         let truth = cut_truth_table(aig, cut);
         let leaf_lits: Vec<Lit> = cut.leaves.iter().map(|&l| l.lit()).collect();
-        let mut candidates = vec![(factor_truth_table(&truth), false)];
+        let mut candidates = vec![(self.cache.factor(&truth), false)];
         if self.params.try_complement {
-            candidates.push((factor_truth_table(&!&truth), true));
+            candidates.push((self.cache.factor(&!&truth), true));
         }
 
         // Evaluate the gain of each candidate with the cut-bounded MFFC
@@ -302,6 +314,10 @@ impl AigOperator for Refactor {
         let mut cut = Cut::empty();
         aig.reconvergence_cut_into(node, &self.params.cut, &mut cut);
         self.resynthesize_cut(aig, node, &cut)
+    }
+
+    fn set_cut_cache(&mut self, cache: CutCache) {
+        self.cache = cache;
     }
 }
 

@@ -15,9 +15,9 @@
 use std::time::{Duration, Instant};
 
 use elf_aig::{Aig, Cut, CutFeatures, CutParams, Lit, NodeId};
-use elf_sop::factor_truth_table;
 
 use crate::build::{build_expr, count_new_nodes, cut_truth_table};
+use crate::cache::CutCache;
 use crate::operator::{AigOperator, KeepFn, LabeledCut, NodeOutcome, OpStats, PrunableOperator};
 
 /// Parameters of the rewrite operator.
@@ -84,17 +84,27 @@ impl From<RewriteStats> for OpStats {
 #[derive(Debug, Clone, Default)]
 pub struct Rewrite {
     params: RewriteParams,
+    cache: CutCache,
 }
 
 impl Rewrite {
     /// Creates a rewrite operator with the given parameters.
     pub fn new(params: RewriteParams) -> Self {
-        Rewrite { params }
+        Rewrite {
+            params,
+            cache: CutCache::disabled(),
+        }
     }
 
     /// Returns the operator's parameters.
     pub fn params(&self) -> &RewriteParams {
         &self.params
+    }
+
+    /// The factored-form cache consulted by resynthesis (disabled by
+    /// default; attach one via [`AigOperator::set_cut_cache`]).
+    pub fn cut_cache(&self) -> &CutCache {
+        &self.cache
     }
 
     /// Runs rewriting over every node of the graph.
@@ -174,10 +184,11 @@ impl Rewrite {
             // The reclaimable logic is the MFFC bounded by this cut's leaves.
             let saved = aig.deref_mffc_bounded(node, &cut.leaves) as i64;
             for complemented in [false, true] {
+                // NPN-memoized: the complemented polarity shares the class.
                 let expr = if complemented {
-                    factor_truth_table(&!&truth)
+                    self.cache.factor(&!&truth)
                 } else {
-                    factor_truth_table(&truth)
+                    self.cache.factor(&truth)
                 };
                 let cost = count_new_nodes(aig, &expr, &leaf_lits, Some(node));
                 if self.params.preserve_level && cost.level > root_level {
@@ -296,6 +307,10 @@ impl AigOperator for Rewrite {
         // The feature window is independent of the enumerated rewrite cuts,
         // so the fast path skips it entirely.
         self.rewrite_node(aig, node).1
+    }
+
+    fn set_cut_cache(&mut self, cache: CutCache) {
+        self.cache = cache;
     }
 }
 

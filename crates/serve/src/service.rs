@@ -11,7 +11,8 @@ use std::time::{Duration, Instant};
 
 use elf_aig::Aig;
 use elf_core::{
-    ElfClassifier, ElfOptions, Flow, FlowStats, ParseFlowError, VerifyMode, VerifyOutcome,
+    CutCache, CutCacheStats, ElfClassifier, ElfOptions, Flow, FlowStats, ParseFlowError,
+    VerifyMode, VerifyOutcome,
 };
 use elf_nn::{Dataset, SharedMlp, TrainConfig, TrainReport};
 use elf_par::Parallelism;
@@ -52,7 +53,9 @@ pub struct ServeConfig {
     /// counted in [`ServiceStats`].
     pub admission: AdmissionPolicy,
     /// Flow options applied to every stage of every served job
-    /// (normalization mode and the *within-job* engine parallelism).
+    /// (normalization mode, the *within-job* engine parallelism, and the
+    /// [`ElfOptions::cut_cache`] knob sizing the **service-lifetime**
+    /// NPN-canonical factoring cache every job shares).
     /// `batch_classification` is forced on at service start: the per-node
     /// ablation mode has no batched inference to coalesce.
     pub options: ElfOptions,
@@ -120,6 +123,13 @@ pub struct ServeStats {
     /// the same model version) any of this job's requests rode in — the
     /// batch occupancy.
     pub max_batch_occupancy: usize,
+    /// Cut factorings this job resolved from the service-lifetime
+    /// NPN-canonical cache (work an earlier job — or an earlier cut of this
+    /// one — already paid for).  Zero when the cache is disabled.
+    pub cache_hits: u64,
+    /// Cut factorings this job computed and (capacity permitting) published
+    /// to the shared cache.  Zero when the cache is disabled.
+    pub cache_misses: u64,
     /// Reachable AND count before the flow ran.
     pub nodes_before: usize,
     /// Reachable AND count after the flow ran.
@@ -146,6 +156,8 @@ impl ServeStats {
             inference_calls: 0,
             inference_rows: 0,
             max_batch_occupancy: 0,
+            cache_hits: 0,
+            cache_misses: 0,
             nodes_before: 0,
             nodes_after: 0,
             queued_time: Duration::ZERO,
@@ -285,6 +297,9 @@ pub struct ServiceStats {
     /// Batches that coalesced more than one request — the number of forward
     /// passes the micro-batching loop saved.
     pub coalesced_batches: u64,
+    /// Snapshot of the service-lifetime NPN-canonical cut-factoring cache:
+    /// entries resident, lifetime hits and misses across all jobs.
+    pub cut_cache: CutCacheStats,
 }
 
 impl ServiceStats {
@@ -327,6 +342,9 @@ impl Telemetry {
             inference_rows: self.batched_rows.load(Ordering::Relaxed),
             max_batch_occupancy: self.max_occupancy.load(Ordering::Relaxed),
             coalesced_batches: self.coalesced_batches.load(Ordering::Relaxed),
+            // The cache keeps its own atomics; `ElfService::stats_snapshot`
+            // fills this in from the shared handle.
+            cut_cache: CutCacheStats::default(),
         }
     }
 }
@@ -405,6 +423,9 @@ struct Job {
     mlp: SharedMlp,
     aig: Aig,
     flow: Flow,
+    /// This job's view of the service-lifetime cut cache: same map as every
+    /// other job, private hit/miss counters for [`ServeStats`].
+    cache_view: CutCache,
     submitted_at: Instant,
     reply: ReplyGuard,
 }
@@ -425,6 +446,11 @@ struct Shared {
     /// The classifier the service was started with (registry id 0).
     founding: Arc<ElfClassifier>,
     options: ElfOptions,
+    /// The service-lifetime NPN-canonical cut-factoring cache, shared by
+    /// every job (each through its own [`CutCache::job_view`]).  Like the
+    /// model registry, it outlives individual jobs; unlike the registry it
+    /// is pure acceleration — results are identical with it disabled.
+    cut_cache: CutCache,
     queue: JobQueue<Job>,
     admission: AdmissionPolicy,
     telemetry: Arc<Telemetry>,
@@ -552,6 +578,7 @@ impl ElfService {
             registry,
             founding,
             options,
+            cut_cache: CutCache::new(options.cut_cache),
             queue: JobQueue::new(shards, config.queue_bound),
             admission: config.admission,
             telemetry: Arc::clone(&telemetry),
@@ -697,7 +724,22 @@ impl ElfService {
 
     /// A live snapshot of the service-wide counters.
     pub fn stats(&self) -> ServiceStats {
-        self.shared.telemetry.snapshot()
+        self.stats_snapshot()
+    }
+
+    /// A live snapshot of the service-lifetime cut-factoring cache alone
+    /// (also embedded in [`ServiceStats::cut_cache`]).
+    pub fn cut_cache_stats(&self) -> CutCacheStats {
+        self.shared.cut_cache.stats()
+    }
+
+    /// Telemetry counters plus the cut-cache snapshot, which lives outside
+    /// [`Telemetry`] (the cache keeps its own atomics).
+    fn stats_snapshot(&self) -> ServiceStats {
+        ServiceStats {
+            cut_cache: self.shared.cut_cache.stats(),
+            ..self.shared.telemetry.snapshot()
+        }
     }
 
     /// Gracefully shuts the service down: admission closes (further
@@ -707,7 +749,7 @@ impl ElfService {
     /// joined.  Returns the final counters.
     pub fn shutdown(mut self) -> ServiceStats {
         self.shutdown_inner();
-        self.shared.telemetry.snapshot()
+        self.stats_snapshot()
     }
 
     fn shutdown_inner(&mut self) {
@@ -747,6 +789,7 @@ fn worker_loop(shared: &Shared, shard: usize, client: &BatcherClient, telemetry:
             mlp,
             mut aig,
             flow,
+            cache_view,
             submitted_at,
             reply,
         } = job;
@@ -816,6 +859,8 @@ fn worker_loop(shared: &Shared, shard: usize, client: &BatcherClient, telemetry:
             inference_calls,
             inference_rows,
             max_batch_occupancy,
+            cache_hits: cache_view.local_hits(),
+            cache_misses: cache_view.local_misses(),
             nodes_before,
             nodes_after,
             queued_time,
@@ -932,6 +977,12 @@ impl ServiceHandle {
                 })
             }
         };
+        // Swap the flow's own per-pipeline cache for a view of the
+        // service-lifetime one: factoring work learned on earlier jobs
+        // carries over, and the view's counters give this job its own hit
+        // rate.  Results are bit-identical either way.
+        let cache_view = self.shared.cut_cache.job_view();
+        let flow = flow.with_cut_cache(cache_view.clone());
         let id = self.shared.next_job_id.fetch_add(1, Ordering::Relaxed);
         let job = Job {
             id,
@@ -939,6 +990,7 @@ impl ServiceHandle {
             mlp: Arc::clone(classifier.model_handle()),
             aig,
             flow,
+            cache_view,
             submitted_at: Instant::now(),
             reply: ReplyGuard::new(
                 id,
@@ -1261,6 +1313,68 @@ mod tests {
         assert!(outcome.checks.iter().all(|check| check.stage.is_some()));
         assert!(outcome.proved());
         service.shutdown();
+    }
+
+    #[test]
+    fn repeated_jobs_hit_the_service_lifetime_cut_cache() {
+        let service = ElfService::start(classifier(), two_shard_config());
+        let mut handle = service.handle();
+
+        let first = handle.run_sync(circuit(1), "rf; rw").unwrap();
+        assert!(!first.failed);
+        assert!(
+            first.stats.cache_hits + first.stats.cache_misses > 0,
+            "the job factored cuts through the service cache"
+        );
+
+        // The same circuit and script again: every factoring was published
+        // by the first job, so the second must hit — the cache outlives jobs.
+        let second = handle.run_sync(circuit(1), "rf; rw").unwrap();
+        assert!(!second.failed);
+        assert!(
+            second.stats.cache_hits > 0,
+            "a repeated job must reuse cached factorings (hits={} misses={})",
+            second.stats.cache_hits,
+            second.stats.cache_misses
+        );
+        // Acceleration only, never a different answer.
+        assert_eq!(
+            second.aig.num_reachable_ands(),
+            first.stats.nodes_after,
+            "cache reuse must not change the served result"
+        );
+
+        let stats = service.shutdown();
+        assert!(stats.cut_cache.enabled);
+        assert!(stats.cut_cache.entries > 0);
+        assert!(stats.cut_cache.hits >= second.stats.cache_hits);
+        assert!(stats.cut_cache.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn a_disabled_cut_cache_serves_identical_results_without_counting() {
+        let cached = ElfService::start(classifier(), two_shard_config());
+        let uncached = ElfService::start(
+            classifier(),
+            ServeConfig {
+                options: ElfOptions {
+                    cut_cache: elf_core::CutCacheConfig::disabled(),
+                    ..ServeConfig::default().options
+                },
+                ..two_shard_config()
+            },
+        );
+        let with_cache = cached.handle().run_sync(circuit(2), "rf; rw").unwrap();
+        let without = uncached.handle().run_sync(circuit(2), "rf; rw").unwrap();
+        assert_eq!(without.stats.cache_hits, 0);
+        assert_eq!(without.stats.cache_misses, 0);
+        assert_eq!(
+            with_cache.aig.num_reachable_ands(),
+            without.aig.num_reachable_ands()
+        );
+        assert!(!uncached.stats().cut_cache.enabled);
+        assert_eq!(uncached.shutdown().cut_cache, CutCacheStats::default());
+        cached.shutdown();
     }
 
     #[test]

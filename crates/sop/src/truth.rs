@@ -230,6 +230,59 @@ impl TruthTable {
         out
     }
 
+    /// Returns the function with variable `var` complemented
+    /// (`f(.., !x_var, ..)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn flip_var(&self, var: usize) -> Self {
+        assert!(var < self.num_vars);
+        let mut out = self.clone();
+        if var < 6 {
+            let shift = 1usize << var;
+            let mask = ELEMENTARY[var];
+            for w in &mut out.words {
+                *w = ((*w & mask) >> shift) | ((*w & !mask) << shift);
+            }
+        } else {
+            let block = 1usize << (var - 6);
+            let total = out.words.len();
+            let mut i = 0;
+            while i < total {
+                for k in 0..block {
+                    out.words.swap(i + k, i + block + k);
+                }
+                i += 2 * block;
+            }
+        }
+        out.mask();
+        out
+    }
+
+    /// Returns the function with its variables permuted: variable `v` of
+    /// `self` becomes variable `perm[v]` of the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..num_vars`.
+    pub fn permute_vars(&self, perm: &[usize]) -> Self {
+        assert_eq!(perm.len(), self.num_vars, "permutation length mismatch");
+        let mut seen = vec![false; self.num_vars];
+        for &p in perm {
+            assert!(p < self.num_vars && !seen[p], "not a permutation");
+            seen[p] = true;
+        }
+        Self::from_fn(self.num_vars, |minterm| {
+            // Bit `perm[v]` of the new assignment feeds variable `v` of self.
+            let mut original = 0usize;
+            for (v, &p) in perm.iter().enumerate() {
+                original |= (minterm >> p & 1) << v;
+            }
+            self.get_bit(original)
+        })
+    }
+
     /// Returns `true` if the function depends on variable `var`.
     pub fn depends_on(&self, var: usize) -> bool {
         self.cofactor0(var) != self.cofactor1(var)
@@ -389,5 +442,91 @@ mod tests {
     #[should_panic(expected = "variable index out of range")]
     fn var_out_of_range_panics() {
         let _ = TruthTable::var(3, 3);
+    }
+
+    #[test]
+    fn flip_var_matches_bit_level_definition() {
+        for num_vars in [1, 2, 3, 6, 7, 8] {
+            let f = TruthTable::from_fn(num_vars, |m| (m.wrapping_mul(2654435761) >> 3) & 1 == 1);
+            for var in 0..num_vars {
+                let flipped = f.flip_var(var);
+                for m in 0..(1usize << num_vars) {
+                    assert_eq!(
+                        flipped.get_bit(m),
+                        f.get_bit(m ^ (1 << var)),
+                        "flip_var({var}) over {num_vars} vars, minterm {m}"
+                    );
+                }
+                assert_eq!(flipped.flip_var(var), f, "flip is an involution");
+            }
+        }
+    }
+
+    #[test]
+    fn permute_vars_matches_bit_level_definition() {
+        // f over 3 vars, rotated: v -> (v + 1) % 3.
+        let f = TruthTable::from_fn(3, |m| m.count_ones() >= 2);
+        let perm = [1, 2, 0];
+        let g = f.permute_vars(&perm);
+        for m in 0..8usize {
+            let mut original = 0usize;
+            for (v, &p) in perm.iter().enumerate() {
+                original |= (m >> p & 1) << v;
+            }
+            assert_eq!(g.get_bit(m), f.get_bit(original));
+        }
+        // Identity permutation is a no-op; 8 vars exercises multi-word tables.
+        let wide = TruthTable::from_fn(8, |m| (m * 37) % 5 == 0);
+        assert_eq!(wide.permute_vars(&[0, 1, 2, 3, 4, 5, 6, 7]), wide);
+        let swapped = wide.permute_vars(&[7, 1, 2, 3, 4, 5, 6, 0]);
+        for m in 0..256usize {
+            let original = (m & !0x81) | ((m >> 7) & 1) | ((m & 1) << 7);
+            assert_eq!(swapped.get_bit(m), wide.get_bit(original));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn permute_vars_rejects_duplicates() {
+        let f = TruthTable::zeros(3);
+        let _ = f.permute_vars(&[0, 0, 1]);
+    }
+
+    #[test]
+    fn hash_and_eq_agree_with_word_level_equality_across_widths() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+
+        fn hash_of(t: &TruthTable) -> u64 {
+            let mut hasher = DefaultHasher::new();
+            t.hash(&mut hasher);
+            hasher.finish()
+        }
+
+        // Same function built two different ways must be Eq and hash-equal;
+        // widths from single-word partial (2 vars) to multi-word (8 vars).
+        for num_vars in [2, 4, 6, 8] {
+            let built = TruthTable::from_fn(num_vars, |m| m % 3 == 0);
+            let rebuilt = TruthTable::from_words(built.words().to_vec(), num_vars);
+            assert_eq!(built, rebuilt);
+            assert_eq!(built.words(), rebuilt.words(), "words are the Eq basis");
+            assert_eq!(hash_of(&built), hash_of(&rebuilt));
+
+            // Flipping one minterm must break equality (and, for a sane
+            // hasher, the hash).
+            let mut other = built.clone();
+            other.set_bit(1);
+            if other != built {
+                assert_ne!(other.words(), built.words());
+                assert_ne!(hash_of(&other), hash_of(&built));
+            }
+        }
+
+        // The same single-word bit pattern at different widths is NOT equal:
+        // num_vars participates in Eq and Hash.
+        let two = TruthTable::ones(2);
+        let padded = TruthTable::from_words(vec![two.words()[0]], 3);
+        assert_ne!(two, padded);
+        assert_ne!(hash_of(&two), hash_of(&padded));
     }
 }
