@@ -27,9 +27,50 @@ use elf_bench::{write_json_file, HarnessOptions, Json};
 use elf_circuits::scripted_circuit;
 use elf_core::{circuit_dataset, ElfClassifier, ElfOptions, Flow};
 use elf_nn::TrainConfig;
+use elf_obs::metrics::Histogram;
 use elf_opt::RefactorParams;
 use elf_par::Parallelism;
-use elf_serve::{AdmissionPolicy, ElfService, ServeConfig, ServiceStats};
+use elf_serve::{AdmissionPolicy, ElfService, ServeConfig, ServeStats, ServiceStats};
+
+/// Per-job latency accounting for one service run: admission wait and
+/// worker service time, recorded into `elf-obs` log-bucketed histograms so
+/// the bench reports tail quantiles (p50/p99), not just means.
+#[derive(Clone)]
+struct LatencyHists {
+    queued: Histogram,
+    service: Histogram,
+}
+
+impl LatencyHists {
+    fn new() -> Self {
+        LatencyHists {
+            queued: Histogram::new(),
+            service: Histogram::new(),
+        }
+    }
+
+    fn record(&self, stats: &ServeStats) {
+        self.queued.record_duration(stats.queued_time);
+        self.service.record_duration(stats.service_time);
+    }
+
+    /// `(queued_p50, queued_p99, service_p50, service_p99)`, microseconds.
+    fn quantiles_us(&self) -> (u64, u64, u64, u64) {
+        let queued = self.queued.snapshot("queued_us".to_string());
+        let service = self.service.snapshot("service_us".to_string());
+        (queued.p50(), queued.p99(), service.p50(), service.p99())
+    }
+
+    fn json_fields(&self, prefix: &str) -> Vec<(String, Json)> {
+        let (qp50, qp99, sp50, sp99) = self.quantiles_us();
+        vec![
+            Json::field(&format!("{prefix}queued_p50_us"), Json::Int(qp50 as i64)),
+            Json::field(&format!("{prefix}queued_p99_us"), Json::Int(qp99 as i64)),
+            Json::field(&format!("{prefix}service_p50_us"), Json::Int(sp50 as i64)),
+            Json::field(&format!("{prefix}service_p99_us"), Json::Int(sp99 as i64)),
+        ]
+    }
+}
 
 /// One benchmark workload: scripted circuits paired with flow scripts.
 fn workload(jobs: usize, gates: usize, seed: u64) -> Vec<(Aig, &'static str)> {
@@ -56,13 +97,18 @@ fn workload(jobs: usize, gates: usize, seed: u64) -> Vec<(Aig, &'static str)> {
 }
 
 /// Serves the whole workload with `run_sync`, one job at a time.
-fn run_sync_all(service: &ElfService, jobs: &[(Aig, &'static str)]) -> (Vec<u64>, f64) {
+fn run_sync_all(
+    service: &ElfService,
+    jobs: &[(Aig, &'static str)],
+    latency: &LatencyHists,
+) -> (Vec<u64>, f64) {
     let mut handle = service.handle();
     let start = Instant::now();
     let signatures = jobs
         .iter()
         .map(|(aig, script)| {
             let response = handle.run_sync(aig.clone(), script).expect("run_sync");
+            latency.record(&response.stats);
             simulation_signature(&response.aig, 8, 0xE1F)
         })
         .collect();
@@ -70,7 +116,11 @@ fn run_sync_all(service: &ElfService, jobs: &[(Aig, &'static str)]) -> (Vec<u64>
 }
 
 /// Serves the whole workload batched: submit everything, then drain.
-fn run_batched_all(service: &ElfService, jobs: &[(Aig, &'static str)]) -> (Vec<u64>, f64) {
+fn run_batched_all(
+    service: &ElfService,
+    jobs: &[(Aig, &'static str)],
+    latency: &LatencyHists,
+) -> (Vec<u64>, f64) {
     let mut handle = service.handle();
     let start = Instant::now();
     let ids: Vec<_> = jobs
@@ -83,6 +133,7 @@ fn run_batched_all(service: &ElfService, jobs: &[(Aig, &'static str)]) -> (Vec<u
             .iter()
             .position(|id| *id == response.job_id)
             .expect("own job");
+        latency.record(&response.stats);
         signatures[index] = simulation_signature(&response.aig, 8, 0xE1F);
     }
     (signatures, start.elapsed().as_secs_f64())
@@ -147,6 +198,7 @@ fn run_overload(options: &HarnessOptions, quick: bool, classifier: &ElfClassifie
         let offline = reference
             .get_or_insert_with(|| offline_signatures(&jobs, classifier, service.options()));
 
+        let latency = LatencyHists::new();
         let start = Instant::now();
         let accepted: usize = std::thread::scope(|scope| {
             (0..clients)
@@ -154,6 +206,7 @@ fn run_overload(options: &HarnessOptions, quick: bool, classifier: &ElfClassifie
                     let mut handle = service.handle();
                     let jobs = &jobs;
                     let offline = &*offline;
+                    let latency = latency.clone();
                     scope.spawn(move || {
                         let mut submitted = Vec::new();
                         for slot in 0..per_client {
@@ -169,6 +222,7 @@ fn run_overload(options: &HarnessOptions, quick: bool, classifier: &ElfClassifie
                         let mut delivered = 0usize;
                         while let Some(response) = handle.recv() {
                             assert!(!response.failed, "no served job may fail");
+                            latency.record(&response.stats);
                             let (index, _) = submitted
                                 .iter()
                                 .find(|(_, id)| *id == response.job_id)
@@ -198,17 +252,22 @@ fn run_overload(options: &HarnessOptions, quick: bool, classifier: &ElfClassifie
             assert_eq!(stats.jobs_shed(), 0, "Block must never shed");
         }
 
+        let (queued_p50, queued_p99, service_p50, service_p99) = latency.quantiles_us();
         println!(
-            "{:<12} | {:>8} {:>8} {:>9} {:>9} | {:>10.2} {:>9.1}",
+            "{:<12} | {:>8} {:>8} {:>9} {:>9} | {:>10.2} {:>9.1} | q p50/p99 {}/{} us, s p50/p99 {}/{} us",
             name,
             accepted,
             stats.jobs_rejected,
             stats.jobs_timed_out,
             stats.jobs_served,
             secs * 1e3,
-            accepted as f64 / secs
+            accepted as f64 / secs,
+            queued_p50,
+            queued_p99,
+            service_p50,
+            service_p99
         );
-        json_rows.push(Json::Obj(vec![
+        let mut row = vec![
             Json::field("policy", Json::Str(name.to_string())),
             Json::field("submitted", Json::Int(total as i64)),
             Json::field("accepted", Json::Int(accepted as i64)),
@@ -217,7 +276,9 @@ fn run_overload(options: &HarnessOptions, quick: bool, classifier: &ElfClassifie
             Json::field("served", Json::Int(stats.jobs_served as i64)),
             Json::field("wall_ms", Json::Num(secs * 1e3)),
             Json::field("jobs_per_sec", Json::Num(accepted as f64 / secs)),
-        ]));
+        ];
+        row.extend(latency.json_fields(""));
+        json_rows.push(Json::Obj(row));
     }
     if let Some(path) = &options.json {
         let value = Json::Obj(vec![
@@ -303,12 +364,15 @@ fn main() {
                 ..Default::default()
             };
 
+            let sync_latency = LatencyHists::new();
             let sync_service = ElfService::start(classifier.clone(), config);
-            let (sync_signatures, sync_secs) = run_sync_all(&sync_service, &jobs);
+            let (sync_signatures, sync_secs) = run_sync_all(&sync_service, &jobs, &sync_latency);
             sync_service.shutdown();
 
+            let batch_latency = LatencyHists::new();
             let batch_service = ElfService::start(classifier.clone(), config);
-            let (batch_signatures, batch_secs) = run_batched_all(&batch_service, &jobs);
+            let (batch_signatures, batch_secs) =
+                run_batched_all(&batch_service, &jobs, &batch_latency);
             let stats: ServiceStats = batch_service.shutdown();
 
             // Determinism gate: every configuration and both submission
@@ -325,8 +389,9 @@ fn main() {
                 ),
             }
 
+            let (_, _, batch_service_p50, batch_service_p99) = batch_latency.quantiles_us();
             println!(
-                "{:<8} {:>10} | {:>12.2} {:>9.1} | {:>12.2} {:>9.1} {:>10} {:>10.1} | {:>7.2}x",
+                "{:<8} {:>10} | {:>12.2} {:>9.1} | {:>12.2} {:>9.1} {:>10} {:>10.1} | {:>7.2}x | p50/p99 {}/{} us",
                 shards,
                 max_batch,
                 sync_secs * 1e3,
@@ -335,9 +400,11 @@ fn main() {
                 num_jobs as f64 / batch_secs,
                 stats.inference_batches,
                 stats.mean_batch_occupancy(),
-                sync_secs / batch_secs
+                sync_secs / batch_secs,
+                batch_service_p50,
+                batch_service_p99
             );
-            json_rows.push(Json::Obj(vec![
+            let mut row = vec![
                 Json::field("shards", Json::Int(shards as i64)),
                 Json::field("max_batch", Json::Int(max_batch as i64)),
                 Json::field("sync_ms", Json::Num(sync_secs * 1e3)),
@@ -353,7 +420,10 @@ fn main() {
                 ),
                 Json::field("mean_occupancy", Json::Num(stats.mean_batch_occupancy())),
                 Json::field("speedup", Json::Num(sync_secs / batch_secs)),
-            ]));
+            ];
+            row.extend(sync_latency.json_fields("sync_"));
+            row.extend(batch_latency.json_fields("batched_"));
+            json_rows.push(Json::Obj(row));
         }
     }
     if let Some(path) = &options.json {

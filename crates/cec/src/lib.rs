@@ -171,6 +171,10 @@ pub fn check_equivalence(a: &Aig, b: &Aig) -> Equivalence {
 ///
 /// Panics if the primary interfaces do not match.
 pub fn check_equivalence_with(a: &Aig, b: &Aig, params: &CecParams) -> CecReport {
+    let _span = elf_obs::span!(
+        "cec",
+        ands = a.num_reachable_ands() + b.num_reachable_ands()
+    );
     let m = match miter(a, b) {
         Ok(m) => m,
         Err(e) => panic!("cannot check equivalence: {e}"),

@@ -309,6 +309,7 @@ impl<O: PrunableOperator> Elf<O> {
     /// the caller's to act on.
     fn verify_pass(&self, before: Option<Aig>, aig: &Aig, stats: &mut ElfStats) {
         if let Some(before) = before {
+            let _span = elf_obs::span!("verify", ands = aig.num_reachable_ands());
             let check_start = Instant::now();
             let result = elf_cec::check_equivalence(&before, aig);
             stats.verify = Some(VerifyVerdict::from(&result));
@@ -331,13 +332,17 @@ impl<O: PrunableOperator> Elf<O> {
         // Phase 1: collect the cut features of every node in one sweep,
         // fanned out over read-only graph access and merged in node order.
         let feature_start = Instant::now();
-        let features = self.operator.collect_features_with(aig, parallelism);
+        let features = {
+            let _span = elf_obs::span!("features");
+            self.operator.collect_features_with(aig, parallelism)
+        };
         let feature_time = feature_start.elapsed();
 
         // Phase 2: classify all cuts in a single batch — normalize with the
         // configured statistics, run the forward pass (row-chunked across the
         // same workers, or through the injected backend), then threshold.
         let classify_start = Instant::now();
+        let _classify_span = elf_obs::span!("classify", cuts = features.len());
         let arrays: Vec<[f32; NUM_FEATURES]> = features.iter().map(|(_, f)| f.to_array()).collect();
         let rows = self
             .classifier
@@ -358,8 +363,10 @@ impl<O: PrunableOperator> Elf<O> {
         };
         let decisions = self.classifier.decide(&probabilities);
         let classify_time = classify_start.elapsed();
+        drop(_classify_span);
 
         // Phase 3: resynthesize only the nodes the classifier kept.
+        let _mutate_span = elf_obs::span!("mutate");
         let mut stats = OpStats::default();
         let op_start = Instant::now();
         let mut pruned = 0usize;

@@ -39,6 +39,9 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use elf_aig::Aig;
+use elf_cec::Equivalence;
+use elf_obs::metrics::Registry;
+use elf_obs::names;
 use elf_opt::{
     AigOperator, CutCache, OpStats, Refactor, RefactorParams, ResubParams, Resubstitution, Rewrite,
     RewriteParams,
@@ -151,6 +154,9 @@ pub struct Flow {
     /// When set, every stage — pruned and plain — factors cut functions
     /// through this shared NPN-canonical cache instead of its own.
     cut_cache: Option<CutCache>,
+    /// Registry every run records its counters and histograms into
+    /// ([`Registry::global`] when unset — see [`Flow::with_metrics`]).
+    metrics: Option<Registry>,
 }
 
 impl Flow {
@@ -302,6 +308,23 @@ impl Flow {
         self.cut_cache.as_ref()
     }
 
+    /// Directs every metric of this flow's runs — per-stage runtimes and
+    /// commit/reject/prune counters, cut-cache hit deltas, SAT verify
+    /// counters — into `registry` instead of the process-wide
+    /// [`Registry::global`].  A serving layer passes its own registry here
+    /// so `metrics_text()` reflects exactly its traffic; tests pass an
+    /// isolated registry to assert exact values.  Purely observational:
+    /// attaching a registry never changes the produced circuit.
+    pub fn with_metrics(mut self, registry: Registry) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// The metrics registry runs record into, when one was attached.
+    pub fn metrics(&self) -> Option<&Registry> {
+        self.metrics.as_ref()
+    }
+
     /// Points a pruned stage at the flow-shared cache.  Plain stages carry
     /// parameters only — their operators are built (and wired) per run.
     fn attach_cache(stage: &mut Stage, cache: &CutCache) {
@@ -392,12 +415,20 @@ impl Flow {
 
     fn run_inner(&self, aig: &mut Aig, mut infer: Option<&mut InferenceFn<'_>>) -> FlowStats {
         let start = Instant::now();
+        let registry = self.metrics.clone().unwrap_or_else(Registry::global);
+        let _flow_span = elf_obs::span!("flow", stages = self.stages.len());
+        registry.counter(names::FLOW_RUNS).inc();
+        let cache_counts_before = self
+            .cut_cache
+            .as_ref()
+            .map(|cache| (cache.local_hits(), cache.local_misses()));
         let ands_before = aig.num_reachable_ands();
         let mut stages = Vec::with_capacity(self.stages.len());
         let flow_snapshot = (self.verify == VerifyMode::Final).then(|| aig.clone());
         let mut checks: Vec<VerifyCheck> = Vec::new();
         for stage in &self.stages {
             let stage_snapshot = (self.verify == VerifyMode::PerStage).then(|| aig.clone());
+            let stage_span = elf_obs::span!(stage.name(), ands = aig.num_reachable_ands());
             let stage_start = Instant::now();
             // One generic call site per pruned operator: route through the
             // injected backend when one was supplied.
@@ -441,19 +472,41 @@ impl Flow {
                     (stats.op, Some(stats))
                 }
             };
+            let runtime = stage_start.elapsed();
+            drop(stage_span);
+            op.record_into(&registry, stage.name());
+            registry
+                .histogram_with(names::STAGE_RUNTIME_US, &[("stage", stage.name())])
+                .record_duration(runtime);
             stages.push(StageStats {
                 name: stage.name(),
                 op,
                 elf,
                 ands_after: aig.num_reachable_ands(),
-                runtime: stage_start.elapsed(),
+                runtime,
             });
             if let Some(before) = stage_snapshot {
-                checks.push(Self::check_stage(Some(stage.name()), &before, aig));
+                checks.push(Self::check_stage(
+                    Some(stage.name()),
+                    &before,
+                    aig,
+                    &registry,
+                ));
             }
         }
         if let Some(before) = flow_snapshot {
-            checks.push(Self::check_stage(None, &before, aig));
+            checks.push(Self::check_stage(None, &before, aig, &registry));
+        }
+        // Per-run cut-cache deltas: this flow's handle shares view counters
+        // with every stage it wired, so the difference is exactly the
+        // lookups this run performed.
+        if let (Some(cache), Some((hits, misses))) = (&self.cut_cache, cache_counts_before) {
+            registry
+                .counter(names::CUT_CACHE_HITS)
+                .add(cache.local_hits().saturating_sub(hits));
+            registry
+                .counter(names::CUT_CACHE_MISSES)
+                .add(cache.local_misses().saturating_sub(misses));
         }
         FlowStats {
             stages,
@@ -468,14 +521,34 @@ impl Flow {
     }
 
     /// One SAT equivalence check of `after` against `before`, attributed to
-    /// `stage` (`None` for the whole-flow check).
-    fn check_stage(stage: Option<&'static str>, before: &Aig, after: &Aig) -> VerifyCheck {
+    /// `stage` (`None` for the whole-flow check).  Conflict/budget counters
+    /// land in `registry`; the check time in the `elf_verify_us` histogram.
+    fn check_stage(
+        stage: Option<&'static str>,
+        before: &Aig,
+        after: &Aig,
+        registry: &Registry,
+    ) -> VerifyCheck {
+        let _span = elf_obs::span!("verify", ands = after.num_reachable_ands());
         let check_start = Instant::now();
-        let result = elf_cec::check_equivalence(before, after);
+        let report = elf_cec::check_equivalence_with(before, after, &elf_cec::CecParams::default());
+        let runtime = check_start.elapsed();
+        registry.counter(names::VERIFY_CHECKS).inc();
+        registry.counter(names::SAT_CONFLICTS).add(report.conflicts);
+        registry
+            .counter(names::SAT_CALLS)
+            .add(report.sat_calls as u64);
+        if matches!(report.result, Equivalence::Undecided(_)) {
+            registry.counter(names::VERIFY_UNDECIDED).inc();
+        }
+        registry
+            .histogram(names::VERIFY_US)
+            .record_duration(runtime);
         VerifyCheck {
             stage,
-            result,
-            runtime: check_start.elapsed(),
+            result: report.result,
+            runtime,
+            conflicts: report.conflicts,
         }
     }
 

@@ -63,6 +63,10 @@ pub struct VerifyCheck {
     pub result: Equivalence,
     /// Wall-clock time of the check.
     pub runtime: Duration,
+    /// SAT conflicts the check spent (deterministic for a fixed workload;
+    /// also accumulated into the flow's metrics registry as
+    /// `elf_sat_conflicts_total`).
+    pub conflicts: u64,
 }
 
 /// All equivalence checks of one flow run.
@@ -117,6 +121,7 @@ mod tests {
             stage,
             result,
             runtime: Duration::from_millis(1),
+            conflicts: 0,
         }
     }
 

@@ -234,6 +234,7 @@ impl Mlp {
         features: &[Vec<f32>],
         parallelism: elf_par::Parallelism,
     ) -> Vec<f32> {
+        let _span = elf_obs::span!("nn_forward", rows = features.len());
         if parallelism.is_sequential() || features.len() < 2 {
             return self.predict(features);
         }

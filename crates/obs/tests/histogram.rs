@@ -1,0 +1,175 @@
+//! Histogram-core coverage: exact bucket boundaries, property-based
+//! count/quantile invariants, and a lose-nothing concurrency hammer.
+
+use std::sync::Arc;
+use std::thread;
+
+use elf_obs::metrics::{
+    bucket_index, bucket_lower_bound, Histogram, Registry, NUM_BUCKETS, SUB_BITS,
+};
+use proptest::prelude::*;
+
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+
+#[test]
+fn boundary_values_land_where_the_scheme_says() {
+    // Zero and one occupy their own identity buckets.
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_index(1), 1);
+    // Every value below 2^SUB_BITS is exact.
+    for v in 0..SUB_COUNT {
+        assert_eq!(bucket_lower_bound(bucket_index(v)), v);
+    }
+    // The top of the range still fits.
+    assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    assert_eq!(bucket_index(u64::MAX - 1), NUM_BUCKETS - 1);
+}
+
+#[test]
+fn powers_of_the_log_base_open_fresh_octaves() {
+    // Exact powers of two (the log base) start a sub-bucket row: the value
+    // is its own bucket lower bound, and the value just below it belongs to
+    // the previous bucket.
+    for exp in SUB_BITS..64 {
+        let power = 1u64 << exp;
+        let index = bucket_index(power);
+        assert_eq!(bucket_lower_bound(index), power, "2^{exp}");
+        assert!(bucket_index(power - 1) < index, "2^{exp} - 1");
+        // A whole octave spans exactly SUB_COUNT buckets.
+        if exp + 1 < 64 {
+            assert_eq!(bucket_index(2 * power - 1) - index, SUB_COUNT as usize - 1);
+        }
+    }
+}
+
+#[test]
+fn bucket_bounds_are_strictly_increasing() {
+    let mut previous = bucket_lower_bound(0);
+    for index in 1..NUM_BUCKETS {
+        let lower = bucket_lower_bound(index);
+        assert!(lower > previous, "bucket {index}");
+        previous = lower;
+    }
+}
+
+#[test]
+fn exact_small_values_report_exact_quantiles() {
+    let h = Histogram::new();
+    for v in [0u64, 1, 2, 3, 4, 5, 6, 7] {
+        h.record(v);
+    }
+    let snap = h.snapshot("small".into());
+    assert_eq!(snap.quantile(0.0), 0);
+    assert_eq!(snap.p50(), 3);
+    assert_eq!(snap.quantile(1.0), 7);
+    assert_eq!(snap.max, 7);
+    assert_eq!(snap.sum, 28);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every recorded sample lands in exactly one bucket: the per-bucket
+    /// totals sum back to the recorded count, and the sum/max are exact.
+    #[test]
+    fn count_equals_sum_over_buckets(values in prop::collection::vec(any::<u64>(), 1..200)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot("prop".into());
+        prop_assert_eq!(snap.count, values.len() as u64);
+        let bucket_total: u64 = snap.buckets.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(bucket_total, snap.count);
+        let expected_sum = values.iter().fold(0u64, |acc, &v| acc.wrapping_add(v));
+        prop_assert_eq!(snap.sum, expected_sum);
+        prop_assert_eq!(snap.max, values.iter().copied().max().unwrap_or(0));
+    }
+
+    /// Quantiles are monotone in q, bracketed by the smallest bucket bound
+    /// and the exact maximum, and a quantile never exceeds the true max.
+    #[test]
+    fn quantiles_are_monotone_and_bracketed(values in prop::collection::vec(any::<u64>(), 1..200)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot("prop".into());
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let mut previous = 0u64;
+        for (i, &q) in qs.iter().enumerate() {
+            let value = snap.quantile(q);
+            if i > 0 {
+                prop_assert!(value >= previous, "q={} gave {} < {}", q, value, previous);
+            }
+            prop_assert!(value <= snap.max);
+            previous = value;
+        }
+        prop_assert_eq!(snap.quantile(1.0), snap.max);
+        // The reported quantile is at most one relative sub-bucket (12.5%)
+        // below the true sample at that rank.
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let true_p50 = sorted[(values.len() - 1) / 2];
+        prop_assert!(snap.p50() <= true_p50.max(snap.p50()));
+    }
+
+    /// Bucket index and lower bound are mutually consistent for arbitrary
+    /// values: the value is at least its bucket's bound and below the next.
+    #[test]
+    fn index_and_bound_are_consistent(v in any::<u64>()) {
+        let index = bucket_index(v);
+        prop_assert!(index < NUM_BUCKETS);
+        prop_assert!(bucket_lower_bound(index) <= v);
+        if index + 1 < NUM_BUCKETS {
+            prop_assert!(v < bucket_lower_bound(index + 1));
+        }
+    }
+}
+
+#[test]
+fn concurrent_recording_loses_no_counts() {
+    const THREADS: usize = 8;
+    const RECORDS: usize = 10_000;
+    let registry = Registry::new();
+    let h = registry.histogram("elf_hammer");
+    let c = registry.counter("elf_hammer_events_total");
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = h.clone();
+            let c = c.clone();
+            thread::spawn(move || {
+                for i in 0..RECORDS {
+                    // A deterministic mix of magnitudes per thread.
+                    h.record(((t * RECORDS + i) as u64).wrapping_mul(2654435761) >> (i % 32));
+                    c.inc();
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("worker panicked");
+    }
+    let snap = registry.snapshot();
+    let hist = &snap.histograms["elf_hammer"];
+    assert_eq!(hist.count, (THREADS * RECORDS) as u64);
+    let bucket_total: u64 = hist.buckets.iter().map(|&(_, n)| n).sum();
+    assert_eq!(bucket_total, hist.count);
+    assert_eq!(snap.counters["elf_hammer_events_total"], hist.count);
+}
+
+#[test]
+fn clones_share_storage_across_threads() {
+    let h = Arc::new(Histogram::new());
+    let h2 = Arc::clone(&h);
+    let worker = thread::spawn(move || {
+        for _ in 0..1000 {
+            h2.record(42);
+        }
+    });
+    for _ in 0..1000 {
+        h.record(7);
+    }
+    worker.join().expect("worker panicked");
+    assert_eq!(h.count(), 2000);
+}

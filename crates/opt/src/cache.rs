@@ -357,6 +357,20 @@ impl CutCache {
         self.view.misses.load(Ordering::Relaxed)
     }
 
+    /// Folds the cache-lifetime counters into `registry` as gauges
+    /// (`elf_cut_cache_entries`, plus lifetime hit/miss readings) — called
+    /// at scrape time, complementing the per-run hit/miss *counters* the
+    /// flow layer accumulates from its view deltas.
+    pub fn fold_into(&self, registry: &elf_obs::metrics::Registry) {
+        let stats = self.stats();
+        registry
+            .gauge(elf_obs::names::CUT_CACHE_ENTRIES)
+            .set(stats.entries as i64);
+        registry
+            .gauge("elf_cut_cache_capacity")
+            .set(stats.capacity as i64);
+    }
+
     /// Snapshot of the cache-lifetime counters (all views combined).
     pub fn stats(&self) -> CutCacheStats {
         match &self.shared {

@@ -109,6 +109,31 @@ pub struct OpStats {
 }
 
 impl OpStats {
+    /// Accumulates this pass's counters into `registry` under `stage`-labeled
+    /// families (`elf_stage_commits_total{stage="…"}`, rejects, pruned,
+    /// visited, node gain).  All counter-space: bit-identical across thread
+    /// counts for the same workload.  [`Flow`](https://docs.rs/elf-core)
+    /// calls this after every stage.
+    pub fn record_into(&self, registry: &elf_obs::metrics::Registry, stage: &str) {
+        use elf_obs::names;
+        let labels = [("stage", stage)];
+        registry
+            .counter_with(names::STAGE_COMMITS, &labels)
+            .add(self.cuts_committed as u64);
+        registry
+            .counter_with(names::STAGE_REJECTS, &labels)
+            .add(self.cuts_resynthesized.saturating_sub(self.cuts_committed) as u64);
+        registry
+            .counter_with(names::STAGE_PRUNED, &labels)
+            .add(self.cuts_pruned as u64);
+        registry
+            .counter_with(names::STAGE_VISITED, &labels)
+            .add(self.nodes_visited as u64);
+        registry
+            .counter_with(names::STAGE_GAIN, &labels)
+            .add(self.total_gain.max(0) as u64);
+    }
+
     /// Fraction of formed cuts that were committed (the paper's "Refactored"
     /// column and the right-hand side of Figure 1).
     pub fn commit_rate(&self) -> f64 {

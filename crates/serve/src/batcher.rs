@@ -26,7 +26,6 @@
 //! (observable but result-irrelevant) batch layout is deterministic given a
 //! composition.
 
-use std::sync::atomic::Ordering;
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 
@@ -119,6 +118,9 @@ pub(crate) fn run_batcher(
     // Block for the first request of each window; the channel disconnecting
     // (all workers gone) is the shutdown signal.
     while let Ok(first) = rx.recv() {
+        // The batcher thread serves every job at once, so its spans carry no
+        // job tag — the Chrome export groups them last, as infrastructure.
+        let _window_span = elf_obs::span!("batch_window");
         let mut pending = vec![first];
         let mut rows_total = pending[0].rows.len();
         // Micro-batching window: keep pulling queued requests, giving other
@@ -159,18 +161,11 @@ pub(crate) fn run_batcher(
                 .iter_mut()
                 .flat_map(|request| request.rows.drain(..))
                 .collect();
+            let forward_span = elf_obs::span!("forward", rows = rows.len(), requests = group.len());
             let probabilities = group[0].mlp.predict_with(&rows, parallelism);
+            drop(forward_span);
 
-            telemetry.batches.fetch_add(1, Ordering::Relaxed);
-            telemetry
-                .batched_rows
-                .fetch_add(rows.len() as u64, Ordering::Relaxed);
-            telemetry
-                .max_occupancy
-                .fetch_max(rows.len(), Ordering::Relaxed);
-            if group.len() > 1 {
-                telemetry.coalesced_batches.fetch_add(1, Ordering::Relaxed);
-            }
+            telemetry.record_forward_pass(model, rows.len(), group.len() > 1);
 
             let mut offset = 0;
             for (request, count) in group.into_iter().zip(counts) {
@@ -198,7 +193,7 @@ mod tests {
         max_wait: usize,
     ) -> (BatcherClient, Arc<Telemetry>, std::thread::JoinHandle<()>) {
         let (tx, rx) = mpsc::channel();
-        let telemetry = Arc::new(Telemetry::default());
+        let telemetry = Arc::new(Telemetry::new(elf_obs::metrics::Registry::new()));
         let thread = {
             let telemetry = Arc::clone(&telemetry);
             std::thread::spawn(move || {
@@ -238,8 +233,8 @@ mod tests {
         assert_eq!(bits(&reply.probabilities), bits(&direct));
         drop(client);
         thread.join().unwrap();
-        assert_eq!(telemetry.batches.load(Ordering::Relaxed), 1);
-        assert_eq!(telemetry.batched_rows.load(Ordering::Relaxed), 9);
+        assert_eq!(telemetry.batches.get(), 1);
+        assert_eq!(telemetry.snapshot().inference_rows, 9);
     }
 
     #[test]
@@ -310,8 +305,8 @@ mod tests {
         thread.join().unwrap();
         // At least one pass per version; exact count depends on how requests
         // landed in windows, but rows are conserved.
-        assert!(telemetry.batches.load(Ordering::Relaxed) >= 2);
-        assert_eq!(telemetry.batched_rows.load(Ordering::Relaxed), 22);
+        assert!(telemetry.batches.get() >= 2);
+        assert_eq!(telemetry.snapshot().inference_rows, 22);
     }
 
     #[test]
@@ -325,6 +320,6 @@ mod tests {
         assert_eq!(reply.batch_rows, 0);
         drop(client);
         thread.join().unwrap();
-        assert_eq!(telemetry.batches.load(Ordering::Relaxed), 0);
+        assert_eq!(telemetry.batches.get(), 0);
     }
 }

@@ -4,7 +4,7 @@
 use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -15,6 +15,8 @@ use elf_core::{
     VerifyMode, VerifyOutcome,
 };
 use elf_nn::{Dataset, SharedMlp, TrainConfig, TrainReport};
+use elf_obs::metrics::{Counter, Gauge, Histogram, Registry};
+use elf_obs::names;
 use elf_par::Parallelism;
 
 use crate::batcher::{run_batcher, BatcherClient};
@@ -318,35 +320,112 @@ impl ServiceStats {
     }
 }
 
-/// Shared service-wide counters (admission + batcher + workers).
-#[derive(Debug, Default)]
+/// Shared service-wide telemetry (admission + batcher + workers), backed by
+/// a per-service [`Registry`].
+///
+/// Every counter lives in the registry — [`ServiceStats`] is a *view* of the
+/// registry state, not a second set of books.  The handles here are
+/// pre-resolved so the hot paths (worker loop, batcher, admission) never
+/// take the registry's name lock.
+#[derive(Debug)]
 pub(crate) struct Telemetry {
-    pub(crate) jobs: AtomicU64,
-    pub(crate) jobs_failed: AtomicU64,
-    pub(crate) jobs_rejected: AtomicU64,
-    pub(crate) jobs_timed_out: AtomicU64,
-    pub(crate) batches: AtomicU64,
-    pub(crate) batched_rows: AtomicU64,
-    pub(crate) max_occupancy: AtomicUsize,
-    pub(crate) coalesced_batches: AtomicU64,
+    /// The owning registry, for labeled lookups, scrapes and snapshots.
+    metrics: Registry,
+    /// [`names::JOBS_SERVED`].
+    pub(crate) jobs: Counter,
+    /// [`names::JOBS_FAILED`].
+    pub(crate) jobs_failed: Counter,
+    /// [`names::JOBS_SHED`] with `policy="reject"`.
+    pub(crate) jobs_rejected: Counter,
+    /// [`names::JOBS_SHED`] with `policy="timeout"`.
+    pub(crate) jobs_timed_out: Counter,
+    /// [`names::INFER_BATCHES`].
+    pub(crate) batches: Counter,
+    /// [`names::BATCHES_COALESCED`].
+    pub(crate) coalesced_batches: Counter,
+    /// [`names::BATCH_OCCUPANCY`] — rows per coalesced forward pass.
+    pub(crate) batch_occupancy: Histogram,
+    /// [`names::QUEUE_WAIT_US`].
+    pub(crate) queue_wait: Histogram,
+    /// [`names::JOB_SERVICE_US`].
+    pub(crate) job_service: Histogram,
+    /// [`names::QUEUE_DEPTH`].
+    pub(crate) queue_depth: Gauge,
 }
 
 impl Telemetry {
-    fn snapshot(&self) -> ServiceStats {
+    pub(crate) fn new(metrics: Registry) -> Self {
+        Telemetry {
+            jobs: metrics.counter(names::JOBS_SERVED),
+            jobs_failed: metrics.counter(names::JOBS_FAILED),
+            jobs_rejected: metrics.counter_with(names::JOBS_SHED, &[("policy", "reject")]),
+            jobs_timed_out: metrics.counter_with(names::JOBS_SHED, &[("policy", "timeout")]),
+            batches: metrics.counter(names::INFER_BATCHES),
+            coalesced_batches: metrics.counter(names::BATCHES_COALESCED),
+            batch_occupancy: metrics.histogram(names::BATCH_OCCUPANCY),
+            queue_wait: metrics.histogram(names::QUEUE_WAIT_US),
+            job_service: metrics.histogram(names::JOB_SERVICE_US),
+            queue_depth: metrics.gauge(names::QUEUE_DEPTH),
+            metrics,
+        }
+    }
+
+    /// The backing registry (per-service, not the process-global one).
+    pub(crate) fn registry(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// One coalesced forward pass of `rows` rows under `model`:
+    /// batch counters, the occupancy histogram, and the per-model row
+    /// counter ([`names::INFER_ROWS`], label `model`).
+    pub(crate) fn record_forward_pass(&self, model: ModelId, rows: usize, coalesced: bool) {
+        self.batches.inc();
+        self.batch_occupancy.record(rows as u64);
+        self.metrics
+            .counter_with(names::INFER_ROWS, &[("model", &model.to_string())])
+            .add(rows as u64);
+        if coalesced {
+            self.coalesced_batches.inc();
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> ServiceStats {
+        // The per-model row counters and the occupancy histogram are summed
+        // from a registry snapshot — the stats struct stays a pure view.
+        let snap = self.metrics.snapshot();
+        let inference_rows = snap
+            .counters
+            .iter()
+            .filter(|(name, _)| is_series_of(name, names::INFER_ROWS))
+            .map(|(_, v)| v)
+            .sum();
+        let max_batch_occupancy = self
+            .batch_occupancy
+            .snapshot(names::BATCH_OCCUPANCY.to_string())
+            .max as usize;
         ServiceStats {
-            jobs_served: self.jobs.load(Ordering::Relaxed),
-            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
-            jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
-            jobs_timed_out: self.jobs_timed_out.load(Ordering::Relaxed),
-            inference_batches: self.batches.load(Ordering::Relaxed),
-            inference_rows: self.batched_rows.load(Ordering::Relaxed),
-            max_batch_occupancy: self.max_occupancy.load(Ordering::Relaxed),
-            coalesced_batches: self.coalesced_batches.load(Ordering::Relaxed),
+            jobs_served: self.jobs.get(),
+            jobs_failed: self.jobs_failed.get(),
+            jobs_rejected: self.jobs_rejected.get(),
+            jobs_timed_out: self.jobs_timed_out.get(),
+            inference_batches: self.batches.get(),
+            inference_rows,
+            max_batch_occupancy,
+            coalesced_batches: self.coalesced_batches.get(),
             // The cache keeps its own atomics; `ElfService::stats_snapshot`
             // fills this in from the shared handle.
             cut_cache: CutCacheStats::default(),
         }
     }
+}
+
+/// Whether a registry series name belongs to `family` (either the bare name
+/// or a labeled `family{...}` variant).
+fn is_series_of(name: &str, family: &str) -> bool {
+    name == family
+        || (name.len() > family.len()
+            && name.starts_with(family)
+            && name.as_bytes()[family.len()] == b'{')
 }
 
 /// The reply channel of one job, armed to deliver a failure placeholder if
@@ -399,7 +478,7 @@ impl ReplyGuard {
 impl Drop for ReplyGuard {
     fn drop(&mut self) {
         if let Some(tx) = self.tx.take() {
-            self.telemetry.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.jobs_failed.inc();
             let _ = tx.send(JobResponse {
                 job_id: JobId(self.job_id),
                 aig: Aig::new(),
@@ -572,7 +651,9 @@ impl ElfService {
 
         let registry = Arc::new(ModelRegistry::with_initial(classifier));
         let (_, founding) = registry.resolve_default();
-        let telemetry = Arc::new(Telemetry::default());
+        // Per-service registry: an isolated metric namespace so two services
+        // in one process (or one per test) never mix counters.
+        let telemetry = Arc::new(Telemetry::new(Registry::new()));
         let shards = config.shards.num_threads();
         let shared = Arc::new(Shared {
             registry,
@@ -742,6 +823,42 @@ impl ElfService {
         }
     }
 
+    /// The service's metric registry (per-service, isolated from the
+    /// process-global [`Registry::global`]).  Served jobs record their flow
+    /// metrics here too — `elf_stage_*`, `elf_verify_*`, `elf_cut_cache_*`
+    /// alongside the serving families.
+    pub fn metrics(&self) -> Registry {
+        self.shared.telemetry.registry().clone()
+    }
+
+    /// A point-in-time snapshot of every metric the service has recorded —
+    /// the structured twin of [`ElfService::metrics_text`], and the input to
+    /// [`elf_obs::metrics::Snapshot::counter_space_diff`].
+    pub fn metrics_snapshot(&self) -> elf_obs::metrics::Snapshot {
+        self.refresh_gauges();
+        self.shared.telemetry.registry().snapshot()
+    }
+
+    /// Renders every service metric in Prometheus text exposition format —
+    /// the scrape endpoint payload.  Gauges that are cheaper to poll than to
+    /// track (cut-cache residency, queue depth) are refreshed here.
+    pub fn metrics_text(&self) -> String {
+        self.refresh_gauges();
+        self.shared.telemetry.registry().render_text()
+    }
+
+    /// Folds scrape-time gauges into the registry: cut-cache residency and
+    /// the current queue depth.
+    fn refresh_gauges(&self) {
+        self.shared
+            .cut_cache
+            .fold_into(self.shared.telemetry.registry());
+        self.shared
+            .telemetry
+            .queue_depth
+            .set(self.shared.queue.depth() as i64);
+    }
+
     /// Gracefully shuts the service down: admission closes (further
     /// [`ServiceHandle::submit`] calls return
     /// [`SubmitError::ServiceClosed`]), queued jobs are drained and
@@ -803,6 +920,25 @@ fn worker_loop(shared: &Shared, shard: usize, client: &BatcherClient, telemetry:
         let started = Instant::now();
         let nodes_before = aig.num_reachable_ands();
 
+        telemetry.queue_depth.set(queue_depth as i64);
+        telemetry.queue_wait.record_duration(queued_time);
+        // Everything the worker records until the response is delivered —
+        // flow stages, CEC checks, batcher round trips issued from this
+        // thread — is tagged with the job id, so the Chrome export groups
+        // one served job into one contiguous run.
+        let _job_scope = elf_obs::trace::JobScope::enter(id);
+        if elf_obs::trace::enabled() {
+            // The admission wait started on the submitting thread; record it
+            // here as a just-ended leaf so it still lands inside the job
+            // group.
+            elf_obs::trace::record_past(
+                "queue_wait",
+                queued_time.as_micros().min(u64::MAX as u128) as u64,
+                vec![("queue_depth", queue_depth as i64)],
+            );
+        }
+        let job_span = elf_obs::span!("job", nodes = nodes_before);
+
         let mut inference_calls = 0usize;
         let mut inference_rows = 0usize;
         let mut max_batch_occupancy = 0usize;
@@ -848,10 +984,13 @@ fn worker_loop(shared: &Shared, shard: usize, client: &BatcherClient, telemetry:
             Err(_) => (FlowStats::default(), nodes_before, true),
         };
 
+        let service_time = started.elapsed();
+        drop(job_span);
+        telemetry.job_service.record_duration(service_time);
         if failed {
-            telemetry.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            telemetry.jobs_failed.inc();
         } else {
-            telemetry.jobs.fetch_add(1, Ordering::Relaxed);
+            telemetry.jobs.inc();
         }
         let stats = ServeStats {
             model,
@@ -864,7 +1003,7 @@ fn worker_loop(shared: &Shared, shard: usize, client: &BatcherClient, telemetry:
             nodes_before,
             nodes_after,
             queued_time,
-            service_time: started.elapsed(),
+            service_time,
             verify: flow_stats.verify.clone(),
             flow: flow_stats,
         };
@@ -982,7 +1121,12 @@ impl ServiceHandle {
         // carries over, and the view's counters give this job its own hit
         // rate.  Results are bit-identical either way.
         let cache_view = self.shared.cut_cache.job_view();
-        let flow = flow.with_cut_cache(cache_view.clone());
+        // Served jobs record their flow metrics (stage counters, verify
+        // totals, cache hit deltas) into the *service* registry, so one
+        // scrape covers the whole serving stack.
+        let flow = flow
+            .with_cut_cache(cache_view.clone())
+            .with_metrics(self.shared.telemetry.registry().clone());
         let id = self.shared.next_job_id.fetch_add(1, Ordering::Relaxed);
         let job = Job {
             id,
@@ -1002,6 +1146,10 @@ impl ServiceHandle {
         match self.shared.queue.push(job, self.shared.admission) {
             Ok(_) => {
                 self.outstanding += 1;
+                self.shared
+                    .telemetry
+                    .queue_depth
+                    .set(self.shared.queue.depth() as i64);
                 Ok(JobId(id))
             }
             Err(PushError::Closed(job)) => Err(SubmitError::ServiceClosed {
@@ -1010,12 +1158,8 @@ impl ServiceHandle {
             Err(PushError::Overloaded(job)) => {
                 let telemetry = &self.shared.telemetry;
                 match self.shared.admission {
-                    AdmissionPolicy::Reject => {
-                        telemetry.jobs_rejected.fetch_add(1, Ordering::Relaxed);
-                    }
-                    AdmissionPolicy::Timeout(_) => {
-                        telemetry.jobs_timed_out.fetch_add(1, Ordering::Relaxed);
-                    }
+                    AdmissionPolicy::Reject => telemetry.jobs_rejected.inc(),
+                    AdmissionPolicy::Timeout(_) => telemetry.jobs_timed_out.inc(),
                     // The queue never sheds under Block.
                     AdmissionPolicy::Block => unreachable!("Block policy shed a job"),
                 }

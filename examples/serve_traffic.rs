@@ -136,6 +136,13 @@ fn main() {
         );
     }
 
+    // The scrape-endpoint view of the same run: every counter, gauge and
+    // latency histogram the service recorded, in Prometheus text format.
+    println!();
+    println!("--- metrics_text() at shutdown ---");
+    print!("{}", service.metrics_text());
+    println!("--- end metrics ---");
+
     let stats = service.shutdown();
     println!(
         "all {} served results are node-for-node identical to the offline `Flow::pruned_from_script` path",
@@ -149,4 +156,19 @@ fn main() {
         stats.mean_batch_occupancy(),
         stats.max_batch_occupancy
     );
+
+    // When tracing is on (`ELF_TRACE=1`), export the whole run as Chrome
+    // `trace_event` JSON, and round-trip it through the bundled parser to
+    // prove the spans nest — the CI smoke gate for the trace pipeline.
+    if elf::obs::trace::enabled() {
+        let json = elf::obs::trace::export_chrome_json();
+        let events = elf::obs::chrome::parse_trace(&json).expect("trace JSON parses");
+        let spans = elf::obs::chrome::validate_nesting(&events).expect("trace spans nest");
+        let path = std::path::Path::new("target").join("serve_traffic_trace.json");
+        std::fs::write(&path, &json).expect("write trace file");
+        println!(
+            "trace: {spans} spans exported to {} (load it in chrome://tracing)",
+            path.display()
+        );
+    }
 }

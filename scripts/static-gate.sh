@@ -12,7 +12,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-GATED_DIRS=(crates/serve/src crates/cec/src)
+GATED_DIRS=(crates/serve/src crates/cec/src crates/obs/src)
 
 status=0
 for dir in "${GATED_DIRS[@]}"; do

@@ -19,6 +19,7 @@
 //! | [`core`] (`elf-core`) | The ELF classifier, the generic pruned operator `Elf<O>`, script-style `Flow` pipelines and the experiment protocol |
 //! | [`serve`] (`elf-serve`) | Long-lived batching `ElfService`: bounded admission with load-shedding policies, work-stealing shard workers, versioned hot-swap `ModelRegistry`, micro-batched inference, channel request/response API |
 //! | [`cec`] (`elf-cec`) | SAT-based combinational equivalence checking: a zero-dependency CDCL solver, miter construction, fraig-style simulation-guided SAT sweeping — the correctness gate behind `core::VerifyMode` |
+//! | [`obs`] (`elf-obs`) | Zero-dependency observability: lock-free counters/gauges/log-bucketed latency histograms with a Prometheus text scrape, plus `ELF_TRACE`-gated tracing spans exported as Chrome `trace_event` JSON |
 //! | [`circuits`] (`elf-circuits`) | EPFL-style arithmetic, industrial-like and synthetic workload generators |
 //! | [`analysis`] (`elf-analysis`) | t-SNE, exact Shapley values, PCA |
 //!
@@ -155,6 +156,7 @@ pub use elf_cec as cec;
 pub use elf_circuits as circuits;
 pub use elf_core as core;
 pub use elf_nn as nn;
+pub use elf_obs as obs;
 pub use elf_opt as opt;
 pub use elf_par as par;
 pub use elf_serve as serve;
